@@ -1,0 +1,36 @@
+// Ablation: MAC data rate (Table I fixes 2 Mbps). Higher rates shrink
+// frame airtime, cutting collision probability and serialization delay;
+// 1 Mbps doubles airtime and stresses the DCF under the same load.
+#include <cstdio>
+#include <iostream>
+
+#include "scenario/table1.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace cavenet;
+  using namespace cavenet::scenario;
+
+  std::cout << "Ablation: MAC rate sweep (Table I: 2 Mbps), AODV and DYMO, "
+               "sender 5\n\n";
+  TableWriter table({"rate [Mbps]", "protocol", "PDR", "mean delay [s]",
+                     "channel util", "collisions"});
+  for (const double rate_mbps : {1.0, 2.0, 11.0}) {
+    for (const Protocol protocol : {Protocol::kAodv, Protocol::kDymo}) {
+      TableIConfig config;
+      config.protocol = protocol;
+      config.sender = 5;
+      config.seed = 3;
+      config.mac_rate_bps = rate_mbps * 1e6;
+      const auto r = run_table1(config);
+      table.add_row({rate_mbps, std::string(to_string(protocol)), r.pdr,
+                     r.mean_delay_s, r.channel_utilization,
+                     static_cast<std::int64_t>(r.mac_collisions)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: at Table-I load the channel is far from "
+               "saturation, so PDR barely moves with rate, but delay and "
+               "airtime scale with frame serialization time.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation 3 (DESIGN.md): RTS/CTS off (Table I) vs on. With 512-byte CBR
+// payloads and a ring topology, the paper disables RTS/CTS; this bench
+// quantifies what that costs/saves under hidden terminals.
+#include <cstdio>
+#include <iostream>
+
+#include "scenario/table1.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace cavenet;
+  using namespace cavenet::scenario;
+
+  std::cout << "Ablation: RTS/CTS off (Table I) vs on, AODV, senders 2, 4, "
+               "6, 8\n\n";
+
+  TableIConfig config;
+  config.protocol = Protocol::kAodv;
+  config.seed = 3;
+
+  TableWriter table({"sender", "PDR off", "PDR on", "collisions off",
+                     "collisions on", "retries off", "retries on"});
+  for (const netsim::NodeId sender : {2u, 4u, 6u, 8u}) {
+    config.sender = sender;
+    config.use_rts_cts = false;
+    const auto off = run_table1(config);
+    config.use_rts_cts = true;
+    const auto on = run_table1(config);
+    table.add_row({static_cast<std::int64_t>(sender), off.pdr, on.pdr,
+                   static_cast<std::int64_t>(off.mac_collisions),
+                   static_cast<std::int64_t>(on.mac_collisions),
+                   static_cast<std::int64_t>(off.mac_retries),
+                   static_cast<std::int64_t>(on.mac_retries)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: RTS/CTS trades extra control airtime for fewer "
+               "data-frame collisions; at Table-I load the paper's choice "
+               "(off) is justified when PDR is comparable.\n";
+  return 0;
+}

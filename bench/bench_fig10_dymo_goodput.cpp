@@ -1,0 +1,11 @@
+// Reproduces paper Fig. 10: DYMO goodput surface over the Table-I scenario.
+//
+// Expected shape: sustained goodput near the CBR rate with quick route
+// acquisition (paper: DYMO's route searching time is almost as low as
+// OLSR's, while its goodput matches AODV's).
+#include "goodput_surface.h"
+
+int main() {
+  return cavenet::bench::run_goodput_surface(
+      cavenet::scenario::Protocol::kDymo, "Fig. 10");
+}

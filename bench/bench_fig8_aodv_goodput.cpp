@@ -1,0 +1,11 @@
+// Reproduces paper Fig. 8: AODV goodput surface over the Table-I scenario.
+//
+// Expected shape (paper Section IV-C): bursty goodput spikes reaching ~10x
+// the CBR rate — packets accumulate during route discovery back-off and
+// are flushed together when the route appears.
+#include "goodput_surface.h"
+
+int main() {
+  return cavenet::bench::run_goodput_surface(
+      cavenet::scenario::Protocol::kAodv, "Fig. 8");
+}

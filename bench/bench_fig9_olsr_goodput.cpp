@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 9: OLSR goodput surface over the Table-I scenario.
+//
+// Expected shape: roughly an order of magnitude below the reactive
+// protocols (paper: "reactive protocols (AODV and DYMO) have better
+// goodput than OLSR"), with gaps where the proactive tables lag behind
+// the topology.
+#include "goodput_surface.h"
+
+int main() {
+  return cavenet::bench::run_goodput_surface(
+      cavenet::scenario::Protocol::kOlsr, "Fig. 9");
+}

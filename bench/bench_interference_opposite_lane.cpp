@@ -1,0 +1,103 @@
+// Paper Fig. 1-b: interference from the opposite lane. A saturated
+// unicast flow runs between two vehicles on lane 1; an equally saturated
+// interfering flow runs on the opposite lane (7.5 m lateral offset) at a
+// varying longitudinal separation. We measure the victim flow's MAC-level
+// delivery and collision counts as the interferers approach.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "mac/wifi_mac.h"
+#include "phy/channel.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using namespace cavenet;
+using namespace cavenet::literals;
+
+struct Result {
+  std::uint64_t victim_delivered = 0;
+  std::uint64_t victim_sent = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t retries = 0;
+};
+
+Result run(double interferer_offset_m, bool with_interferer) {
+  netsim::Simulator sim(9);
+  phy::Channel channel(sim, std::make_unique<phy::TwoRayGroundModel>());
+
+  std::vector<std::unique_ptr<netsim::StaticMobility>> mobility;
+  std::vector<std::unique_ptr<phy::WifiPhy>> phys;
+  std::vector<std::unique_ptr<mac::WifiMac>> macs;
+  auto add = [&](Vec2 position) {
+    const auto id = static_cast<netsim::NodeId>(macs.size());
+    mobility.push_back(std::make_unique<netsim::StaticMobility>(position));
+    phys.push_back(std::make_unique<phy::WifiPhy>(sim, id, mobility.back().get()));
+    channel.attach(phys.back().get());
+    macs.push_back(std::make_unique<mac::WifiMac>(sim, *phys.back(),
+                                                  mac::MacParams{}, id));
+    return id;
+  };
+
+  // Victim flow on lane 1 (y = 0): 0 -> 1 over 150 m.
+  add({0.0, 0.0});
+  add({150.0, 0.0});
+  // Interferer flow on the opposite lane (y = 7.5): 2 -> 3.
+  if (with_interferer) {
+    add({interferer_offset_m, 7.5});
+    add({interferer_offset_m + 150.0, 7.5});
+  }
+
+  Result result;
+  macs[1]->set_receive_callback(
+      [&](netsim::Packet, netsim::NodeId) { ++result.victim_delivered; });
+
+  // Saturated victim: a new frame every 5 ms for 5 s (1000 frames).
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule(SimTime::microseconds(5000 * i), [&] {
+      macs[0]->send(netsim::Packet(512), 1);
+      ++result.victim_sent;
+    });
+    if (with_interferer) {
+      // Interferer offset by half a period: maximal overlap pressure.
+      sim.schedule(SimTime::microseconds(5000 * i + 2500),
+                   [&] { macs[2]->send(netsim::Packet(512), 3); });
+    }
+  }
+  sim.run_until(8_s);
+  result.collisions = phys[1]->stats().collisions;
+  result.retries = macs[0]->stats().retries;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 1-b: interference from the opposite lane (victim flow "
+               "0->1 over 150 m; interferer pair at varying separation)\n\n";
+  const Result baseline = run(0.0, false);
+  TableWriter table({"interferer offset [m]", "victim delivery", "collisions",
+                     "victim retries"});
+  table.add_row({std::string("(none)"),
+                 static_cast<double>(baseline.victim_delivered) /
+                     static_cast<double>(baseline.victim_sent),
+                 static_cast<std::int64_t>(baseline.collisions),
+                 static_cast<std::int64_t>(baseline.retries)});
+  for (const double offset : {0.0, 200.0, 400.0, 600.0, 900.0}) {
+    const Result r = run(offset, true);
+    table.add_row({offset,
+                   static_cast<double>(r.victim_delivered) /
+                       static_cast<double>(r.victim_sent),
+                   static_cast<std::int64_t>(r.collisions),
+                   static_cast<std::int64_t>(r.retries)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: co-located interferers share the medium cleanly "
+               "via carrier sense (delivery stays high, throughput halves); "
+               "at 400-550 m the interferer is a *hidden* node — collisions "
+               "and retries spike; beyond carrier-sense range the victim "
+               "flow is clean again.\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Microbenchmarks (google-benchmark): throughput of the hot paths — CA
+// stepping, FFT/periodogram, event scheduling, packet copies, and the
+// full MAC frame exchange.
+#include <benchmark/benchmark.h>
+
+#include "analysis/fft.h"
+#include "analysis/spectrum.h"
+#include "core/nas_lane.h"
+#include "mac/wifi_mac.h"
+#include "netsim/scheduler.h"
+#include "phy/channel.h"
+#include "scenario/table1.h"
+
+namespace {
+
+using namespace cavenet;
+
+void BM_NasLaneStep(benchmark::State& state) {
+  ca::NasParams params;
+  params.lane_length = state.range(0);
+  params.slowdown_p = 0.3;
+  ca::NasLane lane(params, params.lane_length / 4,
+                   ca::InitialPlacement::kRandom, Rng(1));
+  for (auto _ : state) {
+    lane.step();
+    benchmark::DoNotOptimize(lane.average_velocity());
+  }
+  state.SetItemsProcessed(state.iterations() * lane.vehicle_count());
+}
+BENCHMARK(BM_NasLaneStep)->Arg(400)->Arg(4000)->Arg(40000);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::complex<double>> data(n);
+  Rng rng(2);
+  for (auto& x : data) x = rng.normal();
+  for (auto _ : state) {
+    auto copy = data;
+    analysis::fft_in_place(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Periodogram(benchmark::State& state) {
+  std::vector<double> signal(8192);
+  Rng rng(3);
+  for (auto& x : signal) x = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::periodogram(signal));
+  }
+}
+BENCHMARK(BM_Periodogram);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  netsim::Scheduler scheduler;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      scheduler.schedule_at(SimTime::nanoseconds(t + (i * 37) % 1000),
+                            [] {});
+    }
+    while (scheduler.run_one()) {
+    }
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_PacketCopy(benchmark::State& state) {
+  netsim::Packet packet(512);
+  mac::MacHeader mac_header;
+  routing::DataHeader data_header;
+  packet.push(data_header);
+  packet.push(mac_header);
+  for (auto _ : state) {
+    netsim::Packet copy = packet;
+    benchmark::DoNotOptimize(copy.size_bytes());
+  }
+}
+BENCHMARK(BM_PacketCopy);
+
+void BM_MacUnicastExchange(benchmark::State& state) {
+  // Full DATA + ACK exchange between two stations per iteration.
+  netsim::Simulator sim(4);
+  phy::Channel channel(sim, std::make_unique<phy::TwoRayGroundModel>());
+  netsim::StaticMobility ma({0, 0});
+  netsim::StaticMobility mb({150, 0});
+  phy::WifiPhy pa(sim, 0, &ma);
+  phy::WifiPhy pb(sim, 1, &mb);
+  channel.attach(&pa);
+  channel.attach(&pb);
+  mac::WifiMac a(sim, pa, {}, 0);
+  mac::WifiMac b(sim, pb, {}, 1);
+  b.set_receive_callback([](netsim::Packet, netsim::NodeId) {});
+  for (auto _ : state) {
+    a.send(netsim::Packet(512), 1);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MacUnicastExchange);
+
+void BM_Table1SecondOfSimulation(benchmark::State& state) {
+  // Cost of one simulated second of the full 30-node Table-I scenario.
+  for (auto _ : state) {
+    state.PauseTiming();
+    scenario::TableIConfig config;
+    config.protocol = scenario::Protocol::kDymo;
+    config.duration_s = 5.0;
+    config.traffic_start_s = 1.0;
+    config.traffic_stop_s = 4.0;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(scenario::run_table1(config));
+  }
+}
+BENCHMARK(BM_Table1SecondOfSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// The paper's thesis, taken to the protocol level: the mobility model
+// changes the protocol evaluation. Identical radio stack, traffic plan
+// and node count under (a) the CA circuit (Table I), (b) Random Waypoint
+// with the pathological v_min ~ 0, and (c) RW with a sane v_min.
+#include <cstdio>
+#include <iostream>
+
+#include "scenario/table1.h"
+#include "trace/random_waypoint.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using namespace cavenet;
+using namespace cavenet::scenario;
+
+trace::MobilityTrace rw_trace(double v_min, std::uint64_t seed) {
+  trace::RandomWaypointOptions options;
+  options.nodes = 30;
+  // Same area scale as the Table-I circuit's bounding box (~955 m).
+  options.area_x_m = 955.0;
+  options.area_y_m = 955.0;
+  options.v_min_ms = v_min;
+  options.v_max_ms = 37.5;
+  options.duration_s = 100.0;
+  options.seed = seed;
+  return trace::generate_random_waypoint(options);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Protocol evaluation under different mobility models "
+               "(30 nodes, same stack/traffic, sender 4 -> node 0)\n\n";
+
+  TableWriter table({"mobility", "protocol", "PDR", "mean delay [s]",
+                     "mean hops", "route discoveries"});
+  for (const Protocol protocol :
+       {Protocol::kAodv, Protocol::kOlsr, Protocol::kDymo}) {
+    TableIConfig config;
+    config.protocol = protocol;
+    config.sender = 4;
+    config.seed = 3;
+
+    const auto ca_run = run_table1(config);
+    const auto rw_slow =
+        run_with_trace(rw_trace(0.1, config.seed), config, {4}).front();
+    const auto rw_fast =
+        run_with_trace(rw_trace(10.0, config.seed), config, {4}).front();
+
+    auto row = [&](const char* label, const SenderRunResult& r) {
+      table.add_row({std::string(label), std::string(to_string(protocol)),
+                     r.pdr, r.mean_delay_s, r.mean_hop_count,
+                     static_cast<std::int64_t>(r.route_discoveries)});
+    };
+    row("CA circuit (Table I)", ca_run);
+    row("RW vmin=0.1", rw_slow);
+    row("RW vmin=10", rw_fast);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the ranking and even the absolute level of every "
+               "protocol shifts with the mobility model — the paper's core "
+               "argument for evaluating VANET protocols under vehicular (CA) "
+               "rather than random-waypoint mobility.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Paper Fig. 1-a: impact of multiple lanes on connectivity — gaps on one
+// lane are bridged by relay vehicles on a parallel lane. We sweep vehicle
+// density on a sparse two-lane highway and compare single-lane vs
+// two-lane multi-hop pair connectivity under the Table-I radio range.
+#include <cstdio>
+#include <iostream>
+
+#include "core/geometry.h"
+#include "core/nas_lane.h"
+#include "core/road.h"
+#include "trace/connectivity.h"
+#include "trace/trace_generator.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using namespace cavenet;
+
+double mean_pair_connectivity(bool two_lanes, std::int64_t vehicles_per_lane,
+                              std::uint64_t seed) {
+  ca::NasParams params;
+  params.lane_length = 800;  // 6 km of highway
+  params.slowdown_p = 0.5;   // jam clusters create the gaps of Fig. 1
+  ca::Road road;
+  road.add_lane(ca::NasLane(params, vehicles_per_lane,
+                            ca::InitialPlacement::kRandom, Rng(seed, 1)),
+                ca::make_line(params.lane_length_m()));
+  if (two_lanes) {
+    // Opposite direction, 7.5 m to the side (paper Fig. 1 setting).
+    const ca::LaneTransform opposite =
+        ca::LaneTransform::translation(params.lane_length_m(), 7.5) *
+        ca::LaneTransform::scaling(-1.0, 1.0);
+    road.add_lane(ca::NasLane(params, vehicles_per_lane,
+                              ca::InitialPlacement::kRandom, Rng(seed, 2)),
+                  ca::make_line(params.lane_length_m(), opposite));
+  }
+  trace::TraceGeneratorOptions options;
+  options.steps = 100;
+  const auto trace = trace::generate_trace(road, options);
+  const auto paths = trace::compile_paths(trace);
+
+  // Connectivity among lane-1 vehicles only, with lane-2 vehicles acting
+  // purely as relays — exactly the paper's Fig. 1-a argument.
+  trace::ConnectivitySweepOptions sweep;
+  sweep.range_m = 250.0;
+  sweep.t_end_s = 100.0;
+  double acc = 0.0;
+  std::size_t samples = 0;
+  for (double t = 0.0; t <= 100.0; t += 5.0) {
+    std::vector<Vec2> positions;
+    for (const auto& path : paths) positions.push_back(path.position(t));
+    const trace::ConnectivityGraph graph(positions, sweep.range_m);
+    // Pair connectivity restricted to lane-1 nodes (ids 0..n-1).
+    std::size_t connected = 0, pairs = 0;
+    for (std::int64_t a = 0; a < vehicles_per_lane; ++a) {
+      for (std::int64_t b = a + 1; b < vehicles_per_lane; ++b) {
+        ++pairs;
+        if (graph.connected(static_cast<std::uint32_t>(a),
+                            static_cast<std::uint32_t>(b))) {
+          ++connected;
+        }
+      }
+    }
+    acc += pairs > 0 ? static_cast<double>(connected) / static_cast<double>(pairs)
+                     : 0.0;
+    ++samples;
+  }
+  return acc / static_cast<double>(samples);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 1-a: relay vehicles on a parallel lane bridge "
+               "connectivity gaps (6 km two-lane highway, 250 m range, "
+               "p = 0.5 jams)\n\n";
+  TableWriter table({"vehicles/lane", "lane-1 pair connectivity (1 lane)",
+                     "with relay lane", "gain"});
+  for (const std::int64_t n : {15, 20, 30, 45, 60}) {
+    double one = 0.0, two = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      one += mean_pair_connectivity(false, n, seed) / 3.0;
+      two += mean_pair_connectivity(true, n, seed) / 3.0;
+    }
+    table.add_row({n, one, two, two - one});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: at sparse densities the relay lane lifts pair "
+               "connectivity substantially; the gain vanishes once a single "
+               "lane is dense enough to be connected on its own.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Paper Section IV-B: transient time tau of v(t) for the deterministic
+// model (p = 0) as a function of density, plus the SRD/LRD contrast that
+// decides how many warm-up samples a protocol simulation must discard.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/autocorrelation.h"
+#include "analysis/stats.h"
+#include "analysis/transient.h"
+#include "core/velocity_series.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace cavenet;
+  using namespace cavenet::ca;
+
+  std::cout << "Sec. IV-B: transient time of v(t), deterministic NaS "
+               "(p = 0), L = 400, 4096 steps\n\n";
+
+  NasParams params;
+  params.lane_length = 400;
+  params.slowdown_p = 0.0;
+
+  TableWriter table({"rho", "tau (settle) [steps]", "MSER-5 cut",
+                     "tail mean v", "ACF partial sum (lag 200)"});
+  for (const double rho : {0.05, 0.1, 0.15, 1.0 / 6.0, 0.2, 0.3, 0.4, 0.5}) {
+    const auto series = velocity_series(params, rho, 4096, 8);
+    const std::span<const double> s(series);
+    const auto tau = analysis::transient_end(s);
+    const auto sums = analysis::autocorrelation_partial_sums(s, 200);
+    table.add_row({rho,
+                   tau ? static_cast<std::int64_t>(*tau) : std::int64_t{-1},
+                   static_cast<std::int64_t>(analysis::mser_truncation(s)),
+                   analysis::mean(s.subspan(s.size() / 2)),
+                   sums.empty() ? 0.0 : sums.back()});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected: tau grows as rho approaches the critical density "
+               "(1/6) where jam clusters interlock, and falls again deep in "
+               "the jammed phase; the deterministic ACF partial sums stay "
+               "bounded (SRD).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Paper future work ("environments"): the three protocols on an urban
+// Manhattan grid with signalized intersections, versus the Table-I
+// highway circuit. Urban mobility concentrates vehicles at red lights and
+// disperses them mid-block; the straight-line lanes also teleport at the
+// area edge (open system), so routes break harder than on the ring.
+#include <cstdio>
+#include <iostream>
+
+#include "core/grid_road.h"
+#include "scenario/table1.h"
+#include "trace/trace_generator.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using namespace cavenet;
+using namespace cavenet::scenario;
+
+trace::MobilityTrace urban_trace(std::uint64_t seed) {
+  ca::GridRoadConfig grid_config;
+  grid_config.horizontal_lanes = 3;
+  grid_config.vertical_lanes = 3;
+  grid_config.block_cells = 60;  // 450 m blocks: 1350 m x 1350 m downtown
+  grid_config.vehicles_per_lane = 8;
+  grid_config.slowdown_p = 0.3;
+  grid_config.green_period_steps = 20;
+  grid_config.seed = seed;
+  ca::GridRoad grid(grid_config);
+
+  trace::TraceGeneratorOptions options;
+  options.steps = 100;
+  options.pre_step = [&grid](ca::Road& road) { grid.apply_signals(road); };
+  return trace::generate_trace(grid.road(), options);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Urban grid (3x3 signalized Manhattan, 48 vehicles) vs the "
+               "Table-I highway circuit\n\n";
+
+  TableWriter table({"protocol", "highway PDR", "urban PDR",
+                     "highway delay [s]", "urban delay [s]",
+                     "urban ctrl bytes"});
+  for (const Protocol protocol :
+       {Protocol::kAodv, Protocol::kOlsr, Protocol::kDymo}) {
+    TableIConfig config;
+    config.protocol = protocol;
+    config.sender = 4;
+    config.seed = 3;
+
+    const auto highway = run_table1(config);
+    const auto urban =
+        run_with_trace(urban_trace(config.seed), config, {4}).front();
+    table.add_row({std::string(to_string(protocol)), highway.pdr, urban.pdr,
+                   highway.mean_delay_s, urban.mean_delay_s,
+                   static_cast<std::int64_t>(urban.control_bytes)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the urban grid's edge teleports and signal-"
+               "induced clustering reshuffle topology abruptly; relative "
+               "protocol ordering (reactive over proactive) persists across "
+               "environments.\n";
+  return 0;
+}

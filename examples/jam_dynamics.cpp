@@ -1,0 +1,38 @@
+// Space-time jam dynamics (the phenomenon behind paper Fig. 5): renders
+// ASCII space-time plots for the laminar and jammed regimes and shows the
+// backward-travelling jam waves of the stochastic NaS model.
+#include <iostream>
+
+#include "core/nas_lane.h"
+#include "core/space_time.h"
+
+namespace {
+
+void show(const char* title, double density, double p, std::int64_t lane_cells,
+          std::int64_t steps) {
+  using namespace cavenet;
+  ca::NasParams params;
+  params.lane_length = lane_cells;
+  params.slowdown_p = p;
+  ca::NasLane lane(params,
+                   static_cast<std::int64_t>(density * static_cast<double>(lane_cells)),
+                   ca::InitialPlacement::kRandom, Rng(7));
+  lane.run(50);  // skip the initial transient
+  const ca::SpaceTimeRaster raster = ca::record_space_time(lane, steps);
+
+  std::cout << "\n=== " << title << " (rho=" << density << ", p=" << p
+            << ") ===\n"
+            << "('.' empty, digit = vehicle velocity; time flows down)\n";
+  raster.render_ascii(std::cout, 100);
+  std::cout << "jammed fraction at end: "
+            << raster.jammed_fraction(raster.rows() - 1) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  show("Laminar free flow", 0.0625, 0.3, 200, 24);
+  show("Congested with jam waves", 0.5, 0.3, 200, 24);
+  show("Deterministic platooning", 0.1, 0.0, 200, 24);
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "analysis/autocorrelation.h"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "analysis/fft.h"
+#include "analysis/stats.h"
+
+namespace cavenet::analysis {
+
+std::vector<double> autocorrelation(std::span<const double> signal,
+                                    std::size_t max_lag) {
+  const std::size_t n = signal.size();
+  if (n < 2) throw std::invalid_argument("autocorrelation: signal too short");
+  max_lag = std::min(max_lag, n - 1);
+
+  // Wiener-Khinchin: ACF = IFFT(|FFT(x - mean)|^2), zero-padded to 2n to
+  // avoid circular wrap-around.
+  const double m = mean(signal);
+  const std::size_t padded = next_power_of_two(2 * n);
+  std::vector<std::complex<double>> data(padded);
+  for (std::size_t i = 0; i < n; ++i) data[i] = signal[i] - m;
+  fft_in_place(data);
+  for (auto& x : data) x = std::norm(x);
+  ifft_in_place(data);
+
+  const double r0 = data[0].real();
+  std::vector<double> acf(max_lag + 1);
+  if (r0 <= 0.0) {
+    // Constant signal: define r(0)=1, r(k)=0 by convention.
+    acf[0] = 1.0;
+    return acf;
+  }
+  for (std::size_t k = 0; k <= max_lag; ++k) acf[k] = data[k].real() / r0;
+  return acf;
+}
+
+std::vector<double> autocorrelation_partial_sums(std::span<const double> signal,
+                                                 std::size_t max_lag) {
+  const auto acf = autocorrelation(signal, max_lag);
+  std::vector<double> sums;
+  sums.reserve(acf.size() > 0 ? acf.size() - 1 : 0);
+  double acc = 0.0;
+  for (std::size_t k = 1; k < acf.size(); ++k) {
+    acc += acf[k];
+    sums.push_back(acc);
+  }
+  return sums;
+}
+
+double hurst_rs(std::span<const double> signal) {
+  const std::size_t n = signal.size();
+  if (n < 32) throw std::invalid_argument("hurst_rs: need >= 32 samples");
+
+  // R/S over a geometric ladder of window sizes; slope of log(R/S) vs log(w).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t points = 0;
+  for (std::size_t w = 8; w <= n / 4; w *= 2) {
+    double rs_sum = 0.0;
+    std::size_t windows = 0;
+    for (std::size_t start = 0; start + w <= n; start += w) {
+      const auto seg = signal.subspan(start, w);
+      const double m = mean(seg);
+      double cum = 0.0, lo = 0.0, hi = 0.0, var = 0.0;
+      for (const double x : seg) {
+        cum += x - m;
+        lo = std::min(lo, cum);
+        hi = std::max(hi, cum);
+        var += (x - m) * (x - m);
+      }
+      const double s = std::sqrt(var / static_cast<double>(w));
+      if (s > 0.0) {
+        rs_sum += (hi - lo) / s;
+        ++windows;
+      }
+    }
+    if (windows == 0) continue;
+    const double rs = rs_sum / static_cast<double>(windows);
+    if (rs <= 0.0) continue;
+    const double x = std::log2(static_cast<double>(w));
+    const double y = std::log2(rs);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++points;
+  }
+  if (points < 2) return 0.5;
+  const auto p = static_cast<double>(points);
+  const double denom = p * sxx - sx * sx;
+  if (denom == 0.0) return 0.5;
+  return (p * sxy - sx * sy) / denom;
+}
+
+}  // namespace cavenet::analysis

@@ -1,0 +1,30 @@
+// Autocorrelation and the SRD/LRD summability diagnostic.
+//
+// The paper (footnote 2) defines a process as Short Range Dependent when
+// its autocorrelation r(k) is summable, and Long Range Dependent otherwise.
+#ifndef CAVENET_ANALYSIS_AUTOCORRELATION_H
+#define CAVENET_ANALYSIS_AUTOCORRELATION_H
+
+#include <span>
+#include <vector>
+
+namespace cavenet::analysis {
+
+/// Biased sample autocorrelation r(0..max_lag); r(0) == 1 for non-constant
+/// signals. Uses the FFT (O(n log n)).
+std::vector<double> autocorrelation(std::span<const double> signal,
+                                    std::size_t max_lag);
+
+/// Partial sums S(K) = sum_{k=1..K} r(k): the growth of this sequence is the
+/// summability diagnostic. For SRD signals it converges; for LRD it keeps
+/// growing across decades of K.
+std::vector<double> autocorrelation_partial_sums(std::span<const double> signal,
+                                                 std::size_t max_lag);
+
+/// Hurst exponent via rescaled-range (R/S) analysis. H ~ 0.5 for SRD,
+/// H > 0.5 (typically 0.7+) for LRD/persistent signals.
+double hurst_rs(std::span<const double> signal);
+
+}  // namespace cavenet::analysis
+
+#endif  // CAVENET_ANALYSIS_AUTOCORRELATION_H

@@ -1,0 +1,87 @@
+#include "analysis/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace cavenet::analysis {
+
+std::optional<std::size_t> transient_end(std::span<const double> signal,
+                                         const TransientOptions& options) {
+  const std::size_t n = signal.size();
+  if (n < 8) throw std::invalid_argument("transient_end: signal too short");
+
+  const auto tail_len = std::max<std::size_t>(
+      4, static_cast<std::size_t>(static_cast<double>(n) * options.tail_fraction));
+  const auto tail = signal.subspan(n - tail_len);
+  const double level = mean(tail);
+  // Guard against a perfectly constant tail: allow a tiny absolute band.
+  const double sigma = std::max(stddev(tail), 1e-12 * std::max(1.0, std::abs(level)));
+  const double band = options.tolerance_sigmas * sigma;
+
+  // Stationarity guard: a drifting signal (e.g. a ramp) has a "tail" whose
+  // spread is dominated by the drift itself; its two halves disagree.
+  const double first_half = mean(tail.subspan(0, tail_len / 2));
+  const double second_half = mean(tail.subspan(tail_len / 2));
+  if (std::abs(first_half - second_half) > band / 2.0) return std::nullopt;
+
+  // The transient ends at the first sample that (a) starts an in-band run
+  // of at least `hold` samples and (b) from which at least 95% of the
+  // remaining signal stays in band (rare noise excursions beyond the
+  // tolerance must not push the estimate to the end of the signal).
+  std::vector<bool> in_band(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in_band[i] = std::abs(signal[i] - level) <= band;
+  }
+  std::vector<std::size_t> run_len(n + 1, 0);
+  std::vector<std::size_t> suffix_in(n + 1, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    run_len[i] = in_band[i] ? run_len[i + 1] + 1 : 0;
+    suffix_in[i] = suffix_in[i + 1] + (in_band[i] ? 1 : 0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (run_len[i] >= options.hold &&
+        static_cast<double>(suffix_in[i]) >=
+            0.95 * static_cast<double>(n - i)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t mser_truncation(std::span<const double> signal, std::size_t batch) {
+  const std::size_t n = signal.size();
+  if (batch == 0 || n < 2 * batch) {
+    throw std::invalid_argument("mser: need at least two batches");
+  }
+  // Batch means.
+  std::vector<double> batches;
+  batches.reserve(n / batch);
+  for (std::size_t start = 0; start + batch <= n; start += batch) {
+    batches.push_back(mean(signal.subspan(start, batch)));
+  }
+  const std::size_t m = batches.size();
+
+  // For each truncation d (in batches), MSER statistic =
+  // var(batches[d..]) / (m - d)^2; pick the d that minimizes it over the
+  // first half (standard restriction to avoid the tail-dominated regime).
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_d = 0;
+  for (std::size_t d = 0; d < m / 2; ++d) {
+    const auto rest = std::span<const double>(batches).subspan(d);
+    const auto k = static_cast<double>(rest.size());
+    const double v = variance(rest);
+    const double score = v / (k * k);
+    if (score < best) {
+      best = score;
+      best_d = d;
+    }
+  }
+  return best_d * batch;
+}
+
+}  // namespace cavenet::analysis

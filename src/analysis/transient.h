@@ -1,0 +1,40 @@
+// Transient-time estimation for simulation warm-up removal.
+//
+// Section IV-B of the paper measures the transient time tau of the average
+// velocity before it settles into the stationary regime, which decides how
+// many initial samples must be discarded before protocol evaluation.
+#ifndef CAVENET_ANALYSIS_TRANSIENT_H
+#define CAVENET_ANALYSIS_TRANSIENT_H
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace cavenet::analysis {
+
+struct TransientOptions {
+  /// Fraction of the tail assumed stationary, used to estimate the
+  /// steady-state level and spread.
+  double tail_fraction = 0.25;
+  /// The transient ends at the first sample after which the signal stays
+  /// within `tolerance_sigmas` tail standard deviations of the tail mean
+  /// for at least `hold` consecutive samples.
+  double tolerance_sigmas = 3.0;
+  std::size_t hold = 16;
+};
+
+/// Index of the first stationary sample, or nullopt when the signal never
+/// settles inside the observation window (possible for LRD signals — the
+/// paper's point about not knowing how long to simulate).
+std::optional<std::size_t> transient_end(std::span<const double> signal,
+                                         const TransientOptions& options = {});
+
+/// MSER-5 (Marginal Standard Error Rule) truncation point: the prefix length
+/// d minimizing the half-width of the confidence interval of the truncated
+/// mean. A standard alternative estimator; exposed for cross-checking.
+std::size_t mser_truncation(std::span<const double> signal,
+                            std::size_t batch = 5);
+
+}  // namespace cavenet::analysis
+
+#endif  // CAVENET_ANALYSIS_TRANSIENT_H

@@ -1,0 +1,67 @@
+#include "app/cbr.h"
+
+#include <stdexcept>
+
+namespace cavenet::app {
+
+CbrSource::CbrSource(netsim::Simulator& sim, netsim::NetworkLayer& network,
+                     CbrParams params, FlowMetrics* metrics)
+    : sim_(&sim), network_(&network), params_(params), metrics_(metrics) {
+  if (params_.packets_per_second <= 0.0) {
+    throw std::invalid_argument("CBR rate must be > 0");
+  }
+  if (params_.stop < params_.start) {
+    throw std::invalid_argument("CBR stop precedes start");
+  }
+  interval_ = SimTime::from_seconds(1.0 / params_.packets_per_second);
+}
+
+void CbrSource::start() {
+  const SimTime delay = params_.start > sim_->now()
+                            ? params_.start - sim_->now()
+                            : SimTime::zero();
+  sim_->schedule(delay, [this] { send_one(); });
+}
+
+void CbrSource::send_one() {
+  if (sim_->now() >= params_.stop) return;
+  netsim::Packet packet(params_.payload_bytes);
+  UdpHeader header;
+  header.src_port = params_.src_port;
+  header.dst_port = params_.dst_port;
+  header.seq = seq_++;
+  header.sent_at = sim_->now();
+  packet.push(header);
+  if (metrics_ != nullptr) {
+    metrics_->on_sent(sim_->now(), params_.payload_bytes);
+  }
+  network_->send(std::move(packet), params_.destination);
+  sim_->schedule(interval_, [this] { send_one(); });
+}
+
+PacketSink::PacketSink(netsim::Simulator& sim, netsim::NetworkLayer& network,
+                       std::uint16_t port)
+    : sim_(&sim), port_(port) {
+  network.set_deliver_callback(
+      [this](netsim::Packet packet, netsim::NodeId source) {
+        on_deliver(std::move(packet), source);
+      });
+}
+
+void PacketSink::track_source(netsim::NodeId source, FlowMetrics* metrics) {
+  flows_[source] = metrics;
+}
+
+void PacketSink::on_deliver(netsim::Packet packet, netsim::NodeId source) {
+  const UdpHeader* header = packet.peek<UdpHeader>();
+  if (header == nullptr || header->dst_port != port_) return;
+  ++received_;
+  const UdpHeader udp = packet.pop<UdpHeader>();
+  if (const auto it = flows_.find(source);
+      it != flows_.end() && it->second != nullptr) {
+    it->second->on_received(sim_->now(), udp.sent_at, packet.payload_bytes());
+  }
+  if (hook_) hook_(source, udp, packet.payload_bytes());
+}
+
+}  // namespace cavenet::app

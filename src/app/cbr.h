@@ -1,0 +1,86 @@
+// Constant-bit-rate traffic source and packet sink (Table I: 5 packets/s,
+// 512-byte payloads, deterministic source/destination).
+#ifndef CAVENET_APP_CBR_H
+#define CAVENET_APP_CBR_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "app/flow_metrics.h"
+#include "app/udp.h"
+#include "netsim/layers.h"
+#include "netsim/simulator.h"
+
+namespace cavenet::app {
+
+struct CbrParams {
+  netsim::NodeId destination = 0;
+  std::uint16_t dst_port = 9;
+  std::uint16_t src_port = 49152;
+  double packets_per_second = 5.0;
+  std::size_t payload_bytes = 512;
+  SimTime start = SimTime::seconds(10);
+  SimTime stop = SimTime::seconds(90);
+};
+
+/// Sends fixed-size packets at a fixed rate through a network layer.
+class CbrSource {
+ public:
+  CbrSource(netsim::Simulator& sim, netsim::NetworkLayer& network,
+            CbrParams params, FlowMetrics* metrics = nullptr);
+
+  CbrSource(const CbrSource&) = delete;
+  CbrSource& operator=(const CbrSource&) = delete;
+
+  /// Schedules the start/stop events. Call once after construction.
+  void start();
+
+  std::uint32_t packets_sent() const noexcept { return seq_; }
+  const CbrParams& params() const noexcept { return params_; }
+
+ private:
+  void send_one();
+
+  netsim::Simulator* sim_;
+  netsim::NetworkLayer* network_;
+  CbrParams params_;
+  FlowMetrics* metrics_;
+  std::uint32_t seq_ = 0;
+  SimTime interval_;
+};
+
+/// Receives packets delivered by a network layer, filters on destination
+/// port, and feeds per-source metrics.
+class PacketSink {
+ public:
+  /// Registers itself as the network layer's deliver callback.
+  PacketSink(netsim::Simulator& sim, netsim::NetworkLayer& network,
+             std::uint16_t port);
+
+  PacketSink(const PacketSink&) = delete;
+  PacketSink& operator=(const PacketSink&) = delete;
+
+  /// Routes metrics for packets from `source` to `metrics`.
+  void track_source(netsim::NodeId source, FlowMetrics* metrics);
+
+  /// Optional extra hook invoked per delivered packet.
+  using PacketHook =
+      std::function<void(netsim::NodeId source, const UdpHeader&, std::size_t)>;
+  void set_packet_hook(PacketHook hook) { hook_ = std::move(hook); }
+
+  std::uint64_t packets_received() const noexcept { return received_; }
+
+ private:
+  void on_deliver(netsim::Packet packet, netsim::NodeId source);
+
+  netsim::Simulator* sim_;
+  std::uint16_t port_;
+  std::map<netsim::NodeId, FlowMetrics*> flows_;
+  PacketHook hook_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace cavenet::app
+
+#endif  // CAVENET_APP_CBR_H

@@ -1,0 +1,53 @@
+#include "app/flow_metrics.h"
+
+#include <algorithm>
+
+namespace cavenet::app {
+
+void FlowMetrics::on_sent(SimTime now, std::size_t payload_bytes) {
+  (void)payload_bytes;
+  ++tx_packets_;
+  first_tx_ = std::min(first_tx_, now);
+}
+
+void FlowMetrics::on_received(SimTime now, SimTime sent_at,
+                              std::size_t payload_bytes) {
+  ++rx_packets_;
+  rx_bytes_ += payload_bytes;
+  first_rx_ = std::min(first_rx_, now);
+  const double delay = (now - sent_at).sec();
+  delay_sum_s_ += delay;
+  max_delay_s_ = std::max(max_delay_s_, delay);
+  const auto bin = static_cast<std::size_t>(now / bin_);
+  if (bin_bytes_.size() <= bin) bin_bytes_.resize(bin + 1, 0);
+  bin_bytes_[bin] += payload_bytes;
+}
+
+double FlowMetrics::pdr() const noexcept {
+  return tx_packets_ > 0
+             ? static_cast<double>(rx_packets_) / static_cast<double>(tx_packets_)
+             : 0.0;
+}
+
+double FlowMetrics::mean_delay_s() const noexcept {
+  return rx_packets_ > 0 ? delay_sum_s_ / static_cast<double>(rx_packets_)
+                         : 0.0;
+}
+
+double FlowMetrics::first_delivery_delay_s() const noexcept {
+  if (first_rx_ == SimTime::max() || first_tx_ == SimTime::max()) return -1.0;
+  return (first_rx_ - first_tx_).sec();
+}
+
+std::vector<double> FlowMetrics::goodput_bps(SimTime horizon) const {
+  const auto bins = static_cast<std::size_t>(horizon / bin_) +
+                    ((horizon.ns() % bin_.ns()) != 0 ? 1 : 0);
+  std::vector<double> out(bins, 0.0);
+  const double bin_s = bin_.sec();
+  for (std::size_t i = 0; i < std::min(bins, bin_bytes_.size()); ++i) {
+    out[i] = static_cast<double>(bin_bytes_[i]) * 8.0 / bin_s;
+  }
+  return out;
+}
+
+}  // namespace cavenet::app

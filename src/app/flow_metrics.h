@@ -1,0 +1,54 @@
+// Per-flow metrics: goodput time series, packet delivery ratio, delay —
+// the evaluation metrics of the paper's Section IV-C (Figs. 8-11).
+#ifndef CAVENET_APP_FLOW_METRICS_H
+#define CAVENET_APP_FLOW_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace cavenet::app {
+
+class FlowMetrics {
+ public:
+  /// `bin` is the goodput binning interval (the paper plots per-second
+  /// goodput surfaces).
+  explicit FlowMetrics(SimTime bin = SimTime::seconds(1)) : bin_(bin) {}
+
+  void on_sent(SimTime now, std::size_t payload_bytes);
+  void on_received(SimTime now, SimTime sent_at, std::size_t payload_bytes);
+
+  std::uint64_t tx_packets() const noexcept { return tx_packets_; }
+  std::uint64_t rx_packets() const noexcept { return rx_packets_; }
+  std::uint64_t rx_bytes() const noexcept { return rx_bytes_; }
+
+  /// Packet delivery ratio in [0, 1]; 0 when nothing was sent.
+  double pdr() const noexcept;
+  /// Mean end-to-end delay in seconds over delivered packets.
+  double mean_delay_s() const noexcept;
+  /// Maximum end-to-end delay in seconds.
+  double max_delay_s() const noexcept { return max_delay_s_; }
+  /// Time of the first delivery minus time of the first send: the paper's
+  /// route-acquisition delay proxy. Negative when nothing arrived.
+  double first_delivery_delay_s() const noexcept;
+
+  /// Application-payload goodput per bin, bits/second. The series covers
+  /// [0, horizon); bins after the last delivery are zero.
+  std::vector<double> goodput_bps(SimTime horizon) const;
+
+ private:
+  SimTime bin_;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+  double delay_sum_s_ = 0.0;
+  double max_delay_s_ = 0.0;
+  SimTime first_tx_ = SimTime::max();
+  SimTime first_rx_ = SimTime::max();
+  std::vector<std::uint64_t> bin_bytes_;
+};
+
+}  // namespace cavenet::app
+
+#endif  // CAVENET_APP_FLOW_METRICS_H

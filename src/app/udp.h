@@ -1,0 +1,27 @@
+// Minimal UDP-like application header. The wire size is the real UDP
+// header (8 bytes); sequence number and send timestamp model fields the
+// application writes into its payload (ns-2's CBR/RTP does the same), so
+// they do not add to the packet size.
+#ifndef CAVENET_APP_UDP_H
+#define CAVENET_APP_UDP_H
+
+#include <cstdint>
+
+#include "netsim/packet.h"
+#include "util/sim_time.h"
+
+namespace cavenet::app {
+
+struct UdpHeader final : netsim::HeaderBase<UdpHeader> {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  SimTime sent_at = SimTime::zero();
+
+  std::size_t size_bytes() const override { return 8; }
+  std::string name() const override { return "udp"; }
+};
+
+}  // namespace cavenet::app
+
+#endif  // CAVENET_APP_UDP_H

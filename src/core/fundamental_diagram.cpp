@@ -1,0 +1,67 @@
+#include "core/fundamental_diagram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/stats.h"
+#include "core/nas_lane.h"
+
+namespace cavenet::ca {
+
+std::vector<FundamentalDiagramPoint> fundamental_diagram(
+    const FundamentalDiagramOptions& options) {
+  options.params.validate();
+  std::vector<FundamentalDiagramPoint> out;
+  out.reserve(options.densities.size());
+
+  for (std::size_t d = 0; d < options.densities.size(); ++d) {
+    const double rho = options.densities[d];
+    const auto n = static_cast<std::int64_t>(std::llround(
+        rho * static_cast<double>(options.params.lane_length)));
+    analysis::RunningStats flow_over_trials;
+    analysis::RunningStats velocity_over_trials;
+    for (std::int64_t trial = 0; trial < options.trials; ++trial) {
+      Rng rng(options.seed, (static_cast<std::uint64_t>(d) << 32) |
+                                static_cast<std::uint64_t>(trial));
+      NasLane lane(options.params, std::max<std::int64_t>(n, 0),
+                   InitialPlacement::kRandom, rng);
+      lane.run(options.warmup);
+      analysis::RunningStats flow_over_time;
+      analysis::RunningStats velocity_over_time;
+      for (std::int64_t it = 0; it < options.iterations; ++it) {
+        lane.step();
+        flow_over_time.add(lane.flow());
+        velocity_over_time.add(lane.average_velocity());
+      }
+      flow_over_trials.add(flow_over_time.mean());
+      velocity_over_trials.add(velocity_over_time.mean());
+    }
+    FundamentalDiagramPoint point;
+    point.density = rho;
+    point.flow = flow_over_trials.mean();
+    point.flow_stddev = flow_over_trials.stddev();
+    point.mean_velocity = velocity_over_trials.mean();
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<double> density_ladder(std::int64_t lane_length, double max_density,
+                                   std::size_t points) {
+  std::vector<double> out;
+  out.reserve(points);
+  const double min_density = 1.0 / static_cast<double>(lane_length);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = points > 1
+                         ? static_cast<double>(i) / static_cast<double>(points - 1)
+                         : 0.0;
+    out.push_back(min_density + t * (max_density - min_density));
+  }
+  return out;
+}
+
+double deterministic_flow(double density, std::int32_t v_max) noexcept {
+  return std::min(static_cast<double>(v_max) * density, 1.0 - density);
+}
+
+}  // namespace cavenet::ca

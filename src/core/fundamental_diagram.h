@@ -1,0 +1,45 @@
+// Fundamental-diagram sweeps (paper Fig. 4): flow J = rho * v_bar as a
+// function of density rho, ensemble-averaged over Monte-Carlo trials.
+#ifndef CAVENET_CORE_FUNDAMENTAL_DIAGRAM_H
+#define CAVENET_CORE_FUNDAMENTAL_DIAGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+
+namespace cavenet::ca {
+
+struct FundamentalDiagramOptions {
+  NasParams params;                 ///< lane_length, v_max, slowdown_p, ...
+  std::vector<double> densities;    ///< rho values to sweep
+  std::int64_t iterations = 500;    ///< steps per trial (paper: 500)
+  std::int64_t trials = 20;         ///< Monte-Carlo trials per point (paper: 20)
+  std::int64_t warmup = 0;          ///< steps discarded before averaging
+  std::uint64_t seed = 1;
+};
+
+struct FundamentalDiagramPoint {
+  double density = 0.0;         ///< rho
+  double flow = 0.0;            ///< ensemble/time-averaged J
+  double flow_stddev = 0.0;     ///< across trials
+  double mean_velocity = 0.0;   ///< cells/step
+};
+
+/// Runs the sweep. Each (density, trial) pair gets an independent seeded
+/// RNG stream, so results are reproducible and trial-order independent.
+std::vector<FundamentalDiagramPoint> fundamental_diagram(
+    const FundamentalDiagramOptions& options);
+
+/// Densities 1/L, ..., up to `max_density` in `points` even steps —
+/// convenience for the Fig. 4 sweep.
+std::vector<double> density_ladder(std::int64_t lane_length, double max_density,
+                                   std::size_t points);
+
+/// Closed-form flow of the *deterministic* (p = 0) NaS model in steady
+/// state: J(rho) = min(v_max * rho, 1 - rho). Used by tests as ground truth.
+double deterministic_flow(double density, std::int32_t v_max) noexcept;
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_FUNDAMENTAL_DIAGRAM_H

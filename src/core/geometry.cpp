@@ -1,0 +1,52 @@
+#include "core/geometry.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cavenet::ca {
+
+LineGeometry::LineGeometry(double length_m, LaneTransform transform)
+    : length_m_(length_m), transform_(transform) {
+  if (length_m <= 0.0) throw std::invalid_argument("lane length must be > 0");
+}
+
+Vec2 LineGeometry::position(double arc_m) const {
+  return transform_.apply({arc_m, 0.0});
+}
+
+Vec2 LineGeometry::heading(double arc_m) const {
+  (void)arc_m;
+  const Vec2 d = transform_.apply_direction({1.0, 0.0});
+  const double n = d.norm();
+  return n > 0.0 ? d * (1.0 / n) : Vec2{1.0, 0.0};
+}
+
+CircuitGeometry::CircuitGeometry(double length_m, Vec2 center)
+    : length_m_(length_m),
+      radius_(length_m / (2.0 * std::numbers::pi)),
+      center_(center) {
+  if (length_m <= 0.0) throw std::invalid_argument("lane length must be > 0");
+}
+
+Vec2 CircuitGeometry::position(double arc_m) const {
+  const double theta = arc_m / radius_;
+  return {center_.x + radius_ * std::cos(theta),
+          center_.y + radius_ * std::sin(theta)};
+}
+
+Vec2 CircuitGeometry::heading(double arc_m) const {
+  const double theta = arc_m / radius_;
+  return {-std::sin(theta), std::cos(theta)};
+}
+
+std::unique_ptr<LaneGeometry> make_line(double length_m,
+                                        LaneTransform transform) {
+  return std::make_unique<LineGeometry>(length_m, transform);
+}
+
+std::unique_ptr<LaneGeometry> make_circuit(double length_m, Vec2 center) {
+  return std::make_unique<CircuitGeometry>(length_m, center);
+}
+
+}  // namespace cavenet::ca

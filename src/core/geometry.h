@@ -1,0 +1,76 @@
+// Lane geometries: how the 1-D cell coordinate maps into the plane.
+//
+// The paper's "improvement" is exactly this mapping: the first CAVENET laid
+// the lane out as a straight line, so the head and tail vehicles were far
+// apart in space and could not communicate across the wrap-around; the
+// improved version maps the closed lane onto a circle (Table I:
+// "Simulation Area: 3000 m Circuit"), making the wrap spatially continuous.
+#ifndef CAVENET_CORE_GEOMETRY_H
+#define CAVENET_CORE_GEOMETRY_H
+
+#include <memory>
+
+#include "core/lane_transform.h"
+#include "util/vec2.h"
+
+namespace cavenet::ca {
+
+/// Maps arc length along a lane (metres, in [0, length_m)) to the plane.
+class LaneGeometry {
+ public:
+  virtual ~LaneGeometry() = default;
+
+  /// Plane position of the point `arc_m` metres along the lane.
+  virtual Vec2 position(double arc_m) const = 0;
+  /// Unit heading (direction of travel) at `arc_m`.
+  virtual Vec2 heading(double arc_m) const = 0;
+  /// Total lane length in metres.
+  virtual double length_m() const = 0;
+  /// Whether position(length_m()) coincides with position(0): circular
+  /// geometries are continuous across the wrap, straight lines are not.
+  virtual bool wrap_continuous() const = 0;
+};
+
+/// Straight horizontal lane from (0,0) to (length, 0), then an affine
+/// lane transformation (paper Section III-D).
+class LineGeometry final : public LaneGeometry {
+ public:
+  LineGeometry(double length_m, LaneTransform transform = {});
+
+  Vec2 position(double arc_m) const override;
+  Vec2 heading(double arc_m) const override;
+  double length_m() const override { return length_m_; }
+  bool wrap_continuous() const override { return false; }
+
+ private:
+  double length_m_;
+  LaneTransform transform_;
+};
+
+/// Lane bent onto a circle of circumference length_m, centred at `center`,
+/// traversed counter-clockwise starting at angle 0 (east).
+class CircuitGeometry final : public LaneGeometry {
+ public:
+  CircuitGeometry(double length_m, Vec2 center = {});
+
+  Vec2 position(double arc_m) const override;
+  Vec2 heading(double arc_m) const override;
+  double length_m() const override { return length_m_; }
+  bool wrap_continuous() const override { return true; }
+
+  double radius() const noexcept { return radius_; }
+
+ private:
+  double length_m_;
+  double radius_;
+  Vec2 center_;
+};
+
+/// Convenience factories.
+std::unique_ptr<LaneGeometry> make_line(double length_m,
+                                        LaneTransform transform = {});
+std::unique_ptr<LaneGeometry> make_circuit(double length_m, Vec2 center = {});
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_GEOMETRY_H

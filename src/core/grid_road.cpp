@@ -1,0 +1,93 @@
+#include "core/grid_road.h"
+
+#include <stdexcept>
+
+#include "core/geometry.h"
+
+namespace cavenet::ca {
+
+GridRoad::GridRoad(const GridRoadConfig& config) : config_(config) {
+  if (config.horizontal_lanes <= 0 || config.vertical_lanes <= 0 ||
+      config.block_cells <= 0 || config.green_period_steps <= 0) {
+    throw std::invalid_argument("grid dimensions must be positive");
+  }
+
+  // Horizontal lane length spans all vertical crossings; vice versa.
+  NasParams h_params;
+  h_params.lane_length = config.vertical_lanes * config.block_cells;
+  h_params.slowdown_p = config.slowdown_p;
+  NasParams v_params;
+  v_params.lane_length = config.horizontal_lanes * config.block_cells;
+  v_params.slowdown_p = config.slowdown_p;
+
+  const double block_m = static_cast<double>(config.block_cells) * 7.5;
+  std::uint64_t stream = 1;
+  for (std::int32_t i = 0; i < config.horizontal_lanes; ++i) {
+    // West->east at y = i * block.
+    road_.add_lane(
+        NasLane(h_params, config.vehicles_per_lane, InitialPlacement::kRandom,
+                Rng(config.seed, stream++)),
+        make_line(h_params.lane_length_m(),
+                  LaneTransform::translation(0.0, static_cast<double>(i) *
+                                                      block_m)));
+  }
+  for (std::int32_t j = 0; j < config.vertical_lanes; ++j) {
+    // South->north at x = j * block (the paper's swap-axes transform).
+    road_.add_lane(
+        NasLane(v_params, config.vehicles_per_lane, InitialPlacement::kRandom,
+                Rng(config.seed, stream++)),
+        make_line(v_params.lane_length_m(),
+                  LaneTransform::translation(
+                      static_cast<double>(j) * block_m, 0.0) *
+                      LaneTransform::swap_axes()));
+  }
+  apply_signals(road_);
+  time_step_ = 0;  // the constructor's signal setup is not a step
+}
+
+bool GridRoad::horizontal_green() const noexcept {
+  return (time_step_ / config_.green_period_steps) % 2 == 0;
+}
+
+double GridRoad::width_m() const noexcept {
+  return static_cast<double>(config_.vertical_lanes * config_.block_cells) * 7.5;
+}
+
+double GridRoad::height_m() const noexcept {
+  return static_cast<double>(config_.horizontal_lanes * config_.block_cells) *
+         7.5;
+}
+
+void GridRoad::apply_signals(Road& road) {
+  const bool h_green = horizontal_green();
+  // Horizontal lane i crosses vertical lane j at cell j*block on lane i,
+  // and at cell i*block on lane j.
+  for (std::int32_t i = 0; i < config_.horizontal_lanes; ++i) {
+    NasLane& lane = road.lane(static_cast<std::size_t>(i));
+    for (std::int32_t j = 0; j < config_.vertical_lanes; ++j) {
+      const std::int64_t cell = static_cast<std::int64_t>(j) * config_.block_cells;
+      if (h_green) lane.unblock_cell(cell);
+      else lane.block_cell(cell);
+    }
+  }
+  for (std::int32_t j = 0; j < config_.vertical_lanes; ++j) {
+    NasLane& lane = road.lane(
+        static_cast<std::size_t>(config_.horizontal_lanes + j));
+    for (std::int32_t i = 0; i < config_.horizontal_lanes; ++i) {
+      const std::int64_t cell = static_cast<std::int64_t>(i) * config_.block_cells;
+      if (h_green) lane.block_cell(cell);
+      else lane.unblock_cell(cell);
+    }
+  }
+  ++time_step_;
+}
+
+void GridRoad::step() {
+  // apply_signals advances the phase clock; Road::step moves the vehicles.
+  // (When the trace generator drives stepping, it calls apply_signals via
+  // pre_step and Road::step itself.)
+  apply_signals(road_);
+  road_.step();
+}
+
+}  // namespace cavenet::ca

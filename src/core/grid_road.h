@@ -1,0 +1,61 @@
+// Manhattan-grid urban road network — the "environments" extension from
+// the paper's future work, composed from the building blocks the paper
+// defines: straight lanes placed by affine transformations (Section III-D)
+// and crosspoints as lane bottlenecks (Section III).
+//
+// n_h horizontal (west-east) and n_v vertical (south-north) lanes cross at
+// every (i, j) block corner. A two-phase signal plan alternates the right
+// of way: all horizontal lanes green, then all vertical lanes, blocking
+// the red lanes' crossing cells via the CA's virtual obstacles.
+#ifndef CAVENET_CORE_GRID_ROAD_H
+#define CAVENET_CORE_GRID_ROAD_H
+
+#include <cstdint>
+
+#include "core/road.h"
+
+namespace cavenet::ca {
+
+struct GridRoadConfig {
+  std::int32_t horizontal_lanes = 3;
+  std::int32_t vertical_lanes = 3;
+  /// Cells between adjacent crossings (40 cells x 7.5 m = 300 m blocks).
+  std::int64_t block_cells = 40;
+  std::int64_t vehicles_per_lane = 10;
+  double slowdown_p = 0.3;
+  /// Steps of green per phase.
+  std::int64_t green_period_steps = 20;
+  std::uint64_t seed = 1;
+};
+
+class GridRoad {
+ public:
+  /// Throws on non-positive dimensions or an overfull lane.
+  explicit GridRoad(const GridRoadConfig& config);
+
+  /// Updates the signal phase, then advances every lane one step.
+  void step();
+  /// Signal update only — pass as TraceGeneratorOptions::pre_step when the
+  /// trace generator drives the stepping.
+  void apply_signals(Road& road);
+
+  Road& road() noexcept { return road_; }
+  const Road& road() const noexcept { return road_; }
+  std::int64_t time_step() const noexcept { return time_step_; }
+  /// True while the horizontal lanes hold the right of way.
+  bool horizontal_green() const noexcept;
+  std::size_t vehicle_count() const noexcept { return road_.vehicle_count(); }
+
+  /// Total grid extent in metres (horizontal lanes run this long).
+  double width_m() const noexcept;
+  double height_m() const noexcept;
+
+ private:
+  GridRoadConfig config_;
+  Road road_;
+  std::int64_t time_step_ = 0;
+};
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_GRID_ROAD_H

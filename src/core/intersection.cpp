@@ -1,0 +1,75 @@
+#include "core/intersection.h"
+
+#include <stdexcept>
+
+namespace cavenet::ca {
+
+Intersection::Intersection(NasLane& lane_a, NasLane& lane_b,
+                           IntersectionConfig config)
+    : lane_a_(&lane_a), lane_b_(&lane_b), config_(config) {
+  if (config.cell_a < 0 || config.cell_a >= lane_a.params().lane_length ||
+      config.cell_b < 0 || config.cell_b >= lane_b.params().lane_length) {
+    throw std::invalid_argument("crossing cell outside lane");
+  }
+  if (config.clearance_cells < 0 || config.green_period_steps <= 0) {
+    throw std::invalid_argument("bad intersection timing parameters");
+  }
+}
+
+bool Intersection::lane_a_vehicle_near_crossing() const {
+  const std::int64_t length = lane_a_->params().lane_length;
+  for (const Vehicle& v : lane_a_->vehicles()) {
+    // Upstream distance from the vehicle to the crossing (circular).
+    std::int64_t ahead = config_.cell_a - v.cell;
+    if (ahead < 0) ahead += length;
+    if (ahead <= config_.clearance_cells) return true;
+  }
+  return false;
+}
+
+void Intersection::apply_policy() {
+  switch (config_.policy) {
+    case IntersectionPolicy::kPriorityToFirst: {
+      a_green_ = true;
+      const bool hold_b = lane_a_vehicle_near_crossing();
+      if (hold_b) {
+        lane_b_->block_cell(config_.cell_b);
+      } else {
+        lane_b_->unblock_cell(config_.cell_b);
+      }
+      lane_a_->unblock_cell(config_.cell_a);
+      break;
+    }
+    case IntersectionPolicy::kTrafficLight: {
+      a_green_ = (time_step_ / config_.green_period_steps) % 2 == 0;
+      if (a_green_) {
+        lane_a_->unblock_cell(config_.cell_a);
+        lane_b_->block_cell(config_.cell_b);
+      } else {
+        lane_a_->block_cell(config_.cell_a);
+        lane_b_->unblock_cell(config_.cell_b);
+      }
+      break;
+    }
+  }
+}
+
+void Intersection::step() {
+  apply_policy();
+  lane_a_->step();
+  lane_b_->step();
+  ++time_step_;
+}
+
+bool Intersection::conflict() const {
+  bool a_on = false, b_on = false;
+  for (const Vehicle& v : lane_a_->vehicles()) {
+    if (v.cell == config_.cell_a) a_on = true;
+  }
+  for (const Vehicle& v : lane_b_->vehicles()) {
+    if (v.cell == config_.cell_b) b_on = true;
+  }
+  return a_on && b_on;
+}
+
+}  // namespace cavenet::ca

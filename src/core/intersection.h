@@ -1,0 +1,70 @@
+// Lane intersections — the second lane parameter of paper Section III
+// ("The intersection of lanes ... affects the traffic behaviour on the
+// whole lane, because the crosspoint is the bottleneck for the lane"),
+// which the paper explicitly leaves out of scope. Implemented here as an
+// extension via the CA's virtual-obstacle mechanism.
+//
+// Two lanes share a physical conflict point at (cell_a on lane A,
+// cell_b on lane B). A controller decides which lane may cross:
+//  * kPriorityToFirst — lane B yields (a stop sign): B's crossing cell is
+//    blocked whenever a lane-A vehicle is within the clearance window of
+//    the crosspoint;
+//  * kTrafficLight — the right-of-way alternates with a fixed period,
+//    blocking the red lane's crossing cell.
+#ifndef CAVENET_CORE_INTERSECTION_H
+#define CAVENET_CORE_INTERSECTION_H
+
+#include <cstdint>
+
+#include "core/nas_lane.h"
+
+namespace cavenet::ca {
+
+enum class IntersectionPolicy {
+  kPriorityToFirst,
+  kTrafficLight,
+};
+
+struct IntersectionConfig {
+  std::int64_t cell_a = 0;  ///< crossing site on lane A
+  std::int64_t cell_b = 0;  ///< crossing site on lane B
+  IntersectionPolicy policy = IntersectionPolicy::kPriorityToFirst;
+  /// kPriorityToFirst: lane B yields while a lane-A vehicle is within this
+  /// many cells upstream of (or on) the crosspoint.
+  std::int64_t clearance_cells = 6;
+  /// kTrafficLight: steps of green per lane before switching.
+  std::int64_t green_period_steps = 20;
+};
+
+/// Couples two lanes at a crosspoint and advances them under the chosen
+/// right-of-way policy. The lanes are owned elsewhere; the intersection
+/// only toggles their blocked cells before each step.
+class Intersection {
+ public:
+  /// Throws if a crossing cell lies outside its lane.
+  Intersection(NasLane& lane_a, NasLane& lane_b, IntersectionConfig config);
+
+  /// Applies the policy, then steps both lanes once.
+  void step();
+
+  std::int64_t time_step() const noexcept { return time_step_; }
+  /// True when lane A currently holds the right of way.
+  bool lane_a_has_right_of_way() const noexcept { return a_green_; }
+  /// Conflict check: both crossing cells occupied at once (never true
+  /// under a correct policy; exposed for tests).
+  bool conflict() const;
+
+ private:
+  void apply_policy();
+  bool lane_a_vehicle_near_crossing() const;
+
+  NasLane* lane_a_;
+  NasLane* lane_b_;
+  IntersectionConfig config_;
+  bool a_green_ = true;
+  std::int64_t time_step_ = 0;
+};
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_INTERSECTION_H

@@ -1,0 +1,120 @@
+#include "core/lane_statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cavenet::ca {
+
+LaneSnapshotStats snapshot_stats(const NasLane& lane) {
+  LaneSnapshotStats stats;
+  const auto vehicles = lane.vehicles();
+  if (vehicles.empty()) return stats;
+  const auto n = vehicles.size();
+
+  double v_sum = 0.0, v_sq = 0.0, gap_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vehicle& v = vehicles[i];
+    v_sum += v.velocity;
+    v_sq += static_cast<double>(v.velocity) * v.velocity;
+    if (v.velocity == 0) ++stats.stopped;
+    // Gap to the vehicle ahead (circular).
+    const std::int64_t next_cell =
+        i + 1 < n ? vehicles[i + 1].cell
+                  : vehicles[0].cell + lane.params().lane_length;
+    const auto gap = static_cast<double>(next_cell - v.cell - 1);
+    gap_sum += gap;
+    stats.max_gap = std::max(stats.max_gap, gap);
+  }
+  const auto dn = static_cast<double>(n);
+  stats.mean_velocity = v_sum / dn;
+  stats.velocity_stddev =
+      n > 1 ? std::sqrt(std::max(0.0, v_sq / dn - stats.mean_velocity *
+                                                      stats.mean_velocity))
+            : 0.0;
+  stats.mean_gap = gap_sum / dn;
+
+  // Jam clusters: maximal runs of stopped vehicles with gap 0 between
+  // consecutive members (circular).
+  std::size_t clusters = 0;
+  auto stopped_and_adjacent = [&](std::size_t i) {
+    const Vehicle& me = vehicles[i];
+    const std::size_t prev = (i + n - 1) % n;
+    const std::int64_t prev_next_cell =
+        prev + 1 < n ? vehicles[prev + 1].cell
+                     : vehicles[0].cell + lane.params().lane_length;
+    const std::int64_t prev_gap = prev_next_cell - vehicles[prev].cell - 1;
+    return me.velocity == 0 && vehicles[prev].velocity == 0 && prev_gap == 0;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (vehicles[i].velocity == 0 && !stopped_and_adjacent(i)) ++clusters;
+  }
+  // Full ring of stopped vehicles: the loop finds 0 cluster starts.
+  if (clusters == 0 && stats.stopped == n && n > 0) clusters = 1;
+  stats.jam_clusters = clusters;
+  return stats;
+}
+
+LaneStatistics::LaneStatistics(const NasParams& params) : params_(params) {
+  gap_counts_.assign(static_cast<std::size_t>(params.lane_length) + 1, 0);
+  velocity_counts_.assign(static_cast<std::size_t>(params.v_max) + 1, 0);
+}
+
+void LaneStatistics::record(const NasLane& lane) {
+  const auto vehicles = lane.vehicles();
+  const auto n = vehicles.size();
+  std::vector<std::int64_t> gaps;
+  gaps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t next_cell =
+        i + 1 < n ? vehicles[i + 1].cell
+                  : vehicles[0].cell + params_.lane_length;
+    const std::int64_t gap = next_cell - vehicles[i].cell - 1;
+    gaps.push_back(gap);
+    ++gap_counts_[static_cast<std::size_t>(
+        std::clamp<std::int64_t>(gap, 0, params_.lane_length))];
+    ++total_gaps_;
+    ++velocity_counts_[static_cast<std::size_t>(
+        std::clamp<std::int32_t>(vehicles[i].velocity, 0, params_.v_max))];
+    ++total_vehicles_;
+  }
+  sample_gaps_.push_back(std::move(gaps));
+  jam_cluster_sum_ += snapshot_stats(lane).jam_clusters;
+  ++samples_;
+}
+
+double LaneStatistics::gap_exceedance(std::int64_t g_cells) const {
+  if (total_gaps_ == 0) return 0.0;
+  std::uint64_t count = 0;
+  for (std::size_t g = static_cast<std::size_t>(std::max<std::int64_t>(g_cells, 0));
+       g < gap_counts_.size(); ++g) {
+    count += gap_counts_[g];
+  }
+  return static_cast<double>(count) / static_cast<double>(total_gaps_);
+}
+
+double LaneStatistics::multi_gap_fraction(std::int64_t g_cells,
+                                          std::size_t k) const {
+  if (sample_gaps_.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& gaps : sample_gaps_) {
+    const auto big = static_cast<std::size_t>(
+        std::count_if(gaps.begin(), gaps.end(),
+                      [&](std::int64_t g) { return g >= g_cells; }));
+    if (big >= k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(sample_gaps_.size());
+}
+
+double LaneStatistics::velocity_probability(std::int32_t v) const {
+  if (total_vehicles_ == 0 || v < 0 || v > params_.v_max) return 0.0;
+  return static_cast<double>(velocity_counts_[static_cast<std::size_t>(v)]) /
+         static_cast<double>(total_vehicles_);
+}
+
+double LaneStatistics::mean_jam_clusters() const {
+  return samples_ > 0
+             ? static_cast<double>(jam_cluster_sum_) / static_cast<double>(samples_)
+             : 0.0;
+}
+
+}  // namespace cavenet::ca

@@ -1,0 +1,68 @@
+// Behavioural-Analyzer statistics beyond the average velocity: headway
+// (gap) and velocity distributions, jam cluster counts.
+//
+// The gap distribution is the link between the mobility model and network
+// connectivity: a gap longer than the radio range is a broken link, and a
+// ring is partitioned once two such gaps coexist (paper Fig. 1 / our
+// Table-I parameter discussion).
+#ifndef CAVENET_CORE_LANE_STATISTICS_H
+#define CAVENET_CORE_LANE_STATISTICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nas_lane.h"
+
+namespace cavenet::ca {
+
+/// Snapshot statistics of one lane configuration.
+struct LaneSnapshotStats {
+  double mean_velocity = 0.0;     ///< cells/step
+  double velocity_stddev = 0.0;
+  double mean_gap = 0.0;          ///< cells
+  double max_gap = 0.0;           ///< cells
+  /// Number of jam clusters: maximal runs of stopped (v = 0) vehicles
+  /// with bumper-to-bumper spacing.
+  std::size_t jam_clusters = 0;
+  /// Vehicles currently stopped.
+  std::size_t stopped = 0;
+};
+
+/// Computes snapshot statistics from the lane's current configuration.
+LaneSnapshotStats snapshot_stats(const NasLane& lane);
+
+/// Accumulates distributions over many steps of a lane's evolution.
+class LaneStatistics {
+ public:
+  /// `gap_bins`/`velocity_bins`: histogram resolution.
+  explicit LaneStatistics(const NasParams& params);
+
+  /// Records the lane's current configuration.
+  void record(const NasLane& lane);
+
+  std::size_t samples() const noexcept { return samples_; }
+
+  /// P(gap >= g cells) over all recorded vehicle gaps.
+  double gap_exceedance(std::int64_t g_cells) const;
+  /// Fraction of recorded samples in which at least `k` gaps were >= g.
+  /// k = 2 with g = range/cell is the ring-partition probability.
+  double multi_gap_fraction(std::int64_t g_cells, std::size_t k) const;
+  /// Velocity distribution: P(v == value).
+  double velocity_probability(std::int32_t v) const;
+  /// Mean number of jam clusters per sample.
+  double mean_jam_clusters() const;
+
+ private:
+  NasParams params_;
+  std::vector<std::uint64_t> gap_counts_;       // by gap value (cells)
+  std::vector<std::uint64_t> velocity_counts_;  // by velocity value
+  std::vector<std::vector<std::int64_t>> sample_gaps_;
+  std::uint64_t total_gaps_ = 0;
+  std::uint64_t total_vehicles_ = 0;
+  std::uint64_t jam_cluster_sum_ = 0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_LANE_STATISTICS_H

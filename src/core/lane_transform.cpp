@@ -1,0 +1,13 @@
+#include "core/lane_transform.h"
+
+#include <cmath>
+
+namespace cavenet::ca {
+
+LaneTransform LaneTransform::rotation(double radians) noexcept {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  return {c, -s, 0, s, c, 0};
+}
+
+}  // namespace cavenet::ca

@@ -1,0 +1,86 @@
+// Affine lane transformations (paper Section III-D).
+//
+// Instead of a textual road-description language, CAVENET places each lane
+// in the plane with a 3x3 affine matrix A(k): the absolute coordinates of
+// vehicle i on lane k are X~ = A(k) * (X_i, Y_i, 1)^T.
+#ifndef CAVENET_CORE_LANE_TRANSFORM_H
+#define CAVENET_CORE_LANE_TRANSFORM_H
+
+#include <array>
+
+#include "util/vec2.h"
+
+namespace cavenet::ca {
+
+/// Row-major 3x3 affine transform acting on homogeneous 2-D points.
+class LaneTransform {
+ public:
+  /// Identity transform.
+  constexpr LaneTransform() noexcept
+      : m_{{1, 0, 0, 0, 1, 0, 0, 0, 1}} {}
+
+  /// From the 6 meaningful affine entries
+  /// [ a b tx ]
+  /// [ c d ty ]
+  /// [ 0 0 1  ].
+  constexpr LaneTransform(double a, double b, double tx, double c, double d,
+                          double ty) noexcept
+      : m_{{a, b, tx, c, d, ty, 0, 0, 1}} {}
+
+  static constexpr LaneTransform identity() noexcept { return {}; }
+  static constexpr LaneTransform translation(double dx, double dy) noexcept {
+    return {1, 0, dx, 0, 1, dy};
+  }
+  static constexpr LaneTransform scaling(double sx, double sy) noexcept {
+    return {sx, 0, 0, 0, sy, 0};
+  }
+  /// Counter-clockwise rotation by `radians`.
+  static LaneTransform rotation(double radians) noexcept;
+  /// Reflection across the x axis (used for opposite-direction lanes).
+  static constexpr LaneTransform mirror_x() noexcept {
+    return {1, 0, 0, 0, -1, 0};
+  }
+  /// The paper's example for lane 3: swaps axes and offsets — builds a
+  /// vertical lane at x = XS/2 from a horizontal relative lane.
+  static constexpr LaneTransform swap_axes() noexcept {
+    return {0, 1, 0, 1, 0, 0};
+  }
+
+  /// Applies the transform to a point.
+  constexpr Vec2 apply(Vec2 p) const noexcept {
+    return {m_[0] * p.x + m_[1] * p.y + m_[2],
+            m_[3] * p.x + m_[4] * p.y + m_[5]};
+  }
+
+  /// Applies only the linear part (for velocity vectors — translation must
+  /// not affect directions).
+  constexpr Vec2 apply_direction(Vec2 d) const noexcept {
+    return {m_[0] * d.x + m_[1] * d.y, m_[3] * d.x + m_[4] * d.y};
+  }
+
+  /// Composition: (a * b).apply(p) == a.apply(b.apply(p)).
+  friend constexpr LaneTransform operator*(const LaneTransform& a,
+                                           const LaneTransform& b) noexcept {
+    LaneTransform r(0, 0, 0, 0, 0, 0);
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        double acc = 0.0;
+        for (int k = 0; k < 3; ++k) acc += a.m_[i * 3 + k] * b.m_[k * 3 + j];
+        r.m_[i * 3 + j] = acc;
+      }
+    }
+    return r;
+  }
+
+  friend constexpr bool operator==(const LaneTransform&,
+                                   const LaneTransform&) noexcept = default;
+
+  constexpr const std::array<double, 9>& matrix() const noexcept { return m_; }
+
+ private:
+  std::array<double, 9> m_;
+};
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_LANE_TRANSFORM_H

@@ -1,0 +1,274 @@
+#include "core/nas_lane.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cavenet::ca {
+
+NasLane::NasLane(NasParams params, std::int64_t n_vehicles,
+                 InitialPlacement placement, Rng rng)
+    : params_(params), rng_(rng) {
+  params_.validate();
+  if (n_vehicles < 0 || n_vehicles > params_.lane_length) {
+    throw std::invalid_argument("vehicle count must be in [0, lane_length]");
+  }
+  vehicles_.reserve(static_cast<std::size_t>(n_vehicles));
+
+  switch (placement) {
+    case InitialPlacement::kRandom: {
+      // Sample n distinct sites via partial Fisher-Yates over site indices.
+      std::vector<std::int64_t> sites(static_cast<std::size_t>(params_.lane_length));
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        sites[i] = static_cast<std::int64_t>(i);
+      }
+      for (std::int64_t i = 0; i < n_vehicles; ++i) {
+        const auto j = static_cast<std::size_t>(
+            i + static_cast<std::int64_t>(
+                    rng_.uniform_int(static_cast<std::uint64_t>(
+                        params_.lane_length - i))));
+        std::swap(sites[static_cast<std::size_t>(i)], sites[j]);
+      }
+      sites.resize(static_cast<std::size_t>(n_vehicles));
+      std::sort(sites.begin(), sites.end());
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        Vehicle v;
+        v.cell = sites[i];
+        v.velocity = static_cast<std::int32_t>(
+            rng_.uniform_int(static_cast<std::uint64_t>(params_.v_max) + 1));
+        vehicles_.push_back(v);
+      }
+      break;
+    }
+    case InitialPlacement::kEven: {
+      for (std::int64_t i = 0; i < n_vehicles; ++i) {
+        Vehicle v;
+        v.cell = i * params_.lane_length / n_vehicles;
+        v.velocity = 0;
+        vehicles_.push_back(v);
+      }
+      break;
+    }
+    case InitialPlacement::kJam: {
+      for (std::int64_t i = 0; i < n_vehicles; ++i) {
+        Vehicle v;
+        v.cell = i;
+        v.velocity = 0;
+        vehicles_.push_back(v);
+      }
+      break;
+    }
+  }
+  // Ids follow initial site order so vehicle 0 is the rearmost.
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    vehicles_[i].id = static_cast<std::uint32_t>(i);
+  }
+  // Prime the gap fields so observers see consistent state before step().
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    vehicles_[i].gap = gap_ahead(i);
+  }
+}
+
+double NasLane::density() const noexcept {
+  return static_cast<double>(vehicles_.size()) /
+         static_cast<double>(params_.lane_length);
+}
+
+const Vehicle& NasLane::vehicle_by_id(std::uint32_t id) const {
+  for (const auto& v : vehicles_) {
+    if (v.id == id) return v;
+  }
+  throw std::out_of_range("no vehicle with that id");
+}
+
+double NasLane::average_velocity() const noexcept {
+  if (vehicles_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& v : vehicles_) sum += v.velocity;
+  return sum / static_cast<double>(vehicles_.size());
+}
+
+double NasLane::average_velocity_ms() const noexcept {
+  return average_velocity() * params_.cell_length_m / params_.dt_s;
+}
+
+double NasLane::flow() const noexcept { return density() * average_velocity(); }
+
+std::vector<std::int32_t> NasLane::occupancy() const {
+  std::vector<std::int32_t> lane(static_cast<std::size_t>(params_.lane_length), -1);
+  for (const auto& v : vehicles_) {
+    lane[static_cast<std::size_t>(v.cell)] = v.velocity;
+  }
+  return lane;
+}
+
+double NasLane::cumulative_position_m(const Vehicle& v) const noexcept {
+  return (static_cast<double>(v.cell) +
+          static_cast<double>(v.wraps) * static_cast<double>(params_.lane_length)) *
+         params_.cell_length_m;
+}
+
+void NasLane::block_cell(std::int64_t cell) {
+  if (cell < 0 || cell >= params_.lane_length) {
+    throw std::out_of_range("blocked cell outside lane");
+  }
+  blocked_cells_.insert(cell);
+}
+
+void NasLane::unblock_cell(std::int64_t cell) { blocked_cells_.erase(cell); }
+
+bool NasLane::is_blocked(std::int64_t cell) const noexcept {
+  return blocked_cells_.contains(cell);
+}
+
+std::int64_t NasLane::gap_to_block(std::int64_t from_cell) const noexcept {
+  if (blocked_cells_.empty()) return params_.lane_length;
+  // Nearest blocked cell strictly ahead of from_cell.
+  const auto ahead = blocked_cells_.upper_bound(from_cell);
+  if (ahead != blocked_cells_.end()) return *ahead - from_cell - 1;
+  if (params_.boundary == Boundary::kClosed) {
+    return *blocked_cells_.begin() + params_.lane_length - from_cell - 1;
+  }
+  return params_.lane_length;
+}
+
+std::int64_t NasLane::gap_ahead(std::size_t idx) const noexcept {
+  const std::size_t n = vehicles_.size();
+  const Vehicle& me = vehicles_[idx];
+  std::int64_t gap;
+  if (n == 1) {
+    // A lone vehicle never catches anyone.
+    gap = params_.boundary == Boundary::kClosed ? params_.lane_length - 1
+                                                : params_.lane_length;
+  } else if (idx + 1 < n) {
+    gap = vehicles_[idx + 1].cell - me.cell - 1;
+  } else if (params_.boundary == Boundary::kClosed) {
+    // Lead vehicle on a ring.
+    gap = vehicles_[0].cell + params_.lane_length - me.cell - 1;
+  } else {
+    // Open lane: unobstructed road ahead.
+    gap = params_.lane_length;
+  }
+  return std::min(gap, gap_to_block(me.cell));
+}
+
+void NasLane::step() {
+  // Parallel update: compute every new velocity from the *current*
+  // configuration before anyone moves (paper footnote 1).
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    vehicles_[i].gap = gap_ahead(i);
+  }
+  for (auto& v : vehicles_) {
+    v.velocity = std::min(v.velocity + 1, params_.v_max);        // rule 1
+    v.velocity = static_cast<std::int32_t>(
+        std::min<std::int64_t>(v.velocity, v.gap));              // rule 2
+    if (params_.slowdown_p > 0.0 && v.velocity > 0 &&
+        rng_.bernoulli(params_.slowdown_p)) {
+      --v.velocity;                                              // rule 2'
+    }
+  }
+  apply_motion();
+  ++time_step_;
+}
+
+void NasLane::step_sequential() {
+  // Leaders update first (reverse site order), so a follower's gap already
+  // reflects its leader's move within the same step — the in-step reaction
+  // the parallel rule forbids.
+  const std::size_t n = vehicles_.size();
+  for (std::size_t i = n; i-- > 0;) {
+    Vehicle& v = vehicles_[i];
+    std::int64_t gap;
+    if (i + 1 < n) {
+      gap = vehicles_[i + 1].cell - v.cell - 1;
+      if (gap < 0) gap += params_.lane_length;  // leader already wrapped
+    } else if (n == 1) {
+      gap = params_.lane_length - 1;
+    } else if (params_.boundary == Boundary::kClosed) {
+      gap = vehicles_[0].cell + params_.lane_length - v.cell - 1;
+    } else {
+      gap = params_.lane_length;
+    }
+    gap = std::min(gap, gap_to_block(v.cell));
+    v.gap = gap;
+    v.velocity = std::min(v.velocity + 1, params_.v_max);
+    v.velocity =
+        static_cast<std::int32_t>(std::min<std::int64_t>(v.velocity, v.gap));
+    if (params_.slowdown_p > 0.0 && v.velocity > 0 &&
+        rng_.bernoulli(params_.slowdown_p)) {
+      --v.velocity;
+    }
+    v.cell += v.velocity;
+    if (v.cell >= params_.lane_length) {
+      v.cell -= params_.lane_length;
+      ++v.wraps;
+    }
+  }
+  std::sort(vehicles_.begin(), vehicles_.end(),
+            [](const Vehicle& a, const Vehicle& b) { return a.cell < b.cell; });
+  ++time_step_;
+}
+
+void NasLane::apply_motion() {
+  if (params_.boundary == Boundary::kClosed) {
+    bool wrapped = false;
+    for (auto& v : vehicles_) {
+      v.cell += v.velocity;
+      if (v.cell >= params_.lane_length) {
+        v.cell -= params_.lane_length;
+        ++v.wraps;
+        wrapped = true;
+      }
+    }
+    if (wrapped) {
+      // Wrapped vehicles moved from the tail of the vector to small site
+      // indices; a rotate restores site order (cheaper than a sort, and the
+      // relative order of vehicles never changes — NaS is collision-free
+      // under periodic boundaries).
+      std::rotate(vehicles_.begin(),
+                  std::min_element(vehicles_.begin(), vehicles_.end(),
+                                   [](const Vehicle& a, const Vehicle& b) {
+                                     return a.cell < b.cell;
+                                   }),
+                  vehicles_.end());
+    }
+    return;
+  }
+
+  // kOpenShift (the first CAVENET version): the lead vehicle sees open road,
+  // so it may drive past the lane end; it is then shifted back to the
+  // beginning of the lane. Because rule 2 did not account for vehicles near
+  // site 0, the landing site may be occupied — the shifted vehicle is placed
+  // on the first free site from the head of the lane (this forced re-seating
+  // is the "delay" the paper attributes to the unimproved version).
+  std::vector<bool> occupied(static_cast<std::size_t>(params_.lane_length), false);
+  std::vector<Vehicle*> shifted;
+  for (auto& v : vehicles_) {
+    v.cell += v.velocity;
+    if (v.cell >= params_.lane_length) {
+      ++v.wraps;
+      shifted.push_back(&v);
+    } else {
+      occupied[static_cast<std::size_t>(v.cell)] = true;
+    }
+  }
+  std::int64_t cursor = 0;
+  for (Vehicle* v : shifted) {
+    while (cursor < params_.lane_length &&
+           occupied[static_cast<std::size_t>(cursor)]) {
+      ++cursor;
+    }
+    v->cell = cursor;
+    occupied[static_cast<std::size_t>(cursor)] = true;
+    v->velocity = 0;  // re-seated vehicles restart from standstill
+  }
+  if (!shifted.empty()) {
+    std::sort(vehicles_.begin(), vehicles_.end(),
+              [](const Vehicle& a, const Vehicle& b) { return a.cell < b.cell; });
+  }
+}
+
+void NasLane::run(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) step();
+}
+
+}  // namespace cavenet::ca

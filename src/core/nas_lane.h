@@ -1,0 +1,106 @@
+// The 1-dimensional Nagel-Schreckenberg cellular automaton — the core of
+// the CAVENET Behavioural Analyzer (paper Section III-A).
+//
+// Update rules, applied in parallel to every vehicle at each step:
+//   1. Acceleration:     v <- min(v + 1, v_max)
+//   2. Gap constraint:   v <- min(v, gap)        (gap = free sites ahead)
+//   2'. Random slowdown: v <- max(0, v - 1) with probability p
+//   3. Motion:           x <- x + v
+#ifndef CAVENET_CORE_NAS_LANE_H
+#define CAVENET_CORE_NAS_LANE_H
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+#include "core/vehicle.h"
+#include "util/rng.h"
+
+namespace cavenet::ca {
+
+/// How vehicles are placed at t = 0.
+enum class InitialPlacement {
+  /// N distinct uniformly random sites, random velocities in [0, v_max].
+  kRandom,
+  /// Evenly spaced sites, all velocities 0 (deterministic start).
+  kEven,
+  /// All vehicles packed at the head of the lane (a standing jam).
+  kJam,
+};
+
+/// One lane of NaS traffic. Vehicles are kept sorted by site index.
+class NasLane {
+ public:
+  /// Places `n_vehicles` on the lane. Throws if n_vehicles > lane_length
+  /// or params are invalid.
+  NasLane(NasParams params, std::int64_t n_vehicles,
+          InitialPlacement placement = InitialPlacement::kRandom,
+          Rng rng = Rng{});
+
+  /// Advances the automaton one time step (parallel update).
+  void step();
+  /// Advances `n` steps.
+  void run(std::int64_t n);
+
+  const NasParams& params() const noexcept { return params_; }
+  std::int64_t time_step() const noexcept { return time_step_; }
+  std::int64_t vehicle_count() const noexcept {
+    return static_cast<std::int64_t>(vehicles_.size());
+  }
+  /// Density rho = N / L.
+  double density() const noexcept;
+
+  /// The vehicles in site order. Valid until the next step().
+  std::span<const Vehicle> vehicles() const noexcept { return vehicles_; }
+  /// Vehicle by stable id (not site order).
+  const Vehicle& vehicle_by_id(std::uint32_t id) const;
+
+  /// Average velocity over vehicles, in cells/step (the paper's v(t)).
+  double average_velocity() const noexcept;
+  /// Average velocity in m/s.
+  double average_velocity_ms() const noexcept;
+  /// Flow J = rho * v_bar at this instant (vehicles per site per step).
+  double flow() const noexcept;
+
+  /// Site occupancy as the paper's lane vector L_n: velocity of the vehicle
+  /// at each occupied site, -1 for empty sites.
+  std::vector<std::int32_t> occupancy() const;
+
+  /// Distance in metres from the lane origin along the lane, including
+  /// accumulated wraps (monotone). Used by trace generation.
+  double cumulative_position_m(const Vehicle& v) const noexcept;
+
+  /// Sequential (non-parallel) update, for the ablation bench only: rules
+  /// are applied vehicle-by-vehicle in site order, so a leader's move in
+  /// this step already widens the follower's gap. Distorts the fundamental
+  /// diagram; the paper's footnote 1 mandates the parallel variant.
+  void step_sequential();
+
+  /// Marks a site as a virtual obstacle: vehicles treat it as occupied and
+  /// stop before it. Used by intersections (a conflicting crossing) and
+  /// traffic lights. Throws if the cell is outside the lane.
+  void block_cell(std::int64_t cell);
+  /// Removes a virtual obstacle. No-op if not blocked.
+  void unblock_cell(std::int64_t cell);
+  bool is_blocked(std::int64_t cell) const noexcept;
+
+ private:
+  std::int64_t gap_ahead(std::size_t idx) const noexcept;
+  /// Free sites until the nearest blocked cell ahead of `from_cell`
+  /// (circular on closed lanes); lane_length when none.
+  std::int64_t gap_to_block(std::int64_t from_cell) const noexcept;
+  void apply_motion();
+
+  NasParams params_;
+  std::vector<Vehicle> vehicles_;  // sorted by cell
+  std::set<std::int64_t> blocked_cells_;
+  Rng rng_;
+  std::int64_t time_step_ = 0;
+};
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_NAS_LANE_H

@@ -1,0 +1,58 @@
+// Parameters of the Nagel-Schreckenberg cellular automaton.
+#ifndef CAVENET_CORE_PARAMS_H
+#define CAVENET_CORE_PARAMS_H
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace cavenet::ca {
+
+/// How the lane ends are treated by the dynamics.
+enum class Boundary {
+  /// Periodic: site L-1 is adjacent to site 0 (the paper's improved,
+  /// circular CAVENET). Vehicle count is conserved.
+  kClosed,
+  /// Open with re-injection: a vehicle driving past the end is shifted back
+  /// to the first free site at the head of the lane (the *first* CAVENET
+  /// version that the paper improves on). Dynamics see an infinite gap at
+  /// the end of the lane, so the tail vehicle never blocks the head.
+  kOpenShift,
+};
+
+struct NasParams {
+  /// Number of sites L in the lane.
+  std::int64_t lane_length = 400;
+  /// Maximum velocity in cells per step. With cell_length = 7.5 m and
+  /// dt = 1 s, v_max = 5 corresponds to 135 km/h as in the paper.
+  std::int32_t v_max = 5;
+  /// Random slowdown probability p; p = 0 gives the deterministic model.
+  double slowdown_p = 0.0;
+  /// Physical length of one site, metres.
+  double cell_length_m = 7.5;
+  /// Physical duration of one step, seconds.
+  double dt_s = 1.0;
+  Boundary boundary = Boundary::kClosed;
+
+  void validate() const {
+    if (lane_length <= 0) throw std::invalid_argument("lane_length must be > 0");
+    if (v_max <= 0) throw std::invalid_argument("v_max must be > 0");
+    if (slowdown_p < 0.0 || slowdown_p > 1.0) {
+      throw std::invalid_argument("slowdown_p must be in [0, 1]");
+    }
+    if (cell_length_m <= 0.0) throw std::invalid_argument("cell_length_m must be > 0");
+    if (dt_s <= 0.0) throw std::invalid_argument("dt_s must be > 0");
+  }
+
+  /// v_max expressed in km/h.
+  double v_max_kmh() const noexcept {
+    return static_cast<double>(v_max) * cell_length_m / dt_s * 3.6;
+  }
+  /// Physical lane length in metres.
+  double lane_length_m() const noexcept {
+    return static_cast<double>(lane_length) * cell_length_m;
+  }
+};
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_PARAMS_H

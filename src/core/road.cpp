@@ -1,0 +1,70 @@
+#include "core/road.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cavenet::ca {
+
+std::uint32_t Road::add_lane(NasLane lane,
+                             std::unique_ptr<LaneGeometry> geometry) {
+  if (!geometry) throw std::invalid_argument("geometry must not be null");
+  const double expected = lane.params().lane_length_m();
+  if (std::abs(geometry->length_m() - expected) > 1e-6) {
+    throw std::invalid_argument("geometry length does not match lane length");
+  }
+  LaneEntry entry{std::move(lane), std::move(geometry), 0, {}};
+  entry.first_node_id = 0;
+  for (const auto& existing : lanes_) {
+    entry.first_node_id +=
+        static_cast<std::uint32_t>(existing.sim.vehicle_count());
+  }
+  entry.last_wraps.assign(
+      static_cast<std::size_t>(entry.sim.vehicle_count()), 0);
+  for (const auto& v : entry.sim.vehicles()) {
+    entry.last_wraps[v.id] = v.wraps;
+  }
+  lanes_.push_back(std::move(entry));
+  return static_cast<std::uint32_t>(lanes_.size() - 1);
+}
+
+std::size_t Road::vehicle_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& entry : lanes_) {
+    n += static_cast<std::size_t>(entry.sim.vehicle_count());
+  }
+  return n;
+}
+
+void Road::step() {
+  for (auto& entry : lanes_) {
+    for (const auto& v : entry.sim.vehicles()) {
+      entry.last_wraps[v.id] = v.wraps;
+    }
+    entry.sim.step();
+  }
+  ++time_step_;
+}
+
+std::vector<VehicleState> Road::states() const {
+  std::vector<VehicleState> out(vehicle_count());
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    const auto& entry = lanes_[k];
+    const auto& params = entry.sim.params();
+    for (const auto& v : entry.sim.vehicles()) {
+      VehicleState s;
+      s.lane = static_cast<std::uint32_t>(k);
+      s.vehicle_id = v.id;
+      s.node_id = entry.first_node_id + v.id;
+      const double arc = static_cast<double>(v.cell) * params.cell_length_m;
+      s.position = entry.geometry->position(arc);
+      const double speed_ms =
+          static_cast<double>(v.velocity) * params.cell_length_m / params.dt_s;
+      s.velocity = entry.geometry->heading(arc) * speed_ms;
+      s.wrapped_this_step = v.wraps != entry.last_wraps[v.id];
+      out[s.node_id] = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace cavenet::ca

@@ -1,0 +1,84 @@
+#include "core/space_time.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace cavenet::ca {
+
+SpaceTimeRaster::SpaceTimeRaster(std::int64_t lane_length)
+    : lane_length_(lane_length) {
+  if (lane_length <= 0) throw std::invalid_argument("lane_length must be > 0");
+}
+
+void SpaceTimeRaster::record(const NasLane& lane) {
+  if (lane.params().lane_length != lane_length_) {
+    throw std::invalid_argument("lane length mismatch");
+  }
+  grid_.push_back(lane.occupancy());
+}
+
+std::int32_t SpaceTimeRaster::at(std::int64_t step, std::int64_t site) const {
+  return grid_.at(static_cast<std::size_t>(step))
+      .at(static_cast<std::size_t>(site));
+}
+
+double SpaceTimeRaster::jammed_fraction(std::int64_t step) const {
+  const auto& row = grid_.at(static_cast<std::size_t>(step));
+  std::int64_t occupied = 0;
+  std::int64_t stopped = 0;
+  for (const std::int32_t v : row) {
+    if (v >= 0) {
+      ++occupied;
+      if (v == 0) ++stopped;
+    }
+  }
+  return occupied > 0
+             ? static_cast<double>(stopped) / static_cast<double>(occupied)
+             : 0.0;
+}
+
+void SpaceTimeRaster::render_ascii(std::ostream& out,
+                                   std::int64_t max_cols) const {
+  // Downsample columns if the lane is wider than max_cols: a column shows
+  // the minimum velocity in its range (jams dominate), or '.' if empty.
+  const std::int64_t stride =
+      std::max<std::int64_t>(1, (lane_length_ + max_cols - 1) / max_cols);
+  for (const auto& row : grid_) {
+    for (std::int64_t c = 0; c < lane_length_; c += stride) {
+      std::int32_t min_v = -1;
+      for (std::int64_t s = c; s < std::min(c + stride, lane_length_); ++s) {
+        const std::int32_t v = row[static_cast<std::size_t>(s)];
+        if (v >= 0 && (min_v < 0 || v < min_v)) min_v = v;
+      }
+      if (min_v < 0) out << '.';
+      else if (min_v > 9) out << '+';
+      else out << static_cast<char>('0' + min_v);
+    }
+    out << '\n';
+  }
+}
+
+void SpaceTimeRaster::write_csv(std::ostream& out) const {
+  out << "step,site,velocity\n";
+  for (std::size_t step = 0; step < grid_.size(); ++step) {
+    const auto& row = grid_[step];
+    for (std::size_t site = 0; site < row.size(); ++site) {
+      if (row[site] >= 0) {
+        out << step << ',' << site << ',' << row[site] << '\n';
+      }
+    }
+  }
+}
+
+SpaceTimeRaster record_space_time(NasLane& lane, std::int64_t steps) {
+  SpaceTimeRaster raster(lane.params().lane_length);
+  raster.record(lane);
+  for (std::int64_t i = 1; i < steps; ++i) {
+    lane.step();
+    raster.record(lane);
+  }
+  return raster;
+}
+
+}  // namespace cavenet::ca

@@ -1,0 +1,52 @@
+// Space-time rasters (paper Fig. 5): the evolution of lane occupancy over
+// time, showing laminar flow and backward-travelling jam waves.
+#ifndef CAVENET_CORE_SPACE_TIME_H
+#define CAVENET_CORE_SPACE_TIME_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/nas_lane.h"
+
+namespace cavenet::ca {
+
+/// A (steps x lane_length) raster; cell value is the vehicle velocity at
+/// that site and step, or -1 for an empty site.
+class SpaceTimeRaster {
+ public:
+  explicit SpaceTimeRaster(std::int64_t lane_length);
+
+  /// Appends the lane's current occupancy as the next row.
+  void record(const NasLane& lane);
+
+  std::int64_t rows() const noexcept {
+    return static_cast<std::int64_t>(grid_.size());
+  }
+  std::int64_t lane_length() const noexcept { return lane_length_; }
+  /// Velocity at (step, site), or -1 if empty.
+  std::int32_t at(std::int64_t step, std::int64_t site) const;
+
+  /// Fraction of occupied sites whose vehicle is stopped (v == 0) in the
+  /// given row — a jam indicator.
+  double jammed_fraction(std::int64_t step) const;
+
+  /// Renders as ASCII art: '.' empty, digits = velocity. Rows are time
+  /// (downwards), columns are space, matching the paper's plots.
+  void render_ascii(std::ostream& out, std::int64_t max_cols = 120) const;
+
+  /// CSV rows: step,site,velocity for occupied sites only.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::int64_t lane_length_;
+  std::vector<std::vector<std::int32_t>> grid_;
+};
+
+/// Runs `steps` steps of `lane` and records each configuration.
+SpaceTimeRaster record_space_time(NasLane& lane, std::int64_t steps);
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_SPACE_TIME_H

@@ -1,0 +1,33 @@
+// The vehicle record of the CAVENET Behavioural Analyzer.
+//
+// Mirrors the paper's Section III-C: each vehicle VE_i stores its gap,
+// velocity and current lane position; the relative position X_i is the
+// unique identifier used for trace generation, and for closed boundaries
+// we track whether a wrap-around shift has taken place (needed to emit
+// continuous ns-2 traces).
+#ifndef CAVENET_CORE_VEHICLE_H
+#define CAVENET_CORE_VEHICLE_H
+
+#include <cstdint>
+
+namespace cavenet::ca {
+
+struct Vehicle {
+  /// Stable identifier, assigned at lane construction, 0-based.
+  std::uint32_t id = 0;
+  /// Current site index on the lane, in [0, lane_length).
+  std::int64_t cell = 0;
+  /// Current velocity in cells per time step, in [0, v_max].
+  std::int32_t velocity = 0;
+  /// Free sites to the vehicle ahead (updated every step).
+  std::int64_t gap = 0;
+  /// Number of times this vehicle wrapped past the end of a closed lane.
+  /// cell + wraps * lane_length is the monotone cumulative distance.
+  std::int64_t wraps = 0;
+
+  friend bool operator==(const Vehicle&, const Vehicle&) = default;
+};
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_VEHICLE_H

@@ -1,0 +1,26 @@
+#include "core/velocity_series.h"
+
+#include <cmath>
+
+namespace cavenet::ca {
+
+std::vector<double> velocity_series(NasLane& lane, std::int64_t steps) {
+  std::vector<double> series;
+  series.reserve(static_cast<std::size_t>(steps));
+  for (std::int64_t i = 0; i < steps; ++i) {
+    lane.step();
+    series.push_back(lane.average_velocity());
+  }
+  return series;
+}
+
+std::vector<double> velocity_series(const NasParams& params, double density,
+                                    std::int64_t steps, std::uint64_t seed,
+                                    InitialPlacement placement) {
+  const auto n = static_cast<std::int64_t>(
+      std::llround(density * static_cast<double>(params.lane_length)));
+  NasLane lane(params, n, placement, Rng(seed));
+  return velocity_series(lane, steps);
+}
+
+}  // namespace cavenet::ca

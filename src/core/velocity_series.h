@@ -1,0 +1,25 @@
+// Average-velocity time series v(t) — the paper's simulation variable of
+// interest for Figs. 6 and 7 and the transient analysis of Section IV-B.
+#ifndef CAVENET_CORE_VELOCITY_SERIES_H
+#define CAVENET_CORE_VELOCITY_SERIES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nas_lane.h"
+
+namespace cavenet::ca {
+
+/// Runs `steps` steps and returns v(t) (cells/step), one sample per step.
+std::vector<double> velocity_series(NasLane& lane, std::int64_t steps);
+
+/// Convenience: builds a lane from params/density/seed and records v(t).
+/// `density` is rounded to a whole number of vehicles.
+std::vector<double> velocity_series(const NasParams& params, double density,
+                                    std::int64_t steps, std::uint64_t seed,
+                                    InitialPlacement placement =
+                                        InitialPlacement::kRandom);
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_VELOCITY_SERIES_H

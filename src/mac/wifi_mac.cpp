@@ -1,0 +1,384 @@
+#include "mac/wifi_mac.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cavenet::mac {
+
+using netsim::NodeId;
+using netsim::Packet;
+
+WifiMac::WifiMac(netsim::Simulator& sim, phy::WifiPhy& phy, MacParams params,
+                 std::uint64_t rng_stream)
+    : sim_(&sim),
+      phy_(&phy),
+      params_(params),
+      rng_(sim.make_rng(0x6d61632000000000ULL ^ (rng_stream << 32) ^ phy.id())),
+      cw_(params.cw_min) {
+  phy_->set_cca_callback([this](bool busy) { on_cca(busy); });
+  phy_->set_receive_callback([this](Packet p, double power) {
+    on_phy_receive(std::move(p), power);
+  });
+  phy_->set_rx_error_callback([this] {
+    eifs_until_ = sim_->now() + params_.eifs(ack_duration());
+  });
+}
+
+SimTime WifiMac::ack_duration() const noexcept {
+  MacHeader ack;
+  ack.type = MacHeader::Type::kAck;
+  return phy_->frame_duration(ack.size_bytes());
+}
+
+SimTime WifiMac::cts_duration() const noexcept { return ack_duration(); }
+
+bool WifiMac::medium_busy() const noexcept {
+  return phy_->cca_busy() || sim_->now() < nav_until_;
+}
+
+void WifiMac::set_nav(SimTime until) {
+  if (until <= nav_until_) return;
+  nav_until_ = until;
+  on_medium_busy();
+  sim_->schedule_at(until, [this] {
+    if (sim_->now() >= nav_until_ && !phy_->cca_busy()) on_medium_idle();
+  });
+}
+
+void WifiMac::on_cca(bool busy) {
+  if (busy) {
+    on_medium_busy();
+  } else if (sim_->now() >= nav_until_) {
+    on_medium_idle();
+  }
+}
+
+void WifiMac::on_medium_busy() {
+  access_timer_.cancel();
+  if (in_countdown_) {
+    // Freeze the backoff: whole slots elapsed since the countdown started
+    // are consumed; the remainder resumes after the next DIFS-idle period.
+    const std::int64_t consumed =
+        (sim_->now() - countdown_start_) / params_.slot;
+    backoff_slots_ = std::max<std::int32_t>(
+        0, backoff_slots_ - static_cast<std::int32_t>(consumed));
+    in_countdown_ = false;
+  }
+}
+
+void WifiMac::on_medium_idle() {
+  idle_since_ = sim_->now();
+  access_attempt();
+}
+
+void WifiMac::send(Packet packet, NodeId dest) {
+  enqueue(std::move(packet), dest, /*priority=*/false);
+}
+
+void WifiMac::send_priority(Packet packet, NodeId dest) {
+  enqueue(std::move(packet), dest, /*priority=*/true);
+}
+
+void WifiMac::enqueue(Packet packet, NodeId dest, bool priority) {
+  if (queue_.size() >= params_.queue_limit) {
+    ++stats_.dropped_queue_full;
+    if (log_ != nullptr) {
+      log_->record(sim_->now(), netsim::PacketLog::Event::kDrop,
+                   netsim::PacketLog::Layer::kMac, address(), packet.uid(),
+                   "ifq-full", packet.size_bytes());
+    }
+    return;
+  }
+  ++stats_.enqueued;
+  if (priority) {
+    queue_.push_front(OutFrame{std::move(packet), dest});
+  } else {
+    queue_.push_back(OutFrame{std::move(packet), dest});
+  }
+  consume_idle_backoff();
+  try_dequeue();
+}
+
+void WifiMac::consume_idle_backoff() {
+  // Post-transmission backoff that already elapsed while the station was
+  // idle with an empty queue counts as performed.
+  if (current_ || backoff_slots_ <= 0 || in_countdown_ || medium_busy()) return;
+  const SimTime idle_for = sim_->now() - idle_since_;
+  const SimTime needed = params_.difs() + params_.slot * backoff_slots_;
+  if (idle_for >= needed) backoff_slots_ = -1;
+}
+
+void WifiMac::try_dequeue() {
+  if (current_ || queue_.empty()) return;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  retries_ = 0;
+  cw_ = params_.cw_min;
+  cts_received_ = false;
+  if (!medium_busy()) access_attempt();
+  // else: the busy->idle transition re-arms the access engine.
+}
+
+void WifiMac::access_attempt() {
+  access_timer_.cancel();
+  if (!current_ || wait_ack_ || wait_cts_) return;
+  if (phy_->transmitting()) return;  // our own ACK/CTS is on the air
+  if (medium_busy()) return;
+
+  const SimTime idle_deadline =
+      std::max(idle_since_ + params_.difs(), eifs_until_);
+  const SimTime now = sim_->now();
+  if (now < idle_deadline) {
+    access_timer_ =
+        sim_->schedule(idle_deadline - now, [this] { access_attempt(); });
+    return;
+  }
+  if (backoff_slots_ > 0) {
+    in_countdown_ = true;
+    countdown_start_ = now;
+    access_timer_ =
+        sim_->schedule(params_.slot * backoff_slots_, [this] {
+          in_countdown_ = false;
+          backoff_slots_ = -1;
+          transmit_current();
+        });
+    return;
+  }
+  backoff_slots_ = -1;
+  transmit_current();
+}
+
+void WifiMac::transmit_current() {
+  if (!current_) return;
+  const bool unicast = !netsim::is_broadcast(current_->dest);
+  const bool use_rts = params_.use_rts_cts && unicast &&
+                       current_->payload.size_bytes() >
+                           params_.rts_threshold_bytes &&
+                       !cts_received_;
+  if (use_rts) {
+    // RTS reserves the medium through CTS + DATA + ACK.
+    MacHeader data_probe;
+    const SimTime data_time =
+        phy_->frame_duration(current_->payload.size_bytes() +
+                             data_probe.size_bytes());
+    const SimTime reserve = params_.sifs + cts_duration() + params_.sifs +
+                            data_time + params_.sifs + ack_duration();
+    MacHeader rts;
+    rts.type = MacHeader::Type::kRts;
+    rts.src = address();
+    rts.dst = current_->dest;
+    rts.duration = reserve;
+    Packet frame(0);
+    frame.push(rts);
+    ++stats_.rts_sent;
+    wait_cts_ = true;
+    phy_->transmit(std::move(frame));
+    const SimTime timeout = phy_->frame_duration(rts.size_bytes()) +
+                            params_.sifs + cts_duration() + params_.slot * 2;
+    ack_timer_ = sim_->schedule(timeout, [this] { handle_cts_timeout(); });
+    return;
+  }
+  send_data_now();
+}
+
+void WifiMac::send_data_now() {
+  const bool unicast = !netsim::is_broadcast(current_->dest);
+  MacHeader header;
+  header.type = MacHeader::Type::kData;
+  header.src = address();
+  header.dst = current_->dest;
+  header.seq = seq_;
+  header.retry = retries_ > 0;
+  header.duration =
+      unicast ? params_.sifs + ack_duration() : SimTime::zero();
+
+  Packet frame = current_->payload;  // keep the original for retries
+  if (log_ != nullptr) {
+    log_->record(sim_->now(), netsim::PacketLog::Event::kSend,
+                 netsim::PacketLog::Layer::kMac, address(), frame.uid(),
+                 frame.top_name(), frame.size_bytes() + header.size_bytes());
+  }
+  frame.push(header);
+  ++stats_.data_tx_attempts;
+  const SimTime tx_time = phy_->frame_duration(frame.size_bytes());
+  phy_->transmit(std::move(frame));
+
+  if (unicast) {
+    wait_ack_ = true;
+    const SimTime timeout =
+        tx_time + params_.sifs + ack_duration() + params_.slot * 2;
+    ack_timer_ = sim_->schedule(timeout, [this] { handle_ack_timeout(); });
+  } else {
+    ++seq_;
+    sim_->schedule(tx_time, [this] {
+      ++stats_.data_tx_success;
+      complete_current();
+    });
+  }
+}
+
+void WifiMac::handle_cts_timeout() {
+  wait_cts_ = false;
+  ++stats_.retries;
+  ++retries_;
+  if (retries_ > params_.retry_limit) {
+    fail_current();
+    return;
+  }
+  retry_backoff();
+}
+
+void WifiMac::handle_ack_timeout() {
+  wait_ack_ = false;
+  ++stats_.retries;
+  ++retries_;
+  if (retries_ > params_.retry_limit) {
+    fail_current();
+    return;
+  }
+  retry_backoff();
+}
+
+void WifiMac::retry_backoff() {
+  cw_ = std::min(cw_ * 2 + 1, params_.cw_max);
+  backoff_slots_ = static_cast<std::int32_t>(rng_.uniform_int(cw_ + 1));
+  cts_received_ = false;
+  if (!medium_busy()) access_attempt();
+}
+
+void WifiMac::fail_current() {
+  ++stats_.data_tx_failed;
+  if (log_ != nullptr) {
+    log_->record(sim_->now(), netsim::PacketLog::Event::kDrop,
+                 netsim::PacketLog::Layer::kMac, address(),
+                 current_->payload.uid(), "retry-limit",
+                 current_->payload.size_bytes());
+  }
+  ++seq_;
+  OutFrame failed = std::move(*current_);
+  current_.reset();
+  cw_ = params_.cw_min;
+  retries_ = 0;
+  draw_post_backoff();
+  if (tx_failed_cb_) tx_failed_cb_(failed.payload, failed.dest);
+  try_dequeue();
+}
+
+void WifiMac::complete_current() {
+  current_.reset();
+  cw_ = params_.cw_min;
+  retries_ = 0;
+  draw_post_backoff();
+  try_dequeue();
+}
+
+void WifiMac::draw_post_backoff() {
+  backoff_slots_ = static_cast<std::int32_t>(rng_.uniform_int(cw_ + 1));
+}
+
+void WifiMac::send_control(MacHeader::Type type, NodeId dst,
+                           SimTime duration) {
+  MacHeader header;
+  header.type = type;
+  header.src = address();
+  header.dst = dst;
+  header.duration = duration;
+  Packet frame(0);
+  frame.push(header);
+  phy_->transmit(std::move(frame));
+}
+
+void WifiMac::on_phy_receive(Packet packet, double rx_power_w) {
+  (void)rx_power_w;
+  eifs_until_ = SimTime::zero();  // a correct reception ends the EIFS rule
+  const MacHeader* peek = packet.peek<MacHeader>();
+  if (peek == nullptr) return;  // not an 802.11 frame
+  const MacHeader header = packet.pop<MacHeader>();
+
+  switch (header.type) {
+    case MacHeader::Type::kAck:
+      if (header.dst == address() && wait_ack_ && current_) {
+        wait_ack_ = false;
+        ack_timer_.cancel();
+        ++stats_.data_tx_success;
+        ++seq_;
+        complete_current();
+      }
+      break;
+
+    case MacHeader::Type::kCts:
+      if (header.dst == address() && wait_cts_ && current_) {
+        wait_cts_ = false;
+        cts_received_ = true;
+        ack_timer_.cancel();
+        sim_->schedule(params_.sifs, [this] {
+          if (current_) send_data_now();
+        });
+      } else if (header.dst != address()) {
+        set_nav(sim_->now() + header.duration);
+      }
+      break;
+
+    case MacHeader::Type::kRts:
+      if (header.dst == address()) {
+        // Respond with CTS after SIFS; reservation shortened by RTS+SIFS.
+        const SimTime remaining =
+            header.duration - params_.sifs - cts_duration();
+        sim_->schedule(params_.sifs, [this, src = header.src, remaining] {
+          if (phy_->transmitting()) return;
+          ++stats_.cts_sent;
+          send_control(MacHeader::Type::kCts, src,
+                       std::max(remaining, SimTime::zero()));
+        });
+      } else {
+        set_nav(sim_->now() + header.duration);
+      }
+      break;
+
+    case MacHeader::Type::kData:
+      handle_data(std::move(packet), header);
+      break;
+  }
+}
+
+void WifiMac::handle_data(Packet packet, const MacHeader& header) {
+  if (header.dst == address()) {
+    // ACK after SIFS, regardless of CCA (the standard mandates it).
+    sim_->schedule(params_.sifs, [this, src = header.src] {
+      if (phy_->transmitting()) return;  // pathological overlap
+      ++stats_.acks_sent;
+      send_control(MacHeader::Type::kAck, src, SimTime::zero());
+    });
+    // Duplicate filtering (a retransmitted frame whose ACK was lost).
+    auto& seen = seen_seqs_[header.src];
+    if (std::find(seen.begin(), seen.end(), header.seq) != seen.end()) {
+      ++stats_.duplicates_suppressed;
+      return;
+    }
+    seen.push_back(header.seq);
+    if (seen.size() > 16) seen.pop_front();
+    ++stats_.delivered_up;
+    if (log_ != nullptr) {
+      log_->record(sim_->now(), netsim::PacketLog::Event::kReceive,
+                   netsim::PacketLog::Layer::kMac, address(), packet.uid(),
+                   packet.top_name(), packet.size_bytes());
+    }
+    if (receive_cb_) receive_cb_(std::move(packet), header.src);
+    return;
+  }
+  if (netsim::is_broadcast(header.dst)) {
+    ++stats_.delivered_up;
+    if (log_ != nullptr) {
+      log_->record(sim_->now(), netsim::PacketLog::Event::kReceive,
+                   netsim::PacketLog::Layer::kMac, address(), packet.uid(),
+                   packet.top_name(), packet.size_bytes());
+    }
+    if (receive_cb_) receive_cb_(std::move(packet), header.src);
+    return;
+  }
+  // Overheard unicast meant for someone else: honour its NAV reservation.
+  set_nav(sim_->now() + header.duration);
+}
+
+}  // namespace cavenet::mac

@@ -1,0 +1,186 @@
+// IEEE 802.11 DCF MAC (Table I: IEEE802.11 DCF, 2 Mbps, RTS/CTS off).
+//
+// Implements CSMA/CA with binary exponential backoff, DIFS/SIFS timing,
+// ACK-based retransmission for unicast, NAV virtual carrier sense from
+// overheard durations, and optional RTS/CTS. Unicast frames that exhaust
+// their retry budget trigger the tx-failed upcall that the routing
+// protocols use for link-breakage detection.
+#ifndef CAVENET_MAC_WIFI_MAC_H
+#define CAVENET_MAC_WIFI_MAC_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "netsim/layers.h"
+#include "netsim/packet_log.h"
+#include "netsim/simulator.h"
+#include "phy/wifi_phy.h"
+#include "util/rng.h"
+
+namespace cavenet::mac {
+
+struct MacParams {
+  SimTime slot = SimTime::microseconds(20);
+  SimTime sifs = SimTime::microseconds(10);
+  std::uint32_t cw_min = 31;
+  std::uint32_t cw_max = 1023;
+  /// Retransmission attempts for a unicast frame before giving up.
+  std::uint32_t retry_limit = 7;
+  /// Interface queue capacity (ns-2 ifq default).
+  std::size_t queue_limit = 50;
+  /// RTS/CTS exchange for unicast payloads larger than rts_threshold.
+  bool use_rts_cts = false;
+  std::size_t rts_threshold_bytes = 0;
+
+  SimTime difs() const noexcept { return sifs + slot * 2; }
+  /// Extended IFS after an erroneous reception: SIFS + ACK airtime + DIFS.
+  /// `ack_airtime` comes from the PHY at runtime.
+  SimTime eifs(SimTime ack_airtime) const noexcept {
+    return sifs + ack_airtime + difs();
+  }
+};
+
+/// 802.11 frame header. Wire sizes follow the standard: 24-byte data MAC
+/// header + 4-byte FCS; 14-byte ACK/CTS; 20-byte RTS.
+struct MacHeader final : netsim::HeaderBase<MacHeader> {
+  enum class Type : std::uint8_t { kData, kAck, kRts, kCts };
+
+  Type type = Type::kData;
+  netsim::NodeId src = 0;
+  netsim::NodeId dst = 0;
+  std::uint16_t seq = 0;
+  bool retry = false;
+  /// NAV duration: medium time reserved after this frame ends.
+  SimTime duration = SimTime::zero();
+
+  std::size_t size_bytes() const override {
+    switch (type) {
+      case Type::kData: return 28;
+      case Type::kAck:
+      case Type::kCts: return 14;
+      case Type::kRts: return 20;
+    }
+    return 28;
+  }
+  std::string name() const override {
+    switch (type) {
+      case Type::kData: return "80211-data";
+      case Type::kAck: return "80211-ack";
+      case Type::kRts: return "80211-rts";
+      case Type::kCts: return "80211-cts";
+    }
+    return "80211";
+  }
+};
+
+struct MacStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped_queue_full = 0;
+  std::uint64_t data_tx_attempts = 0;
+  std::uint64_t data_tx_success = 0;  ///< unicast acked or broadcast sent
+  std::uint64_t data_tx_failed = 0;   ///< retry budget exhausted
+  std::uint64_t retries = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t rts_sent = 0;
+  std::uint64_t cts_sent = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t delivered_up = 0;
+};
+
+class WifiMac final : public netsim::LinkLayer {
+ public:
+  WifiMac(netsim::Simulator& sim, phy::WifiPhy& phy, MacParams params = {},
+          std::uint64_t rng_stream = 0);
+
+  WifiMac(const WifiMac&) = delete;
+  WifiMac& operator=(const WifiMac&) = delete;
+
+  // LinkLayer:
+  void send(netsim::Packet packet, netsim::NodeId dest) override;
+  /// Control-frame fast path: enqueues at the head of the interface queue.
+  void send_priority(netsim::Packet packet, netsim::NodeId dest) override;
+  void set_receive_callback(ReceiveCallback cb) override {
+    receive_cb_ = std::move(cb);
+  }
+  void set_tx_failed_callback(TxFailedCallback cb) override {
+    tx_failed_cb_ = std::move(cb);
+  }
+  netsim::NodeId address() const override { return phy_->id(); }
+
+  const MacStats& stats() const noexcept { return stats_; }
+
+  /// Attaches an (optional, non-owning) packet event log.
+  void set_packet_log(netsim::PacketLog* log) noexcept { log_ = log; }
+  const MacParams& params() const noexcept { return params_; }
+  std::size_t queue_depth() const noexcept {
+    return queue_.size() + (current_ ? 1 : 0);
+  }
+
+ private:
+  struct OutFrame {
+    netsim::Packet payload;
+    netsim::NodeId dest;
+  };
+
+  bool medium_busy() const noexcept;
+  void on_cca(bool busy);
+  void on_medium_busy();
+  void on_medium_idle();
+  void try_dequeue();
+  void access_attempt();
+  void transmit_current();
+  void send_data_now();
+  void handle_ack_timeout();
+  void handle_cts_timeout();
+  void fail_current();
+  void complete_current();
+  void draw_post_backoff();
+  void retry_backoff();
+  void consume_idle_backoff();
+  void enqueue(netsim::Packet packet, netsim::NodeId dest, bool priority);
+  void on_phy_receive(netsim::Packet packet, double rx_power_w);
+  void handle_data(netsim::Packet packet, const MacHeader& header);
+  void send_control(MacHeader::Type type, netsim::NodeId dst, SimTime duration);
+  void set_nav(SimTime until);
+  SimTime ack_duration() const noexcept;
+  SimTime cts_duration() const noexcept;
+
+  netsim::Simulator* sim_;
+  phy::WifiPhy* phy_;
+  MacParams params_;
+  Rng rng_;
+
+  std::deque<OutFrame> queue_;
+  std::optional<OutFrame> current_;
+  std::uint32_t cw_;
+  std::uint32_t retries_ = 0;
+  std::int32_t backoff_slots_ = -1;  ///< -1: none pending
+  bool in_countdown_ = false;
+  SimTime countdown_start_ = SimTime::zero();
+  bool wait_ack_ = false;
+  bool wait_cts_ = false;
+  bool cts_received_ = false;
+  SimTime idle_since_ = SimTime::zero();
+  SimTime nav_until_ = SimTime::zero();
+  /// After an erroneous reception, transmissions defer until at least this
+  /// time (EIFS rule); cleared by the next correct reception.
+  SimTime eifs_until_ = SimTime::zero();
+  std::uint16_t seq_ = 0;
+
+  netsim::EventId access_timer_;
+  netsim::EventId ack_timer_;
+
+  /// Receiver-side duplicate detection: last sequence numbers per source.
+  std::map<netsim::NodeId, std::deque<std::uint16_t>> seen_seqs_;
+
+  ReceiveCallback receive_cb_;
+  TxFailedCallback tx_failed_cb_;
+  netsim::PacketLog* log_ = nullptr;
+  MacStats stats_;
+};
+
+}  // namespace cavenet::mac
+
+#endif  // CAVENET_MAC_WIFI_MAC_H

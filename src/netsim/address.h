@@ -1,0 +1,22 @@
+// Node addressing. The simulator uses flat 32-bit node ids as both MAC and
+// network addresses (the paper's ns-2 setup likewise identifies nodes by
+// index).
+#ifndef CAVENET_NETSIM_ADDRESS_H
+#define CAVENET_NETSIM_ADDRESS_H
+
+#include <cstdint>
+
+namespace cavenet::netsim {
+
+using NodeId = std::uint32_t;
+
+/// Link-local / network broadcast address.
+inline constexpr NodeId kBroadcast = 0xFFFFFFFFu;
+
+inline constexpr bool is_broadcast(NodeId id) noexcept {
+  return id == kBroadcast;
+}
+
+}  // namespace cavenet::netsim
+
+#endif  // CAVENET_NETSIM_ADDRESS_H

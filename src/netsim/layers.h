@@ -1,0 +1,59 @@
+// Layer interfaces gluing PHY <- MAC <- routing <- transport/apps.
+//
+// Each interface is minimal so tests can substitute fakes (e.g. a perfect
+// link layer under the routing tests).
+#ifndef CAVENET_NETSIM_LAYERS_H
+#define CAVENET_NETSIM_LAYERS_H
+
+#include <functional>
+
+#include "netsim/address.h"
+#include "netsim/packet.h"
+
+namespace cavenet::netsim {
+
+/// Link layer (the 802.11 MAC implements this). `dest` may be kBroadcast.
+class LinkLayer {
+ public:
+  virtual ~LinkLayer() = default;
+
+  /// Queues a frame for transmission to a neighbour. Frames sent with
+  /// `priority` jump ahead of queued normal frames (ns-2 gives routing
+  /// control packets the same treatment in its interface queue).
+  virtual void send(Packet packet, NodeId dest) = 0;
+  virtual void send_priority(Packet packet, NodeId dest) {
+    send(std::move(packet), dest);
+  }
+
+  /// Upcall for received frames: (packet, link source).
+  using ReceiveCallback = std::function<void(Packet, NodeId from)>;
+  virtual void set_receive_callback(ReceiveCallback cb) = 0;
+
+  /// Upcall when a unicast frame exhausted its retries — the routing layer
+  /// uses this as link-breakage detection (paper: DYMO "examining feedback
+  /// obtained from the data link layer").
+  using TxFailedCallback = std::function<void(const Packet&, NodeId dest)>;
+  virtual void set_tx_failed_callback(TxFailedCallback cb) = 0;
+
+  virtual NodeId address() const = 0;
+};
+
+/// Network layer (the routing protocols implement this).
+class NetworkLayer {
+ public:
+  virtual ~NetworkLayer() = default;
+
+  /// Sends a packet toward a final destination (routing may buffer it
+  /// during route discovery or drop it when no route can be found).
+  virtual void send(Packet packet, NodeId destination) = 0;
+
+  /// Upcall for packets addressed to this node: (packet, origin).
+  using DeliverCallback = std::function<void(Packet, NodeId source)>;
+  virtual void set_deliver_callback(DeliverCallback cb) = 0;
+
+  virtual NodeId address() const = 0;
+};
+
+}  // namespace cavenet::netsim
+
+#endif  // CAVENET_NETSIM_LAYERS_H

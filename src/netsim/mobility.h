@@ -1,0 +1,52 @@
+// Node mobility: where is a node at simulation time t.
+#ifndef CAVENET_NETSIM_MOBILITY_H
+#define CAVENET_NETSIM_MOBILITY_H
+
+#include <functional>
+#include <memory>
+
+#include "util/sim_time.h"
+#include "util/vec2.h"
+
+namespace cavenet::netsim {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual Vec2 position(SimTime at) const = 0;
+  virtual Vec2 velocity(SimTime at) const = 0;
+};
+
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Vec2 position) : position_(position) {}
+  Vec2 position(SimTime) const override { return position_; }
+  Vec2 velocity(SimTime) const override { return {}; }
+
+ private:
+  Vec2 position_;
+};
+
+/// Wraps arbitrary position/velocity functions of time (seconds). Used to
+/// adapt compiled mobility-trace paths without a dependency cycle.
+class FunctionMobility final : public MobilityModel {
+ public:
+  using PositionFn = std::function<Vec2(double)>;
+  using VelocityFn = std::function<Vec2(double)>;
+
+  FunctionMobility(PositionFn position, VelocityFn velocity)
+      : position_(std::move(position)), velocity_(std::move(velocity)) {}
+
+  Vec2 position(SimTime at) const override { return position_(at.sec()); }
+  Vec2 velocity(SimTime at) const override {
+    return velocity_ ? velocity_(at.sec()) : Vec2{};
+  }
+
+ private:
+  PositionFn position_;
+  VelocityFn velocity_;
+};
+
+}  // namespace cavenet::netsim
+
+#endif  // CAVENET_NETSIM_MOBILITY_H

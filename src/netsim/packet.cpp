@@ -1,0 +1,37 @@
+#include "netsim/packet.h"
+
+#include <atomic>
+
+namespace cavenet::netsim {
+
+std::uint64_t Packet::next_uid() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Packet::Packet(std::size_t payload_bytes)
+    : uid_(next_uid()), payload_bytes_(payload_bytes) {}
+
+Packet::Packet(const Packet& other)
+    : uid_(other.uid_), payload_bytes_(other.payload_bytes_) {
+  headers_.reserve(other.headers_.size());
+  for (const auto& h : other.headers_) headers_.push_back(h->clone());
+}
+
+Packet& Packet::operator=(const Packet& other) {
+  if (this == &other) return *this;
+  uid_ = other.uid_;
+  payload_bytes_ = other.payload_bytes_;
+  headers_.clear();
+  headers_.reserve(other.headers_.size());
+  for (const auto& h : other.headers_) headers_.push_back(h->clone());
+  return *this;
+}
+
+std::size_t Packet::size_bytes() const noexcept {
+  std::size_t total = payload_bytes_;
+  for (const auto& h : headers_) total += h->size_bytes();
+  return total;
+}
+
+}  // namespace cavenet::netsim

@@ -1,0 +1,114 @@
+// Packet with a typed header stack (ns-3 style).
+//
+// Layers push their headers onto a packet on the way down and pop them on
+// the way up. Copying a packet deep-copies the headers (broadcast delivers
+// an independent copy to every receiver) but keeps the uid, so a frame can
+// be correlated across hops in logs and metrics.
+#ifndef CAVENET_NETSIM_PACKET_H
+#define CAVENET_NETSIM_PACKET_H
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cavenet::netsim {
+
+/// Base class for all protocol headers.
+class Header {
+ public:
+  virtual ~Header() = default;
+  virtual std::unique_ptr<Header> clone() const = 0;
+  /// Wire size contributed by this header.
+  virtual std::size_t size_bytes() const = 0;
+  /// Short name for logs, e.g. "aodv-rreq".
+  virtual std::string name() const = 0;
+};
+
+/// CRTP helper providing clone() for copyable header types.
+template <typename T>
+class HeaderBase : public Header {
+ public:
+  std::unique_ptr<Header> clone() const override {
+    return std::make_unique<T>(static_cast<const T&>(*this));
+  }
+};
+
+class Packet {
+ public:
+  /// A packet carrying `payload_bytes` of application payload.
+  explicit Packet(std::size_t payload_bytes = 0);
+
+  Packet(const Packet& other);
+  Packet& operator=(const Packet& other);
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+
+  /// Unique id assigned at construction; preserved by copies.
+  std::uint64_t uid() const noexcept { return uid_; }
+
+  /// Total wire size: payload plus all headers.
+  std::size_t size_bytes() const noexcept;
+  std::size_t payload_bytes() const noexcept { return payload_bytes_; }
+
+  /// Pushes a header on top of the stack.
+  template <typename T>
+  void push(T header) {
+    headers_.push_back(std::make_unique<T>(std::move(header)));
+  }
+
+  /// Pops the top header, which must be a T (throws std::logic_error
+  /// otherwise — a layering violation, not a runtime condition).
+  template <typename T>
+  T pop() {
+    T* top = peek<T>();
+    if (top == nullptr) {
+      throw std::logic_error("packet: top header is not " +
+                             (headers_.empty() ? std::string("<empty>")
+                                               : headers_.back()->name()));
+    }
+    T out = std::move(*top);
+    headers_.pop_back();
+    return out;
+  }
+
+  /// Top header as T, or nullptr if absent or of another type.
+  template <typename T>
+  T* peek() noexcept {
+    if (headers_.empty()) return nullptr;
+    return dynamic_cast<T*>(headers_.back().get());
+  }
+  template <typename T>
+  const T* peek() const noexcept {
+    if (headers_.empty()) return nullptr;
+    return dynamic_cast<const T*>(headers_.back().get());
+  }
+
+  /// Searches the whole stack for a header of type T (topmost match).
+  template <typename T>
+  const T* find() const noexcept {
+    for (auto it = headers_.rbegin(); it != headers_.rend(); ++it) {
+      if (const auto* h = dynamic_cast<const T*>(it->get())) return h;
+    }
+    return nullptr;
+  }
+
+  std::size_t header_count() const noexcept { return headers_.size(); }
+
+  /// Name of the topmost header, or "raw" for a bare payload.
+  std::string top_name() const {
+    return headers_.empty() ? "raw" : headers_.back()->name();
+  }
+
+ private:
+  static std::uint64_t next_uid() noexcept;
+
+  std::uint64_t uid_;
+  std::size_t payload_bytes_;
+  std::vector<std::unique_ptr<Header>> headers_;
+};
+
+}  // namespace cavenet::netsim
+
+#endif  // CAVENET_NETSIM_PACKET_H

@@ -1,0 +1,53 @@
+#include "netsim/packet_log.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace cavenet::netsim {
+
+void PacketLog::record(SimTime time, Event event, Layer layer, NodeId node,
+                       std::uint64_t uid, std::string type,
+                       std::size_t bytes) {
+  entries_.push_back({time, event, layer, node, uid, std::move(type), bytes});
+}
+
+std::size_t PacketLog::count(Event event, Layer layer) const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.event == event && e.layer == layer) ++n;
+  }
+  return n;
+}
+
+char PacketLog::event_code(Event event) noexcept {
+  switch (event) {
+    case Event::kSend: return 's';
+    case Event::kReceive: return 'r';
+    case Event::kForward: return 'f';
+    case Event::kDrop: return 'D';
+  }
+  return '?';
+}
+
+const char* PacketLog::layer_name(Layer layer) noexcept {
+  switch (layer) {
+    case Layer::kAgent: return "AGT";
+    case Layer::kRouter: return "RTR";
+    case Layer::kMac: return "MAC";
+  }
+  return "?";
+}
+
+void PacketLog::write_ns2(std::ostream& out) const {
+  char buf[160];
+  for (const Entry& e : entries_) {
+    std::snprintf(buf, sizeof buf, "%c %.9f _%u_ %s --- %llu %s %zu\n",
+                  event_code(e.event), e.time.sec(), e.node,
+                  layer_name(e.layer),
+                  static_cast<unsigned long long>(e.uid), e.type.c_str(),
+                  e.bytes);
+    out << buf;
+  }
+}
+
+}  // namespace cavenet::netsim

@@ -1,0 +1,59 @@
+// ns-2-style packet event logging.
+//
+// ns-2 writes one line per packet event ("s 10.0 _4_ AGT --- 17 cbr 512");
+// researchers post-process these traces for every metric the simulator
+// does not compute natively. PacketLog is the equivalent: layers record
+// send/receive/forward/drop events into it, and it serializes in a
+// compatible textual form (plus structured access for tests and tools).
+#ifndef CAVENET_NETSIM_PACKET_LOG_H
+#define CAVENET_NETSIM_PACKET_LOG_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netsim/address.h"
+#include "util/sim_time.h"
+
+namespace cavenet::netsim {
+
+class PacketLog {
+ public:
+  enum class Event : std::uint8_t { kSend, kReceive, kForward, kDrop };
+  enum class Layer : std::uint8_t { kAgent, kRouter, kMac };
+
+  struct Entry {
+    SimTime time;
+    Event event;
+    Layer layer;
+    NodeId node;
+    std::uint64_t uid;
+    std::string type;  ///< e.g. "cbr", "aodv-rreq", "80211-ack"
+    std::size_t bytes;
+  };
+
+  void record(SimTime time, Event event, Layer layer, NodeId node,
+              std::uint64_t uid, std::string type, std::size_t bytes);
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Number of entries matching an (event, layer) pair.
+  std::size_t count(Event event, Layer layer) const;
+
+  /// ns-2 trace syntax: "<s|r|f|D> <time> _<node>_ <AGT|RTR|MAC> --- <uid>
+  /// <type> <bytes>".
+  void write_ns2(std::ostream& out) const;
+
+  static char event_code(Event event) noexcept;
+  static const char* layer_name(Layer layer) noexcept;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cavenet::netsim
+
+#endif  // CAVENET_NETSIM_PACKET_LOG_H

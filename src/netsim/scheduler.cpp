@@ -1,0 +1,46 @@
+#include "netsim/scheduler.h"
+
+#include <stdexcept>
+
+namespace cavenet::netsim {
+
+EventId Scheduler::schedule_at(SimTime at, std::function<void()> action) {
+  if (at < last_dispatched_) {
+    throw std::logic_error("scheduling into the past: " + at.to_string() +
+                           " < " + last_dispatched_.to_string());
+  }
+  auto rec = std::make_shared<detail::EventRecord>();
+  rec->at = at;
+  rec->seq = next_seq_++;
+  rec->action = std::move(action);
+  EventId id{std::weak_ptr<detail::EventRecord>(rec)};
+  queue_.push(std::move(rec));
+  return id;
+}
+
+void Scheduler::drop_cancelled() const {
+  while (!queue_.empty() && queue_.top()->cancelled) queue_.pop();
+}
+
+bool Scheduler::empty() const noexcept {
+  drop_cancelled();
+  return queue_.empty();
+}
+
+SimTime Scheduler::next_time() const noexcept {
+  drop_cancelled();
+  return queue_.empty() ? SimTime::max() : queue_.top()->at;
+}
+
+bool Scheduler::run_one() {
+  drop_cancelled();
+  if (queue_.empty()) return false;
+  const auto rec = queue_.top();
+  queue_.pop();
+  last_dispatched_ = rec->at;
+  ++dispatched_;
+  rec->action();
+  return true;
+}
+
+}  // namespace cavenet::netsim

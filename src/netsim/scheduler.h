@@ -1,0 +1,89 @@
+// Discrete-event scheduler.
+//
+// A binary heap keyed by (time, insertion sequence) — the sequence number
+// makes simultaneous events fire in scheduling order, so runs are fully
+// deterministic. Events can be cancelled in O(1) (lazy deletion).
+#ifndef CAVENET_NETSIM_SCHEDULER_H
+#define CAVENET_NETSIM_SCHEDULER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace cavenet::netsim {
+
+namespace detail {
+struct EventRecord {
+  SimTime at;
+  std::uint64_t seq = 0;
+  std::function<void()> action;
+  bool cancelled = false;
+};
+}  // namespace detail
+
+/// Handle to a scheduled event; default-constructed handles are inert.
+class EventId {
+ public:
+  EventId() = default;
+
+  /// Prevents the event from firing. Idempotent; safe after expiry.
+  void cancel() noexcept {
+    if (auto rec = record_.lock()) rec->cancelled = true;
+  }
+  /// True if the event is still queued and will fire.
+  bool pending() const noexcept {
+    const auto rec = record_.lock();
+    return rec && !rec->cancelled;
+  }
+
+ private:
+  friend class Scheduler;
+  explicit EventId(std::weak_ptr<detail::EventRecord> rec)
+      : record_(std::move(rec)) {}
+  std::weak_ptr<detail::EventRecord> record_;
+};
+
+class Scheduler {
+ public:
+  /// Enqueues `action` at absolute time `at`. `at` must not precede the
+  /// time of the last dequeued event (no scheduling into the past).
+  EventId schedule_at(SimTime at, std::function<void()> action);
+
+  bool empty() const noexcept;
+  /// Time of the earliest pending event; SimTime::max() when empty.
+  SimTime next_time() const noexcept;
+
+  /// Dequeues and runs the earliest event. Returns false if none pending.
+  bool run_one();
+
+  /// Time of the most recently dequeued event.
+  SimTime last_dispatched() const noexcept { return last_dispatched_; }
+
+  std::uint64_t dispatched_count() const noexcept { return dispatched_; }
+
+ private:
+  void drop_cancelled() const;
+
+  struct Compare {
+    bool operator()(const std::shared_ptr<detail::EventRecord>& a,
+                    const std::shared_ptr<detail::EventRecord>& b) const {
+      if (a->at != b->at) return a->at > b->at;  // min-heap
+      return a->seq > b->seq;
+    }
+  };
+  mutable std::priority_queue<std::shared_ptr<detail::EventRecord>,
+                              std::vector<std::shared_ptr<detail::EventRecord>>,
+                              Compare>
+      queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  SimTime last_dispatched_ = SimTime::zero();
+};
+
+}  // namespace cavenet::netsim
+
+#endif  // CAVENET_NETSIM_SCHEDULER_H

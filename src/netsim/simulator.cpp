@@ -1,0 +1,38 @@
+#include "netsim/simulator.h"
+
+#include <stdexcept>
+
+namespace cavenet::netsim {
+
+EventId Simulator::schedule(SimTime delay, std::function<void()> action) {
+  if (delay < SimTime::zero()) {
+    throw std::invalid_argument("negative delay: " + delay.to_string());
+  }
+  return scheduler_.schedule_at(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(SimTime at, std::function<void()> action) {
+  if (at < now_) {
+    throw std::invalid_argument("scheduling into the past: " + at.to_string());
+  }
+  return scheduler_.schedule_at(at, std::move(action));
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !scheduler_.empty()) {
+    now_ = scheduler_.next_time();
+    scheduler_.run_one();
+  }
+}
+
+void Simulator::run_until(SimTime until) {
+  stopped_ = false;
+  while (!stopped_ && !scheduler_.empty() && scheduler_.next_time() <= until) {
+    now_ = scheduler_.next_time();
+    scheduler_.run_one();
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+}  // namespace cavenet::netsim

@@ -1,0 +1,54 @@
+// The simulation kernel: clock + scheduler + seeded RNG streams.
+#ifndef CAVENET_NETSIM_SIMULATOR_H
+#define CAVENET_NETSIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "netsim/scheduler.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace cavenet::netsim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : seed_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` after `delay` (>= 0) from now.
+  EventId schedule(SimTime delay, std::function<void()> action);
+  /// Schedules at an absolute time (>= now).
+  EventId schedule_at(SimTime at, std::function<void()> action);
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+  /// Runs events with time <= until, then sets the clock to `until`.
+  void run_until(SimTime until);
+  /// Makes run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  /// Derives an independent RNG stream for a component. The same
+  /// (seed, stream) pair always yields the same stream.
+  Rng make_rng(std::uint64_t stream) const { return Rng(seed_, stream); }
+
+  std::uint64_t events_dispatched() const noexcept {
+    return scheduler_.dispatched_count();
+  }
+
+ private:
+  Scheduler scheduler_;
+  SimTime now_ = SimTime::zero();
+  bool stopped_ = false;
+  std::uint64_t seed_;
+};
+
+}  // namespace cavenet::netsim
+
+#endif  // CAVENET_NETSIM_SIMULATOR_H

@@ -1,0 +1,40 @@
+#include "phy/channel.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace cavenet::phy {
+
+Channel::Channel(netsim::Simulator& sim,
+                 std::unique_ptr<PropagationModel> model)
+    : sim_(&sim), model_(std::move(model)) {
+  if (!model_) throw std::invalid_argument("channel needs a propagation model");
+}
+
+void Channel::attach(WifiPhy* phy) {
+  if (phy == nullptr) throw std::invalid_argument("null radio");
+  radios_.push_back(phy);
+  phy->set_channel(this);
+}
+
+void Channel::transmit(const WifiPhy& sender, const netsim::Packet& packet,
+                       SimTime duration, double tx_power_w) {
+  const Vec2 tx_pos = sender.position();
+  for (WifiPhy* rx : radios_) {
+    if (rx == &sender) continue;
+    const Vec2 rx_pos = rx->position();
+    const double power = model_->rx_power_w(tx_power_w, tx_pos, rx_pos);
+    // Skip links that cannot even move the receiver's carrier sense; this
+    // keeps the event count O(neighbours) instead of O(radios).
+    if (power < rx->params().profile.cs_threshold_w) continue;
+    const double delay_s = distance(tx_pos, rx_pos) / kSpeedOfLight;
+    netsim::Packet copy = packet;
+    sim_->schedule(SimTime::from_seconds(delay_s),
+                   [rx, copy = std::move(copy), power, duration]() mutable {
+                     rx->begin_receive(std::move(copy), power, duration);
+                   });
+  }
+}
+
+}  // namespace cavenet::phy

@@ -1,0 +1,43 @@
+// The shared wireless medium: fans every transmission out to all attached
+// radios with per-link propagation loss and speed-of-light delay.
+#ifndef CAVENET_PHY_CHANNEL_H
+#define CAVENET_PHY_CHANNEL_H
+
+#include <memory>
+#include <vector>
+
+#include "netsim/simulator.h"
+#include "phy/propagation.h"
+#include "phy/wifi_phy.h"
+
+namespace cavenet::phy {
+
+class Channel {
+ public:
+  Channel(netsim::Simulator& sim, std::unique_ptr<PropagationModel> model);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Registers a radio on this medium. The radio must outlive the channel's
+  /// last event (in practice: the Scenario owns both).
+  void attach(WifiPhy* phy);
+
+  std::size_t radio_count() const noexcept { return radios_.size(); }
+
+  /// Called by a transmitting radio; delivers the frame to every other
+  /// attached radio (each gets an independent copy).
+  void transmit(const WifiPhy& sender, const netsim::Packet& packet,
+                SimTime duration, double tx_power_w);
+
+  PropagationModel& propagation() noexcept { return *model_; }
+
+ private:
+  netsim::Simulator* sim_;
+  std::unique_ptr<PropagationModel> model_;
+  std::vector<WifiPhy*> radios_;
+};
+
+}  // namespace cavenet::phy
+
+#endif  // CAVENET_PHY_CHANNEL_H

@@ -1,0 +1,125 @@
+#include "phy/wifi_phy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/channel.h"
+#include "util/logging.h"
+
+namespace cavenet::phy {
+
+WifiPhy::WifiPhy(netsim::Simulator& sim, netsim::NodeId id,
+                 const netsim::MobilityModel* mobility, PhyParams params)
+    : sim_(&sim), id_(id), mobility_(mobility), params_(params) {
+  if (mobility == nullptr) {
+    throw std::invalid_argument("phy needs a mobility model");
+  }
+  if (params_.data_rate_bps <= 0.0) {
+    throw std::invalid_argument("data rate must be > 0");
+  }
+}
+
+SimTime WifiPhy::frame_duration(std::size_t bytes) const noexcept {
+  const double payload_s =
+      static_cast<double>(bytes) * 8.0 / params_.data_rate_bps;
+  return params_.plcp_overhead + SimTime::from_seconds(payload_s);
+}
+
+bool WifiPhy::transmitting() const noexcept { return sim_->now() < tx_until_; }
+
+double WifiPhy::energy_sum() const noexcept {
+  double sum = 0.0;
+  for (const auto& s : signals_) {
+    if (s.end > sim_->now()) sum += s.power_w;
+  }
+  return sum;
+}
+
+bool WifiPhy::cca_busy() const noexcept {
+  return transmitting() || receiving() ||
+         energy_sum() >= params_.profile.cs_threshold_w;
+}
+
+void WifiPhy::update_cca() {
+  prune_energy();
+  const bool busy = cca_busy();
+  if (busy != last_cca_busy_) {
+    last_cca_busy_ = busy;
+    if (cca_cb_) cca_cb_(busy);
+  }
+}
+
+void WifiPhy::prune_energy() {
+  std::erase_if(signals_, [&](const Signal& s) { return s.end <= sim_->now(); });
+}
+
+void WifiPhy::transmit(netsim::Packet packet) {
+  if (channel_ == nullptr) {
+    throw std::logic_error("phy not attached to a channel");
+  }
+  if (transmitting()) {
+    throw std::logic_error("MAC started a transmission while already transmitting");
+  }
+  if (current_rx_) {
+    // Half-duplex: transmitting stomps the frame being received (this is
+    // how an ACK sent during an overlapping arrival corrupts it).
+    current_rx_->corrupted = true;
+  }
+  const SimTime duration = frame_duration(packet.size_bytes());
+  tx_until_ = sim_->now() + duration;
+  ++stats_.frames_sent;
+  stats_.tx_airtime += duration;
+  channel_->transmit(*this, packet, duration, params_.profile.tx_power_w);
+  sim_->schedule(duration, [this] { update_cca(); });
+  update_cca();
+}
+
+void WifiPhy::begin_receive(netsim::Packet packet, double rx_power_w,
+                            SimTime duration) {
+  if (rx_power_w < params_.profile.cs_threshold_w) {
+    return;  // below carrier sense: invisible to this radio
+  }
+  const SimTime end = sim_->now() + duration;
+  signals_.push_back({rx_power_w, end});
+  sim_->schedule(duration, [this] { update_cca(); });
+
+  const bool decodable = rx_power_w >= params_.profile.rx_threshold_w;
+  if (transmitting()) {
+    if (decodable) ++stats_.missed_while_busy;
+  } else if (current_rx_) {
+    // Overlap with the frame being received: capture or collision.
+    if (current_rx_->power_w >=
+        params_.profile.capture_ratio * rx_power_w) {
+      ++stats_.captures;  // current frame survives, newcomer is noise
+    } else {
+      // Within the capture window (or newcomer stronger): the locked frame
+      // is corrupted; the radio stays locked until its end (ns-2 semantics:
+      // the newcomer is not received either).
+      current_rx_->corrupted = true;
+      ++stats_.collisions;
+    }
+  } else if (decodable) {
+    current_rx_ = Reception{std::move(packet), rx_power_w, end, false};
+    sim_->schedule(duration, [this] { end_receive(); });
+  } else {
+    ++stats_.below_rx_threshold;
+  }
+  update_cca();
+}
+
+void WifiPhy::end_receive() {
+  if (!current_rx_ || current_rx_->end != sim_->now()) {
+    return;  // stale event (reception was aborted by a transmit)
+  }
+  Reception rx = std::move(*current_rx_);
+  current_rx_.reset();
+  update_cca();
+  if (rx.corrupted) {
+    if (rx_error_cb_) rx_error_cb_();
+    return;
+  }
+  ++stats_.frames_received;
+  if (receive_cb_) receive_cb_(std::move(rx.packet), rx.power_w);
+}
+
+}  // namespace cavenet::phy

@@ -1,0 +1,127 @@
+// Half-duplex radio with carrier sensing, capture and collision modelling
+// (the ns-2 WirelessPhy equivalent used by the paper's CPS block).
+#ifndef CAVENET_PHY_WIFI_PHY_H
+#define CAVENET_PHY_WIFI_PHY_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "netsim/address.h"
+#include "netsim/mobility.h"
+#include "netsim/packet.h"
+#include "netsim/simulator.h"
+#include "phy/propagation.h"
+#include "util/sim_time.h"
+
+namespace cavenet::phy {
+
+class Channel;
+
+struct PhyParams {
+  /// Payload transmission rate (Table I: 2 Mbps).
+  double data_rate_bps = 2e6;
+  /// PLCP preamble + header airtime (802.11 DSSS long preamble at 1 Mbps).
+  SimTime plcp_overhead = SimTime::microseconds(192);
+  WaveLanProfile profile;
+};
+
+struct PhyStats {
+  std::uint64_t frames_sent = 0;
+  /// Cumulative time this radio spent transmitting.
+  SimTime tx_airtime = SimTime::zero();
+  std::uint64_t frames_received = 0;
+  std::uint64_t collisions = 0;       ///< receptions corrupted by overlap
+  std::uint64_t captures = 0;         ///< overlaps survived via capture
+  std::uint64_t below_rx_threshold = 0;
+  std::uint64_t missed_while_busy = 0;  ///< decodable frames while TX/locked
+};
+
+class WifiPhy {
+ public:
+  WifiPhy(netsim::Simulator& sim, netsim::NodeId id,
+          const netsim::MobilityModel* mobility, PhyParams params = {});
+
+  WifiPhy(const WifiPhy&) = delete;
+  WifiPhy& operator=(const WifiPhy&) = delete;
+
+  netsim::NodeId id() const noexcept { return id_; }
+  Vec2 position() const { return mobility_->position(sim_->now()); }
+  const PhyParams& params() const noexcept { return params_; }
+
+  /// Airtime of a frame of `bytes` total size (PLCP + payload).
+  SimTime frame_duration(std::size_t bytes) const noexcept;
+
+  /// True while this radio transmits.
+  bool transmitting() const noexcept;
+  /// True while locked onto an incoming frame.
+  bool receiving() const noexcept { return current_rx_.has_value(); }
+  /// Clear-channel assessment: medium busy by TX, RX or sensed energy.
+  bool cca_busy() const noexcept;
+
+  /// MAC downcall: start transmitting. Aborts any in-progress reception
+  /// (the frame under reception is corrupted — half-duplex radio).
+  void transmit(netsim::Packet packet);
+
+  /// Upcall with the decoded frame and its receive power.
+  using ReceiveCallback = std::function<void(netsim::Packet, double rx_power_w)>;
+  void set_receive_callback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }
+
+  /// Upcall when a locked frame finished in error (collision / aborted):
+  /// 802.11 stations defer EIFS instead of DIFS after this.
+  using RxErrorCallback = std::function<void()>;
+  void set_rx_error_callback(RxErrorCallback cb) {
+    rx_error_cb_ = std::move(cb);
+  }
+
+  /// Fired whenever the CCA indication flips.
+  using CcaCallback = std::function<void(bool busy)>;
+  void set_cca_callback(CcaCallback cb) { cca_cb_ = std::move(cb); }
+
+  /// Channel-facing: a signal starts arriving at this radio.
+  void begin_receive(netsim::Packet packet, double rx_power_w,
+                     SimTime duration);
+
+  const PhyStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class Channel;
+  void set_channel(Channel* channel) noexcept { channel_ = channel; }
+
+  void end_receive();
+  void prune_energy();
+  double energy_sum() const noexcept;
+  void update_cca();
+
+  struct Reception {
+    netsim::Packet packet;
+    double power_w;
+    SimTime end;
+    bool corrupted = false;
+  };
+  struct Signal {
+    double power_w;
+    SimTime end;
+  };
+
+  netsim::Simulator* sim_;
+  netsim::NodeId id_;
+  const netsim::MobilityModel* mobility_;
+  PhyParams params_;
+  Channel* channel_ = nullptr;
+
+  SimTime tx_until_ = SimTime::zero();
+  std::optional<Reception> current_rx_;
+  std::vector<Signal> signals_;
+  bool last_cca_busy_ = false;
+
+  ReceiveCallback receive_cb_;
+  RxErrorCallback rx_error_cb_;
+  CcaCallback cca_cb_;
+  PhyStats stats_;
+};
+
+}  // namespace cavenet::phy
+
+#endif  // CAVENET_PHY_WIFI_PHY_H

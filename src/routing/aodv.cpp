@@ -1,0 +1,362 @@
+#include "routing/aodv.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cavenet::routing::aodv {
+
+using netsim::kBroadcast;
+using netsim::NodeId;
+using netsim::Packet;
+
+AodvProtocol::AodvProtocol(netsim::Simulator& sim, netsim::LinkLayer& link,
+                           AodvParams params)
+    : RoutingProtocol(sim, link, "aodv", 0x616f6476),
+      params_(params),
+      buffer_(params.buffer_per_destination) {}
+
+void AodvProtocol::start() {
+  sim_->schedule(jitter(), [this] { hello_timer(); });
+}
+
+void AodvProtocol::send(Packet packet, NodeId destination) {
+  DataHeader header;
+  header.src = address();
+  header.dst = destination;
+  header.ttl = 32;
+  packet.push(header);
+  ++stats_.data_originated;
+  route_output(std::move(packet));
+}
+
+void AodvProtocol::route_output(Packet packet) {
+  const DataHeader* header = packet.peek<DataHeader>();
+  const NodeId dst = header->dst;
+  if (const RouteEntry* route = table_.lookup(dst, sim_->now())) {
+    const NodeId next_hop = route->next_hop;
+    refresh_route_lifetime(dst, params_.active_route_timeout);
+    refresh_route_lifetime(next_hop, params_.active_route_timeout);
+    send_data_link(std::move(packet), next_hop);
+    return;
+  }
+  if (!buffer_.enqueue(dst, std::move(packet))) {
+    ++stats_.drops_buffer;
+  }
+  if (!discoveries_.contains(dst)) start_discovery(dst);
+}
+
+void AodvProtocol::start_discovery(NodeId dst) {
+  ++stats_.route_discoveries;
+  Discovery d;
+  d.retries = 0;
+  d.ttl = params_.ttl_start;
+  discoveries_[dst] = std::move(d);
+  send_rreq(dst);
+}
+
+void AodvProtocol::send_rreq(NodeId dst) {
+  auto& d = discoveries_.at(dst);
+  ++seqno_;  // RFC 6.1: increment own seqno before originating an RREQ
+  ++rreq_id_;
+
+  RreqHeader rreq;
+  rreq.rreq_id = rreq_id_;
+  rreq.dst = dst;
+  if (const RouteEntry* stale = table_.find(dst); stale && stale->valid_seqno) {
+    rreq.dst_seqno = stale->seqno;
+    rreq.dst_seqno_known = true;
+  }
+  rreq.origin = address();
+  rreq.origin_seqno = seqno_;
+  rreq.hop_count = 0;
+  rreq.ttl = static_cast<std::uint8_t>(d.ttl);
+
+  rreq_seen_[{address(), rreq_id_}] =
+      sim_->now() + params_.ring_traversal_time(params_.net_diameter);
+
+  Packet packet(0);
+  packet.push(rreq);
+  send_control(std::move(packet), kBroadcast);
+
+  d.timeout.cancel();
+  d.timeout = sim_->schedule(params_.ring_traversal_time(d.ttl),
+                             [this, dst] { discovery_timeout(dst); });
+}
+
+void AodvProtocol::discovery_timeout(NodeId dst) {
+  const auto it = discoveries_.find(dst);
+  if (it == discoveries_.end()) return;
+  Discovery& d = it->second;
+  // Widen the ring; past the threshold, flood the whole network.
+  if (d.ttl < params_.ttl_threshold) {
+    d.ttl = std::min(d.ttl + params_.ttl_increment, params_.ttl_threshold);
+    send_rreq(dst);
+    return;
+  }
+  if (d.ttl < params_.net_diameter) {
+    d.ttl = params_.net_diameter;
+    send_rreq(dst);
+    return;
+  }
+  ++d.retries;
+  if (d.retries <= params_.rreq_retries) {
+    send_rreq(dst);
+    return;
+  }
+  // Give up: destination unreachable.
+  discoveries_.erase(it);
+  auto pending = buffer_.take(dst);
+  stats_.drops_no_route += pending.size();
+}
+
+void AodvProtocol::hello_timer() {
+  HelloHeader hello;
+  hello.origin = address();
+  hello.seqno = seqno_;
+  Packet packet(0);
+  packet.push(hello);
+  send_control(std::move(packet), kBroadcast);
+
+  // Sweep silent neighbours.
+  std::vector<NodeId> lost;
+  for (const auto& [neighbor, expiry] : neighbor_expiry_) {
+    if (expiry <= sim_->now()) lost.push_back(neighbor);
+  }
+  for (const NodeId neighbor : lost) handle_link_failure(neighbor);
+
+  // Expire the RREQ-seen cache.
+  std::erase_if(rreq_seen_,
+                [now = sim_->now()](const auto& kv) { return kv.second <= now; });
+
+  sim_->schedule(params_.hello_interval + jitter(10),
+                 [this] { hello_timer(); });
+}
+
+void AodvProtocol::refresh_neighbor(NodeId neighbor) {
+  neighbor_expiry_[neighbor] =
+      sim_->now() + params_.hello_interval *
+                        static_cast<std::int64_t>(params_.allowed_hello_loss);
+  update_route(neighbor, neighbor, 1, 0, false,
+               params_.hello_interval *
+                   static_cast<std::int64_t>(params_.allowed_hello_loss));
+}
+
+void AodvProtocol::update_route(NodeId dst, NodeId next_hop,
+                                std::uint32_t hop_count, std::uint32_t seqno,
+                                bool seqno_known, SimTime lifetime) {
+  RouteEntry& e = table_.upsert(dst);
+  const SimTime expires = sim_->now() + lifetime;
+  const bool fresher =
+      !e.valid ||
+      (seqno_known &&
+       (!e.valid_seqno ||
+        static_cast<std::int32_t>(seqno - e.seqno) > 0 ||
+        (seqno == e.seqno && hop_count < e.hop_count))) ||
+      (!seqno_known && !e.valid_seqno && hop_count <= e.hop_count);
+  if (fresher) {
+    e.next_hop = next_hop;
+    e.hop_count = hop_count;
+    if (seqno_known) {
+      e.seqno = seqno;
+      e.valid_seqno = true;
+    }
+    e.valid = true;
+    e.expires = std::max(e.expires, expires);
+  } else if (e.valid && e.next_hop == next_hop) {
+    e.expires = std::max(e.expires, expires);
+  }
+}
+
+void AodvProtocol::refresh_route_lifetime(NodeId dst, SimTime lifetime) {
+  if (RouteEntry* e = table_.find(dst); e && e->valid) {
+    e->expires = std::max(e->expires, sim_->now() + lifetime);
+  }
+}
+
+void AodvProtocol::flush_buffer(NodeId dst) {
+  auto pending = buffer_.take(dst);
+  for (auto& packet : pending) route_output(std::move(packet));
+}
+
+void AodvProtocol::on_link_receive(Packet packet, NodeId from) {
+  if (packet.peek<RreqHeader>() != nullptr) {
+    handle_rreq(std::move(packet), from);
+  } else if (packet.peek<RrepHeader>() != nullptr) {
+    handle_rrep(std::move(packet), from);
+  } else if (packet.peek<RerrHeader>() != nullptr) {
+    handle_rerr(std::move(packet), from);
+  } else if (const HelloHeader* hello = packet.peek<HelloHeader>()) {
+    handle_hello(*hello, from);
+  } else if (packet.peek<DataHeader>() != nullptr) {
+    forward_data(std::move(packet), from);
+  }
+}
+
+void AodvProtocol::forward_data(Packet packet, NodeId from) {
+  refresh_neighbor(from);
+  DataHeader* header = packet.peek<DataHeader>();
+  if (header->dst == address()) {
+    const DataHeader popped = packet.pop<DataHeader>();
+    deliver(std::move(packet), popped.src, popped.hops);
+    return;
+  }
+  if (header->ttl <= 1) {
+    ++stats_.drops_ttl;
+    return;
+  }
+  --header->ttl;
+  ++header->hops;
+  const NodeId dst = header->dst;
+  const NodeId src = header->src;
+  if (const RouteEntry* route = table_.lookup(dst, sim_->now())) {
+    ++stats_.data_forwarded;
+    const NodeId next_hop = route->next_hop;
+    refresh_route_lifetime(dst, params_.active_route_timeout);
+    refresh_route_lifetime(next_hop, params_.active_route_timeout);
+    refresh_route_lifetime(src, params_.active_route_timeout);
+    send_data_link(std::move(packet), next_hop);
+    return;
+  }
+  // RFC 6.11 case (ii): data for a destination we cannot reach — RERR.
+  ++stats_.drops_no_route;
+  RerrHeader rerr;
+  std::uint32_t seqno = 0;
+  if (const RouteEntry* stale = table_.find(dst)) seqno = stale->seqno + 1;
+  rerr.unreachable.push_back({dst, seqno});
+  Packet out(0);
+  out.push(rerr);
+  send_control(std::move(out), kBroadcast);
+}
+
+void AodvProtocol::handle_rreq(Packet packet, NodeId from) {
+  RreqHeader rreq = packet.pop<RreqHeader>();
+  refresh_neighbor(from);
+
+  const auto key = std::make_pair(rreq.origin, rreq.rreq_id);
+  if (rreq_seen_.contains(key)) return;
+  rreq_seen_[key] =
+      sim_->now() + params_.ring_traversal_time(params_.net_diameter);
+
+  ++rreq.hop_count;
+  // Reverse route to the originator through the previous hop.
+  update_route(rreq.origin, from, rreq.hop_count, rreq.origin_seqno, true,
+               params_.active_route_timeout * 2);
+
+  if (rreq.dst == address()) {
+    // RFC 6.6.1: destination bumps its seqno to max(own, requested).
+    if (rreq.dst_seqno_known &&
+        static_cast<std::int32_t>(rreq.dst_seqno - seqno_) > 0) {
+      seqno_ = rreq.dst_seqno;
+    }
+    ++seqno_;
+    RrepHeader rrep;
+    rrep.dst = address();
+    rrep.dst_seqno = seqno_;
+    rrep.origin = rreq.origin;
+    rrep.hop_count = 0;
+    rrep.lifetime = params_.my_route_timeout;
+    Packet out(0);
+    out.push(rrep);
+    send_control(std::move(out), from);
+    return;
+  }
+
+  // Intermediate node with a fresh-enough route replies on the
+  // destination's behalf.
+  if (const RouteEntry* route = table_.lookup(rreq.dst, sim_->now());
+      route && route->valid_seqno && rreq.dst_seqno_known &&
+      static_cast<std::int32_t>(route->seqno - rreq.dst_seqno) >= 0) {
+    RrepHeader rrep;
+    rrep.dst = rreq.dst;
+    rrep.dst_seqno = route->seqno;
+    rrep.origin = rreq.origin;
+    rrep.hop_count = static_cast<std::uint8_t>(route->hop_count);
+    rrep.lifetime = route->expires - sim_->now();
+    Packet out(0);
+    out.push(rrep);
+    send_control(std::move(out), from);
+    return;
+  }
+
+  if (rreq.ttl <= 1) return;
+  --rreq.ttl;
+  Packet out(0);
+  out.push(rreq);
+  send_control(std::move(out), kBroadcast);
+}
+
+void AodvProtocol::handle_rrep(Packet packet, NodeId from) {
+  RrepHeader rrep = packet.pop<RrepHeader>();
+  refresh_neighbor(from);
+
+  ++rrep.hop_count;
+  update_route(rrep.dst, from, rrep.hop_count, rrep.dst_seqno, true,
+               rrep.lifetime);
+
+  if (rrep.origin == address()) {
+    // Our discovery succeeded.
+    if (const auto it = discoveries_.find(rrep.dst); it != discoveries_.end()) {
+      it->second.timeout.cancel();
+      discoveries_.erase(it);
+    }
+    flush_buffer(rrep.dst);
+    return;
+  }
+  // Forward along the reverse path.
+  if (const RouteEntry* reverse = table_.lookup(rrep.origin, sim_->now())) {
+    refresh_route_lifetime(rrep.origin, params_.active_route_timeout);
+    Packet out(0);
+    out.push(rrep);
+    send_control(std::move(out), reverse->next_hop);
+  }
+}
+
+void AodvProtocol::handle_rerr(Packet packet, NodeId from) {
+  const RerrHeader rerr = packet.pop<RerrHeader>();
+  RerrHeader forward;
+  for (const auto& u : rerr.unreachable) {
+    RouteEntry* e = table_.find(u.dst);
+    if (e != nullptr && e->valid && e->next_hop == from) {
+      e->valid = false;
+      e->seqno = std::max(e->seqno, u.seqno);
+      forward.unreachable.push_back({u.dst, e->seqno});
+    }
+  }
+  if (!forward.unreachable.empty()) {
+    Packet out(0);
+    out.push(forward);
+    send_control(std::move(out), kBroadcast);
+  }
+}
+
+void AodvProtocol::handle_hello(const HelloHeader& hello, NodeId from) {
+  refresh_neighbor(from);
+  update_route(hello.origin, from, 1, hello.seqno, true,
+               params_.hello_interval *
+                   static_cast<std::int64_t>(params_.allowed_hello_loss));
+}
+
+void AodvProtocol::on_link_tx_failed(const Packet& packet, NodeId dest) {
+  RoutingProtocol::on_link_tx_failed(packet, dest);
+  handle_link_failure(dest);
+}
+
+void AodvProtocol::handle_link_failure(NodeId neighbor) {
+  neighbor_expiry_.erase(neighbor);
+  RerrHeader rerr;
+  for (auto& [dst, e] : table_.entries()) {
+    if (e.valid && e.next_hop == neighbor) {
+      e.valid = false;
+      ++e.seqno;  // RFC 6.11: increment seqno of each unreachable dest
+      rerr.unreachable.push_back({dst, e.seqno});
+    }
+  }
+  if (!rerr.unreachable.empty()) {
+    Packet out(0);
+    out.push(rerr);
+    send_control(std::move(out), kBroadcast);
+  }
+}
+
+}  // namespace cavenet::routing::aodv

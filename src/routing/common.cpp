@@ -1,0 +1,116 @@
+#include "routing/common.h"
+
+namespace cavenet::routing {
+
+const RouteEntry* RoutingTable::lookup(netsim::NodeId dst, SimTime now) const {
+  const auto it = entries_.find(dst);
+  if (it == entries_.end()) return nullptr;
+  const RouteEntry& e = it->second;
+  if (!e.valid || e.expires <= now) return nullptr;
+  return &e;
+}
+
+RouteEntry* RoutingTable::find(netsim::NodeId dst) {
+  const auto it = entries_.find(dst);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const RouteEntry* RoutingTable::find(netsim::NodeId dst) const {
+  const auto it = entries_.find(dst);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+RouteEntry& RoutingTable::upsert(netsim::NodeId dst) { return entries_[dst]; }
+
+void RoutingTable::invalidate(netsim::NodeId dst) {
+  const auto it = entries_.find(dst);
+  if (it != entries_.end()) it->second.valid = false;
+}
+
+bool PacketBuffer::enqueue(netsim::NodeId dst, netsim::Packet packet) {
+  auto& q = buffers_[dst];
+  if (q.size() >= limit_) return false;
+  q.push_back(std::move(packet));
+  return true;
+}
+
+std::deque<netsim::Packet> PacketBuffer::take(netsim::NodeId dst) {
+  const auto it = buffers_.find(dst);
+  if (it == buffers_.end()) return {};
+  std::deque<netsim::Packet> out = std::move(it->second);
+  buffers_.erase(it);
+  return out;
+}
+
+bool PacketBuffer::has(netsim::NodeId dst) const {
+  const auto it = buffers_.find(dst);
+  return it != buffers_.end() && !it->second.empty();
+}
+
+std::size_t PacketBuffer::size(netsim::NodeId dst) const {
+  const auto it = buffers_.find(dst);
+  return it == buffers_.end() ? 0 : it->second.size();
+}
+
+RoutingProtocol::RoutingProtocol(netsim::Simulator& sim,
+                                 netsim::LinkLayer& link, std::string name,
+                                 std::uint64_t rng_stream)
+    : sim_(&sim),
+      link_(&link),
+      name_(std::move(name)),
+      rng_(sim.make_rng(0x726f757465000000ULL ^ rng_stream ^ link.address())) {
+  link_->set_receive_callback(
+      [this](netsim::Packet p, netsim::NodeId from) {
+        on_link_receive(std::move(p), from);
+      });
+  link_->set_tx_failed_callback(
+      [this](const netsim::Packet& p, netsim::NodeId dest) {
+        on_link_tx_failed(p, dest);
+      });
+}
+
+void RoutingProtocol::deliver(netsim::Packet packet, netsim::NodeId source,
+                              std::uint32_t hops) {
+  ++stats_.data_delivered;
+  stats_.delivered_hops_sum += hops;
+  if (log_ != nullptr) {
+    log_->record(sim_->now(), netsim::PacketLog::Event::kReceive,
+                 netsim::PacketLog::Layer::kAgent, address(), packet.uid(),
+                 packet.top_name(), packet.size_bytes());
+  }
+  if (deliver_cb_) deliver_cb_(std::move(packet), source);
+}
+
+void RoutingProtocol::send_control(netsim::Packet packet, netsim::NodeId dest) {
+  ++stats_.control_packets_sent;
+  stats_.control_bytes_sent += packet.size_bytes();
+  if (log_ != nullptr) {
+    log_->record(sim_->now(), netsim::PacketLog::Event::kSend,
+                 netsim::PacketLog::Layer::kRouter, address(), packet.uid(),
+                 packet.top_name(), packet.size_bytes());
+  }
+  // Routing control traffic jumps the interface queue (ns-2 behaviour):
+  // a full data backlog must not delay discovery or link sensing.
+  link_->send_priority(std::move(packet), dest);
+}
+
+void RoutingProtocol::send_data_link(netsim::Packet packet,
+                                     netsim::NodeId next_hop) {
+  if (log_ != nullptr) {
+    log_->record(sim_->now(), netsim::PacketLog::Event::kForward,
+                 netsim::PacketLog::Layer::kRouter, address(), packet.uid(),
+                 packet.top_name(), packet.size_bytes());
+  }
+  link_->send(std::move(packet), next_hop);
+}
+
+SimTime RoutingProtocol::jitter(std::int64_t max_ms) {
+  return SimTime::nanoseconds(static_cast<std::int64_t>(
+      rng_.uniform_int(static_cast<std::uint64_t>(max_ms) * 1'000'000)));
+}
+
+void RoutingProtocol::on_link_tx_failed(const netsim::Packet&, netsim::NodeId) {
+  ++stats_.link_failures;
+}
+
+}  // namespace cavenet::routing

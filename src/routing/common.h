@@ -1,0 +1,153 @@
+// Shared routing infrastructure: network data header, route table,
+// pending-packet buffer, stats, and the RoutingProtocol base class that
+// AODV, OLSR and DYMO derive from.
+#ifndef CAVENET_ROUTING_COMMON_H
+#define CAVENET_ROUTING_COMMON_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "netsim/layers.h"
+#include "netsim/packet_log.h"
+#include "netsim/simulator.h"
+#include "util/rng.h"
+
+namespace cavenet::routing {
+
+/// Network-layer data header (IPv4-sized: 20 bytes).
+struct DataHeader final : netsim::HeaderBase<DataHeader> {
+  netsim::NodeId src = 0;
+  netsim::NodeId dst = 0;
+  std::uint8_t ttl = 32;
+  /// Hops traversed so far; incremented by every forwarding router.
+  std::uint8_t hops = 0;
+
+  std::size_t size_bytes() const override { return 20; }
+  std::string name() const override { return "data"; }
+};
+
+struct RouteEntry {
+  netsim::NodeId next_hop = 0;
+  std::uint32_t hop_count = 0;
+  std::uint32_t seqno = 0;
+  bool valid_seqno = false;
+  bool valid = false;
+  SimTime expires = SimTime::zero();
+};
+
+/// Destination-keyed routing table with lifetime-based expiry.
+class RoutingTable {
+ public:
+  /// Entry for `dst` if it exists, is valid and not expired at `now`.
+  const RouteEntry* lookup(netsim::NodeId dst, SimTime now) const;
+  /// Entry regardless of validity/expiry (for seqno bookkeeping).
+  RouteEntry* find(netsim::NodeId dst);
+  const RouteEntry* find(netsim::NodeId dst) const;
+  /// Inserts or returns the existing entry.
+  RouteEntry& upsert(netsim::NodeId dst);
+  /// Marks the route invalid (keeps seqno history). No-op if absent.
+  void invalidate(netsim::NodeId dst);
+  void erase(netsim::NodeId dst) { entries_.erase(dst); }
+  void clear() { entries_.clear(); }
+
+  const std::map<netsim::NodeId, RouteEntry>& entries() const {
+    return entries_;
+  }
+  std::map<netsim::NodeId, RouteEntry>& entries() { return entries_; }
+
+ private:
+  std::map<netsim::NodeId, RouteEntry> entries_;
+};
+
+/// Packets waiting for route discovery, bounded per destination.
+class PacketBuffer {
+ public:
+  explicit PacketBuffer(std::size_t per_destination_limit = 64)
+      : limit_(per_destination_limit) {}
+
+  /// Returns false (and drops) when the destination's buffer is full.
+  bool enqueue(netsim::NodeId dst, netsim::Packet packet);
+  /// Removes and returns every packet buffered for `dst`.
+  std::deque<netsim::Packet> take(netsim::NodeId dst);
+  bool has(netsim::NodeId dst) const;
+  std::size_t size(netsim::NodeId dst) const;
+
+ private:
+  std::size_t limit_;
+  std::map<netsim::NodeId, std::deque<netsim::Packet>> buffers_;
+};
+
+struct RoutingStats {
+  std::uint64_t control_packets_sent = 0;
+  std::uint64_t control_bytes_sent = 0;
+  std::uint64_t data_originated = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t data_delivered = 0;
+  /// Sum of hop counts over delivered packets (mean = sum / delivered).
+  std::uint64_t delivered_hops_sum = 0;
+  std::uint64_t drops_no_route = 0;
+  std::uint64_t drops_ttl = 0;
+  std::uint64_t drops_buffer = 0;
+  std::uint64_t route_discoveries = 0;  ///< reactive protocols
+  std::uint64_t link_failures = 0;
+};
+
+/// Base class wiring a routing protocol onto a link layer.
+class RoutingProtocol : public netsim::NetworkLayer {
+ public:
+  RoutingProtocol(netsim::Simulator& sim, netsim::LinkLayer& link,
+                  std::string name, std::uint64_t rng_stream);
+
+  RoutingProtocol(const RoutingProtocol&) = delete;
+  RoutingProtocol& operator=(const RoutingProtocol&) = delete;
+
+  /// Starts periodic timers (hello/TC). Scenarios call this once at setup;
+  /// the first firing is jittered to avoid fleet-wide synchronization.
+  virtual void start() = 0;
+
+  void set_deliver_callback(DeliverCallback cb) override {
+    deliver_cb_ = std::move(cb);
+  }
+  netsim::NodeId address() const override { return link_->address(); }
+
+  const RoutingStats& stats() const noexcept { return stats_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Read-only routing-table view for tests and debugging tools.
+  virtual const RoutingTable& table() const = 0;
+
+  /// Attaches an (optional, non-owning) packet event log.
+  void set_packet_log(netsim::PacketLog* log) noexcept { log_ = log; }
+
+ protected:
+  /// Hands a packet to the application layer. `hops` is the traversed
+  /// hop count from the popped data header (for path-length statistics).
+  void deliver(netsim::Packet packet, netsim::NodeId source,
+               std::uint32_t hops = 0);
+  /// Sends a control packet on the link, counting overhead.
+  void send_control(netsim::Packet packet, netsim::NodeId dest);
+  /// Sends a data packet to a next hop (no overhead accounting).
+  void send_data_link(netsim::Packet packet, netsim::NodeId next_hop);
+
+  /// Uniform jitter in [0, max_ms) milliseconds, for timer desync.
+  SimTime jitter(std::int64_t max_ms = 100);
+
+  virtual void on_link_receive(netsim::Packet packet, netsim::NodeId from) = 0;
+  virtual void on_link_tx_failed(const netsim::Packet& packet,
+                                 netsim::NodeId dest);
+
+  netsim::Simulator* sim_;
+  netsim::LinkLayer* link_;
+  std::string name_;
+  Rng rng_;
+  DeliverCallback deliver_cb_;
+  netsim::PacketLog* log_ = nullptr;
+  RoutingStats stats_;
+};
+
+}  // namespace cavenet::routing
+
+#endif  // CAVENET_ROUTING_COMMON_H

@@ -1,0 +1,177 @@
+#include "routing/dsdv.h"
+
+#include <algorithm>
+
+namespace cavenet::routing::dsdv {
+
+using netsim::kBroadcast;
+using netsim::NodeId;
+using netsim::Packet;
+
+DsdvProtocol::DsdvProtocol(netsim::Simulator& sim, netsim::LinkLayer& link,
+                           DsdvParams params)
+    : RoutingProtocol(sim, link, "dsdv", 0x64736476), params_(params) {}
+
+void DsdvProtocol::start() {
+  sim_->schedule(jitter(), [this] { periodic_update(); });
+}
+
+void DsdvProtocol::send(Packet packet, NodeId destination) {
+  DataHeader header;
+  header.src = address();
+  header.dst = destination;
+  header.ttl = 32;
+  packet.push(header);
+  ++stats_.data_originated;
+  if (const RouteEntry* route = table_.lookup(destination, sim_->now())) {
+    send_data_link(std::move(packet), route->next_hop);
+    return;
+  }
+  // Proactive protocol: no route means drop (like OLSR, unlike AODV/DYMO).
+  ++stats_.drops_no_route;
+}
+
+void DsdvProtocol::on_link_receive(Packet packet, NodeId from) {
+  if (const UpdateHeader* update = packet.peek<UpdateHeader>()) {
+    handle_update(*update, from);
+  } else if (packet.peek<DataHeader>() != nullptr) {
+    forward_data(std::move(packet), from);
+  }
+}
+
+void DsdvProtocol::forward_data(Packet packet, NodeId from) {
+  (void)from;
+  DataHeader* header = packet.peek<DataHeader>();
+  if (header->dst == address()) {
+    const DataHeader popped = packet.pop<DataHeader>();
+    deliver(std::move(packet), popped.src, popped.hops);
+    return;
+  }
+  if (header->ttl <= 1) {
+    ++stats_.drops_ttl;
+    return;
+  }
+  --header->ttl;
+  ++header->hops;
+  if (const RouteEntry* route = table_.lookup(header->dst, sim_->now())) {
+    ++stats_.data_forwarded;
+    send_data_link(std::move(packet), route->next_hop);
+    return;
+  }
+  ++stats_.drops_no_route;
+}
+
+void DsdvProtocol::handle_update(const UpdateHeader& update, NodeId from) {
+  const SimTime hold =
+      params_.update_interval *
+      static_cast<std::int64_t>(params_.allowed_update_loss);
+  neighbor_expiry_[from] = sim_->now() + hold;
+
+  // The advertising neighbour itself: its own entry is in the list, but
+  // guarantee a 1-hop route even for partial dumps.
+  bool changed = false;
+  auto consider = [&](NodeId dst, std::uint32_t metric, std::uint32_t seqno) {
+    if (dst == address()) return;
+    RouteEntry& e = table_.upsert(dst);
+    const bool newer = static_cast<std::int32_t>(seqno - e.seqno) > 0;
+    const bool better = seqno == e.seqno && metric < e.hop_count;
+    if (!e.valid || !e.valid_seqno || newer || better) {
+      const bool reachable = metric < params_.infinity_metric;
+      if (e.valid != reachable || e.next_hop != from ||
+          e.hop_count != metric || e.seqno != seqno) {
+        changed = true;
+        dirty_.push_back(dst);
+      }
+      e.next_hop = from;
+      e.hop_count = metric;
+      e.seqno = seqno;
+      e.valid_seqno = true;
+      e.valid = reachable;
+      e.expires = sim_->now() + hold * 2;
+    } else if (e.valid && e.next_hop == from && seqno == e.seqno) {
+      e.expires = sim_->now() + hold * 2;
+    }
+  };
+
+  for (const auto& entry : update.entries) {
+    const std::uint32_t metric =
+        std::min(entry.metric + 1, params_.infinity_metric);
+    consider(entry.dst, metric, entry.seqno);
+  }
+  if (changed) schedule_triggered_update();
+}
+
+void DsdvProtocol::periodic_update() {
+  // Sweep silent neighbours first.
+  std::vector<NodeId> lost;
+  for (const auto& [neighbor, expiry] : neighbor_expiry_) {
+    if (expiry <= sim_->now()) lost.push_back(neighbor);
+  }
+  for (const NodeId neighbor : lost) handle_link_failure(neighbor);
+
+  broadcast_table(/*full_dump=*/true);
+  sim_->schedule(params_.update_interval + jitter(10),
+                 [this] { periodic_update(); });
+}
+
+void DsdvProtocol::broadcast_table(bool full_dump) {
+  seqno_ += 2;  // even: route is alive
+  UpdateHeader update;
+  update.origin = address();
+  update.entries.push_back({address(), 0, seqno_});
+  if (full_dump) {
+    for (const auto& [dst, e] : table_.entries()) {
+      if (!e.valid_seqno) continue;
+      update.entries.push_back(
+          {dst, e.valid ? e.hop_count : params_.infinity_metric, e.seqno});
+    }
+  } else {
+    std::sort(dirty_.begin(), dirty_.end());
+    dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+    for (const NodeId dst : dirty_) {
+      const RouteEntry* e = table_.find(dst);
+      if (e == nullptr || !e->valid_seqno) continue;
+      update.entries.push_back(
+          {dst, e->valid ? e->hop_count : params_.infinity_metric, e->seqno});
+    }
+  }
+  dirty_.clear();
+  last_update_sent_ = sim_->now();
+  Packet packet(0);
+  packet.push(update);
+  send_control(std::move(packet), kBroadcast);
+}
+
+void DsdvProtocol::schedule_triggered_update() {
+  if (triggered_pending_) return;
+  triggered_pending_ = true;
+  const SimTime earliest = last_update_sent_ + params_.triggered_update_min_gap;
+  const SimTime delay =
+      earliest > sim_->now() ? earliest - sim_->now() : SimTime::zero();
+  sim_->schedule(delay, [this] {
+    triggered_pending_ = false;
+    broadcast_table(/*full_dump=*/false);
+  });
+}
+
+void DsdvProtocol::on_link_tx_failed(const Packet& packet, NodeId dest) {
+  RoutingProtocol::on_link_tx_failed(packet, dest);
+  handle_link_failure(dest);
+}
+
+void DsdvProtocol::handle_link_failure(NodeId neighbor) {
+  neighbor_expiry_.erase(neighbor);
+  bool changed = false;
+  for (auto& [dst, e] : table_.entries()) {
+    if (e.valid && e.next_hop == neighbor) {
+      e.valid = false;
+      e.hop_count = params_.infinity_metric;
+      ++e.seqno;  // odd: generated by the breakage detector
+      dirty_.push_back(dst);
+      changed = true;
+    }
+  }
+  if (changed) schedule_triggered_update();
+}
+
+}  // namespace cavenet::routing::dsdv

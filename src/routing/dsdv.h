@@ -1,0 +1,82 @@
+// Destination-Sequenced Distance Vector routing (Perkins & Bhagwat).
+//
+// The paper introduces AODV as "an improvement of DSDV to on-demand
+// scheme" (Section III-B2); DSDV is therefore the natural proactive
+// distance-vector baseline to compare the paper's three protocols against.
+//
+// Implemented: periodic full-table dumps, triggered incremental updates,
+// even own-sequence numbers (bumped per advertisement), odd sequence
+// numbers for broken routes, newest-sequence/shortest-metric selection,
+// neighbour timeout and MAC-feedback link-failure detection.
+#ifndef CAVENET_ROUTING_DSDV_H
+#define CAVENET_ROUTING_DSDV_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "routing/common.h"
+
+namespace cavenet::routing::dsdv {
+
+struct DsdvParams {
+  /// Full-dump broadcast period.
+  SimTime update_interval = SimTime::seconds(2);
+  /// Updates missed before a neighbour is declared lost.
+  std::uint32_t allowed_update_loss = 3;
+  /// Minimum spacing between triggered updates (damping).
+  SimTime triggered_update_min_gap = SimTime::milliseconds(250);
+  /// Metric value representing an unreachable destination.
+  std::uint32_t infinity_metric = 16;
+};
+
+struct UpdateHeader final : netsim::HeaderBase<UpdateHeader> {
+  struct Entry {
+    netsim::NodeId dst = 0;
+    std::uint32_t metric = 0;
+    std::uint32_t seqno = 0;
+  };
+  netsim::NodeId origin = 0;
+  std::vector<Entry> entries;
+
+  std::size_t size_bytes() const override { return 8 + 12 * entries.size(); }
+  std::string name() const override { return "dsdv-update"; }
+};
+
+class DsdvProtocol final : public RoutingProtocol {
+ public:
+  DsdvProtocol(netsim::Simulator& sim, netsim::LinkLayer& link,
+               DsdvParams params = {});
+
+  void start() override;
+  void send(netsim::Packet packet, netsim::NodeId destination) override;
+  const RoutingTable& table() const override { return table_; }
+
+  const DsdvParams& params() const noexcept { return params_; }
+  std::uint32_t seqno() const noexcept { return seqno_; }
+
+ private:
+  void on_link_receive(netsim::Packet packet, netsim::NodeId from) override;
+  void on_link_tx_failed(const netsim::Packet& packet,
+                         netsim::NodeId dest) override;
+
+  void forward_data(netsim::Packet packet, netsim::NodeId from);
+  void handle_update(const UpdateHeader& update, netsim::NodeId from);
+  void periodic_update();
+  void broadcast_table(bool full_dump);
+  void schedule_triggered_update();
+  void handle_link_failure(netsim::NodeId neighbor);
+
+  DsdvParams params_;
+  RoutingTable table_;
+  std::uint32_t seqno_ = 0;  ///< own destination-sequence number (even)
+  std::map<netsim::NodeId, SimTime> neighbor_expiry_;
+  /// Destinations whose entries changed since the last advertisement.
+  std::vector<netsim::NodeId> dirty_;
+  bool triggered_pending_ = false;
+  SimTime last_update_sent_ = SimTime::zero();
+};
+
+}  // namespace cavenet::routing::dsdv
+
+#endif  // CAVENET_ROUTING_DSDV_H

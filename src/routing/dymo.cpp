@@ -1,0 +1,351 @@
+#include "routing/dymo.h"
+
+#include <algorithm>
+
+namespace cavenet::routing::dymo {
+
+using netsim::kBroadcast;
+using netsim::NodeId;
+using netsim::Packet;
+
+DymoProtocol::DymoProtocol(netsim::Simulator& sim, netsim::LinkLayer& link,
+                           DymoParams params)
+    : RoutingProtocol(sim, link, "dymo", 0x64796d6f),
+      params_(params),
+      buffer_(params.buffer_per_destination) {}
+
+void DymoProtocol::start() {
+  sim_->schedule(jitter(), [this] { hello_timer(); });
+}
+
+void DymoProtocol::send(Packet packet, NodeId destination) {
+  DataHeader header;
+  header.src = address();
+  header.dst = destination;
+  header.ttl = 32;
+  packet.push(header);
+  ++stats_.data_originated;
+  route_output(std::move(packet));
+}
+
+void DymoProtocol::route_output(Packet packet) {
+  const NodeId dst = packet.peek<DataHeader>()->dst;
+  if (const RouteEntry* route = table_.lookup(dst, sim_->now())) {
+    const NodeId next_hop = route->next_hop;
+    // ROUTE_USED: refresh the lifetime of routes carrying traffic.
+    if (RouteEntry* e = table_.find(dst)) {
+      e->expires = std::max(e->expires, sim_->now() + params_.route_timeout);
+    }
+    send_data_link(std::move(packet), next_hop);
+    return;
+  }
+  if (!buffer_.enqueue(dst, std::move(packet))) {
+    ++stats_.drops_buffer;
+  }
+  if (!discoveries_.contains(dst)) start_discovery(dst);
+}
+
+void DymoProtocol::start_discovery(NodeId dst) {
+  ++stats_.route_discoveries;
+  discoveries_[dst] = Discovery{};
+  send_rreq(dst);
+}
+
+void DymoProtocol::send_rreq(NodeId dst) {
+  auto& d = discoveries_.at(dst);
+  ++seqno_;
+
+  RreqHeader rreq;
+  rreq.target = dst;
+  if (const RouteEntry* stale = table_.find(dst); stale && stale->valid_seqno) {
+    rreq.target_seqno = stale->seqno;
+    rreq.target_seqno_known = true;
+  }
+  rreq.hop_limit = params_.msg_hop_limit;
+  rreq.path.push_back({address(), seqno_, 0});
+
+  Packet packet(0);
+  packet.push(rreq);
+  send_control(std::move(packet), kBroadcast);
+
+  // Exponential backoff between tries (draft section 5.4).
+  const SimTime wait =
+      params_.rreq_wait_time * (std::int64_t{1} << d.tries);
+  d.timeout.cancel();
+  d.timeout = sim_->schedule(wait, [this, dst] { discovery_timeout(dst); });
+}
+
+void DymoProtocol::discovery_timeout(NodeId dst) {
+  const auto it = discoveries_.find(dst);
+  if (it == discoveries_.end()) return;
+  Discovery& d = it->second;
+  ++d.tries;
+  if (d.tries < params_.rreq_tries) {
+    send_rreq(dst);
+    return;
+  }
+  discoveries_.erase(it);
+  auto pending = buffer_.take(dst);
+  stats_.drops_no_route += pending.size();
+}
+
+bool DymoProtocol::update_route(NodeId dst, NodeId next_hop,
+                                std::uint32_t hop_count, std::uint32_t seqno,
+                                bool seqno_known) {
+  if (dst == address()) return false;
+  RouteEntry& e = table_.upsert(dst);
+  const bool improved =
+      !e.valid ||
+      (seqno_known &&
+       (!e.valid_seqno || static_cast<std::int32_t>(seqno - e.seqno) > 0 ||
+        (seqno == e.seqno && hop_count < e.hop_count))) ||
+      (!seqno_known && !e.valid_seqno && hop_count <= e.hop_count);
+  if (!improved) {
+    if (e.valid && e.next_hop == next_hop) {
+      e.expires = std::max(e.expires, sim_->now() + params_.route_timeout);
+    }
+    return false;
+  }
+  e.next_hop = next_hop;
+  e.hop_count = hop_count;
+  if (seqno_known) {
+    e.seqno = seqno;
+    e.valid_seqno = true;
+  }
+  e.valid = true;
+  e.expires = std::max(e.expires, sim_->now() + params_.route_timeout);
+  return true;
+}
+
+bool DymoProtocol::process_path(const std::vector<AddressBlock>& path,
+                                NodeId from) {
+  // Path accumulation payoff: a route to EVERY router listed in the
+  // message, all through the link-level sender.
+  bool origin_improved = false;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const AddressBlock& entry = path[i];
+    const bool improved =
+        update_route(entry.addr, from, entry.hop_count + 1u, entry.seqno,
+                     /*seqno_known=*/true);
+    if (i == 0) origin_improved = improved;
+  }
+  return origin_improved;
+}
+
+void DymoProtocol::append_self(RoutingMessageHeader& message) {
+  for (AddressBlock& entry : message.path) ++entry.hop_count;
+  message.path.push_back({address(), seqno_, 0});
+}
+
+void DymoProtocol::on_link_receive(Packet packet, NodeId from) {
+  if (packet.peek<RreqHeader>() != nullptr) {
+    handle_rreq(std::move(packet), from);
+  } else if (packet.peek<RrepHeader>() != nullptr) {
+    handle_rrep(std::move(packet), from);
+  } else if (packet.peek<RerrHeader>() != nullptr) {
+    handle_rerr(std::move(packet), from);
+  } else if (const HelloHeader* hello = packet.peek<HelloHeader>()) {
+    refresh_neighbor(from);
+    update_route(hello->origin, from, 1, hello->seqno, true);
+  } else if (packet.peek<DataHeader>() != nullptr) {
+    forward_data(std::move(packet), from);
+  }
+}
+
+void DymoProtocol::forward_data(Packet packet, NodeId from) {
+  refresh_neighbor(from);
+  DataHeader* header = packet.peek<DataHeader>();
+  if (header->dst == address()) {
+    const DataHeader popped = packet.pop<DataHeader>();
+    deliver(std::move(packet), popped.src, popped.hops);
+    return;
+  }
+  if (header->ttl <= 1) {
+    ++stats_.drops_ttl;
+    return;
+  }
+  --header->ttl;
+  ++header->hops;
+  const NodeId dst = header->dst;
+  if (const RouteEntry* route = table_.lookup(dst, sim_->now())) {
+    ++stats_.data_forwarded;
+    if (RouteEntry* e = table_.find(dst)) {
+      e->expires = std::max(e->expires, sim_->now() + params_.route_timeout);
+    }
+    send_data_link(std::move(packet), route->next_hop);
+    return;
+  }
+  ++stats_.drops_no_route;
+  RerrHeader rerr;
+  std::uint32_t seqno = 0;
+  if (const RouteEntry* stale = table_.find(dst)) seqno = stale->seqno;
+  rerr.unreachable.push_back({dst, seqno});
+  rerr.hop_limit = params_.msg_hop_limit;
+  Packet out(0);
+  out.push(rerr);
+  send_control(std::move(out), kBroadcast);
+}
+
+void DymoProtocol::handle_rreq(Packet packet, NodeId from) {
+  RreqHeader rreq = packet.pop<RreqHeader>();
+  refresh_neighbor(from);
+  if (rreq.path.empty()) return;
+
+  const AddressBlock origin = rreq.path.front();
+  if (origin.addr == address()) return;  // our own flood echoed back
+
+  // Duplicate suppression by originator sequence number.
+  if (const auto it = rreq_seen_.find(origin.addr);
+      it != rreq_seen_.end() &&
+      static_cast<std::int32_t>(origin.seqno - it->second) <= 0) {
+    return;
+  }
+  rreq_seen_[origin.addr] = origin.seqno;
+
+  process_path(rreq.path, from);
+
+  if (rreq.target == address()) {
+    // Target: answer with an RREP accumulated back along the path.
+    if (rreq.target_seqno_known &&
+        static_cast<std::int32_t>(rreq.target_seqno - seqno_) > 0) {
+      seqno_ = rreq.target_seqno;
+    }
+    ++seqno_;
+    RrepHeader rrep;
+    rrep.target = origin.addr;
+    rrep.hop_limit = params_.msg_hop_limit;
+    rrep.path.push_back({address(), seqno_, 0});
+    Packet out(0);
+    out.push(rrep);
+    send_control(std::move(out), from);
+    return;
+  }
+
+  if (params_.intermediate_rrep) {
+    if (const RouteEntry* route = table_.lookup(rreq.target, sim_->now());
+        route && route->valid_seqno && rreq.target_seqno_known &&
+        static_cast<std::int32_t>(route->seqno - rreq.target_seqno) >= 0) {
+      RrepHeader rrep;
+      rrep.target = origin.addr;
+      rrep.hop_limit = params_.msg_hop_limit;
+      // Answer on the target's behalf with our cached distance.
+      rrep.path.push_back(
+          {rreq.target, route->seqno,
+           static_cast<std::uint8_t>(route->hop_count)});
+      append_self(rrep);
+      Packet out(0);
+      out.push(rrep);
+      send_control(std::move(out), from);
+      return;
+    }
+  }
+
+  if (rreq.hop_limit <= 1) return;
+  --rreq.hop_limit;
+  append_self(rreq);
+  Packet out(0);
+  out.push(rreq);
+  send_control(std::move(out), kBroadcast);
+}
+
+void DymoProtocol::handle_rrep(Packet packet, NodeId from) {
+  RrepHeader rrep = packet.pop<RrepHeader>();
+  refresh_neighbor(from);
+  if (rrep.path.empty()) return;
+
+  process_path(rrep.path, from);
+  const NodeId learned = rrep.path.front().addr;
+
+  if (rrep.target == address()) {
+    if (const auto it = discoveries_.find(learned); it != discoveries_.end()) {
+      it->second.timeout.cancel();
+      discoveries_.erase(it);
+    }
+    flush_buffer(learned);
+    return;
+  }
+  if (rrep.hop_limit <= 1) return;
+  --rrep.hop_limit;
+  if (const RouteEntry* route = table_.lookup(rrep.target, sim_->now())) {
+    append_self(rrep);
+    Packet out(0);
+    out.push(rrep);
+    send_control(std::move(out), route->next_hop);
+  }
+}
+
+void DymoProtocol::handle_rerr(Packet packet, NodeId from) {
+  RerrHeader rerr = packet.pop<RerrHeader>();
+  RerrHeader forward;
+  for (const auto& u : rerr.unreachable) {
+    RouteEntry* e = table_.find(u.addr);
+    if (e != nullptr && e->valid && e->next_hop == from) {
+      e->valid = false;
+      e->seqno = std::max(e->seqno, u.seqno);
+      forward.unreachable.push_back({u.addr, e->seqno});
+    }
+  }
+  // Flooding: every router whose routes the RERR invalidated re-multicasts
+  // it (the paper's "effectively flooding information about a link
+  // breakage through the MANET").
+  if (!forward.unreachable.empty() && rerr.hop_limit > 1) {
+    forward.hop_limit = rerr.hop_limit - 1u;
+    Packet out(0);
+    out.push(forward);
+    send_control(std::move(out), kBroadcast);
+  }
+}
+
+void DymoProtocol::hello_timer() {
+  HelloHeader hello;
+  hello.origin = address();
+  hello.seqno = seqno_;
+  Packet packet(0);
+  packet.push(hello);
+  send_control(std::move(packet), kBroadcast);
+
+  std::vector<NodeId> lost;
+  for (const auto& [neighbor, expiry] : neighbor_expiry_) {
+    if (expiry <= sim_->now()) lost.push_back(neighbor);
+  }
+  for (const NodeId neighbor : lost) handle_link_failure(neighbor);
+
+  sim_->schedule(params_.hello_interval + jitter(10),
+                 [this] { hello_timer(); });
+}
+
+void DymoProtocol::refresh_neighbor(NodeId neighbor) {
+  neighbor_expiry_[neighbor] =
+      sim_->now() + params_.hello_interval *
+                        static_cast<std::int64_t>(params_.allowed_hello_loss);
+  update_route(neighbor, neighbor, 1, 0, false);
+}
+
+void DymoProtocol::on_link_tx_failed(const Packet& packet, NodeId dest) {
+  RoutingProtocol::on_link_tx_failed(packet, dest);
+  handle_link_failure(dest);
+}
+
+void DymoProtocol::handle_link_failure(NodeId neighbor) {
+  neighbor_expiry_.erase(neighbor);
+  RerrHeader rerr;
+  for (auto& [dst, e] : table_.entries()) {
+    if (e.valid && e.next_hop == neighbor) {
+      e.valid = false;
+      rerr.unreachable.push_back({dst, e.seqno});
+    }
+  }
+  if (!rerr.unreachable.empty()) {
+    rerr.hop_limit = params_.msg_hop_limit;
+    Packet out(0);
+    out.push(rerr);
+    send_control(std::move(out), kBroadcast);
+  }
+}
+
+void DymoProtocol::flush_buffer(NodeId dst) {
+  auto pending = buffer_.take(dst);
+  for (auto& packet : pending) route_output(std::move(packet));
+}
+
+}  // namespace cavenet::routing::dymo

@@ -1,0 +1,63 @@
+// Routing-protocol selection for scenarios and benches.
+#ifndef CAVENET_SCENARIO_PROTOCOL_H
+#define CAVENET_SCENARIO_PROTOCOL_H
+
+#include <memory>
+#include <string>
+
+#include "netsim/layers.h"
+#include "netsim/simulator.h"
+#include "routing/aodv.h"
+#include "routing/common.h"
+#include "routing/dsdv.h"
+#include "routing/dymo.h"
+#include "routing/olsr.h"
+
+namespace cavenet::scenario {
+
+/// The paper evaluates AODV, OLSR and DYMO; DSDV (the protocol AODV
+/// descends from, paper Section III-B2) is included as an extra baseline.
+enum class Protocol { kAodv, kOlsr, kDymo, kDsdv };
+
+inline const char* to_string(Protocol protocol) noexcept {
+  switch (protocol) {
+    case Protocol::kAodv: return "AODV";
+    case Protocol::kOlsr: return "OLSR";
+    case Protocol::kDymo: return "DYMO";
+    case Protocol::kDsdv: return "DSDV";
+  }
+  return "?";
+}
+
+/// Per-protocol tunables, preset to the paper's Table I (hello 1 s for all
+/// three, TC 2 s for OLSR).
+struct ProtocolOptions {
+  routing::aodv::AodvParams aodv;
+  routing::olsr::OlsrParams olsr;
+  routing::dymo::DymoParams dymo;
+  routing::dsdv::DsdvParams dsdv;
+};
+
+inline std::unique_ptr<routing::RoutingProtocol> make_protocol(
+    netsim::Simulator& sim, netsim::LinkLayer& link, Protocol protocol,
+    const ProtocolOptions& options = {}) {
+  switch (protocol) {
+    case Protocol::kAodv:
+      return std::make_unique<routing::aodv::AodvProtocol>(sim, link,
+                                                           options.aodv);
+    case Protocol::kOlsr:
+      return std::make_unique<routing::olsr::OlsrProtocol>(sim, link,
+                                                           options.olsr);
+    case Protocol::kDymo:
+      return std::make_unique<routing::dymo::DymoProtocol>(sim, link,
+                                                           options.dymo);
+    case Protocol::kDsdv:
+      return std::make_unique<routing::dsdv::DsdvProtocol>(sim, link,
+                                                           options.dsdv);
+  }
+  return nullptr;
+}
+
+}  // namespace cavenet::scenario
+
+#endif  // CAVENET_SCENARIO_PROTOCOL_H

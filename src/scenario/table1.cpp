@@ -1,0 +1,210 @@
+#include "scenario/table1.h"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "app/cbr.h"
+#include "core/geometry.h"
+#include "core/nas_lane.h"
+#include "core/road.h"
+#include "netsim/mobility.h"
+#include "netsim/simulator.h"
+#include "phy/channel.h"
+#include "trace/ns2_format.h"
+#include "trace/trace_generator.h"
+
+namespace cavenet::scenario {
+
+using netsim::NodeId;
+
+trace::MobilityTrace make_table1_trace(const TableIConfig& config) {
+  ca::NasParams params;
+  params.lane_length = config.lane_cells;
+  params.slowdown_p = config.slowdown_p;
+  params.boundary = ca::Boundary::kClosed;
+  ca::NasLane lane(params, config.vehicles, ca::InitialPlacement::kRandom,
+                   Rng(config.seed, 0x6d6f62));
+
+  ca::Road road;
+  const double length_m = params.lane_length_m();
+  if (config.circular_layout) {
+    road.add_lane(std::move(lane), ca::make_circuit(length_m));
+  } else {
+    road.add_lane(std::move(lane), ca::make_line(length_m));
+  }
+
+  trace::TraceGeneratorOptions options;
+  options.steps = static_cast<std::int64_t>(config.duration_s);
+  options.delta_offset = 1.0;
+  trace::MobilityTrace mobility = trace::generate_trace(road, options);
+
+  if (config.round_trip_trace_through_ns2_format) {
+    std::stringstream buffer;
+    trace::write_ns2(mobility, buffer);
+    mobility = trace::read_ns2(buffer);
+  }
+  return mobility;
+}
+
+namespace {
+
+std::unique_ptr<phy::PropagationModel> make_propagation(
+    const TableIConfig& config, const netsim::Simulator& sim) {
+  switch (config.propagation) {
+    case Propagation::kTwoRayGround:
+      return std::make_unique<phy::TwoRayGroundModel>();
+    case Propagation::kFreeSpace:
+      return std::make_unique<phy::FreeSpaceModel>();
+    case Propagation::kShadowing:
+      return std::make_unique<phy::ShadowingModel>(
+          config.shadowing_exponent, config.shadowing_sigma_db,
+          sim.make_rng(0x73686164));
+    case Propagation::kRayleigh:
+      return std::make_unique<phy::RayleighFadingModel>(
+          std::make_unique<phy::TwoRayGroundModel>(),
+          sim.make_rng(0x66616465));
+  }
+  throw std::invalid_argument("unknown propagation model");
+}
+
+/// One node's full protocol stack. Declaration order fixes teardown order.
+struct NodeStack {
+  std::unique_ptr<netsim::MobilityModel> mobility;
+  std::unique_ptr<phy::WifiPhy> phy;
+  std::unique_ptr<mac::WifiMac> mac;
+  std::unique_ptr<routing::RoutingProtocol> routing;
+};
+
+}  // namespace
+
+std::vector<SenderRunResult> run_with_trace(
+    const trace::MobilityTrace& mobility, const TableIConfig& config,
+    const std::vector<NodeId>& senders) {
+  const auto node_count = static_cast<NodeId>(mobility.node_count());
+  if (senders.empty()) throw std::invalid_argument("no senders");
+  if (node_count == 0) throw std::invalid_argument("empty mobility trace");
+  for (const NodeId sender : senders) {
+    if (sender == config.receiver) {
+      throw std::invalid_argument("sender must differ from receiver");
+    }
+    if (sender >= node_count || config.receiver >= node_count) {
+      throw std::invalid_argument("sender/receiver beyond node count");
+    }
+  }
+
+  const std::vector<trace::NodePath> paths = trace::compile_paths(mobility);
+
+  netsim::Simulator sim(config.seed);
+  phy::Channel channel(sim, make_propagation(config, sim));
+
+  mac::MacParams mac_params;
+  mac_params.use_rts_cts = config.use_rts_cts;
+  phy::PhyParams phy_params;
+  phy_params.data_rate_bps = config.mac_rate_bps;
+
+  std::vector<NodeStack> nodes(static_cast<std::size_t>(node_count));
+  for (NodeId i = 0; i < node_count; ++i) {
+    NodeStack& node = nodes[i];
+    const trace::NodePath* path = &paths[i];
+    node.mobility = std::make_unique<netsim::FunctionMobility>(
+        [path](double t) { return path->position(t); },
+        [path](double t) { return path->velocity(t); });
+    node.phy =
+        std::make_unique<phy::WifiPhy>(sim, i, node.mobility.get(), phy_params);
+    channel.attach(node.phy.get());
+    node.mac = std::make_unique<mac::WifiMac>(sim, *node.phy, mac_params, i);
+    node.routing = make_protocol(sim, *node.mac, config.protocol,
+                                 config.protocol_options);
+    if (config.packet_log != nullptr) {
+      node.mac->set_packet_log(config.packet_log);
+      node.routing->set_packet_log(config.packet_log);
+    }
+    node.routing->start();
+  }
+
+  app::CbrParams cbr;
+  cbr.destination = config.receiver;
+  cbr.packets_per_second = config.packets_per_second;
+  cbr.payload_bytes = config.payload_bytes;
+  cbr.start = SimTime::from_seconds(config.traffic_start_s);
+  cbr.stop = SimTime::from_seconds(config.traffic_stop_s);
+
+  std::vector<std::unique_ptr<app::FlowMetrics>> metrics;
+  std::vector<std::unique_ptr<app::CbrSource>> sources;
+  app::PacketSink sink(sim, *nodes[config.receiver].routing, cbr.dst_port);
+  for (const NodeId sender : senders) {
+    metrics.push_back(std::make_unique<app::FlowMetrics>());
+    sources.push_back(std::make_unique<app::CbrSource>(
+        sim, *nodes[sender].routing, cbr, metrics.back().get()));
+    sink.track_source(sender, metrics.back().get());
+    sources.back()->start();
+  }
+
+  sim.run_until(SimTime::from_seconds(config.duration_s));
+
+  // Network-wide aggregates are shared by every per-sender entry.
+  SenderRunResult aggregate;
+  aggregate.events_dispatched = sim.events_dispatched();
+  const routing::RoutingStats& receiver_stats =
+      nodes[config.receiver].routing->stats();
+  if (receiver_stats.data_delivered > 0) {
+    aggregate.mean_hop_count =
+        static_cast<double>(receiver_stats.delivered_hops_sum) /
+            static_cast<double>(receiver_stats.data_delivered) +
+        1.0;  // hops counts forwards; the final link adds one hop
+  }
+  for (const NodeStack& node : nodes) {
+    const routing::RoutingStats& rs = node.routing->stats();
+    aggregate.control_packets += rs.control_packets_sent;
+    aggregate.control_bytes += rs.control_bytes_sent;
+    aggregate.route_discoveries += rs.route_discoveries;
+    const mac::MacStats& ms = node.mac->stats();
+    aggregate.mac_retries += ms.retries;
+    aggregate.mac_tx_failed += ms.data_tx_failed;
+    aggregate.mac_collisions += node.phy->stats().collisions;
+    aggregate.channel_utilization +=
+        node.phy->stats().tx_airtime.sec() / config.duration_s;
+  }
+
+  std::vector<SenderRunResult> results;
+  results.reserve(senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    SenderRunResult result = aggregate;
+    const app::FlowMetrics& m = *metrics[i];
+    result.sender = senders[i];
+    result.tx_packets = m.tx_packets();
+    result.rx_packets = m.rx_packets();
+    result.pdr = m.pdr();
+    result.mean_delay_s = m.mean_delay_s();
+    result.max_delay_s = m.max_delay_s();
+    result.first_delivery_delay_s = m.first_delivery_delay_s();
+    result.goodput_bps =
+        m.goodput_bps(SimTime::from_seconds(config.duration_s));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+SenderRunResult run_table1(const TableIConfig& config) {
+  return run_with_trace(make_table1_trace(config), config, {config.sender})
+      .front();
+}
+
+std::vector<SenderRunResult> run_table1_concurrent(
+    const TableIConfig& config, const std::vector<NodeId>& senders) {
+  return run_with_trace(make_table1_trace(config), config, senders);
+}
+
+std::vector<SenderRunResult> run_all_senders(TableIConfig config,
+                                             NodeId first, NodeId last) {
+  std::vector<SenderRunResult> results;
+  results.reserve(last - first + 1);
+  for (NodeId sender = first; sender <= last; ++sender) {
+    config.sender = sender;
+    results.push_back(run_table1(config));
+  }
+  return results;
+}
+
+}  // namespace cavenet::scenario

@@ -1,0 +1,165 @@
+#include "trace/connectivity.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace cavenet::trace {
+
+ConnectivityGraph::ConnectivityGraph(std::span<const Vec2> positions,
+                                     double range_m)
+    : range_m_(range_m), positions_(positions.begin(), positions.end()) {
+  if (range_m <= 0.0) throw std::invalid_argument("range must be > 0");
+  const std::size_t n = positions_.size();
+  component_.assign(n, UINT32_MAX);
+
+  // BFS labelling; O(n^2) adjacency checks are fine at VANET sizes.
+  const double range_sq = range_m * range_m;
+  std::uint32_t label = 0;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (component_[seed] != UINT32_MAX) continue;
+    std::size_t size = 0;
+    std::queue<std::size_t> frontier;
+    frontier.push(seed);
+    component_[seed] = label;
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop();
+      ++size;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (component_[v] != UINT32_MAX) continue;
+        if ((positions_[u] - positions_[v]).norm_sq() <= range_sq) {
+          component_[v] = label;
+          frontier.push(v);
+        }
+      }
+    }
+    component_sizes_.push_back(size);
+    ++label;
+  }
+  component_count_ = label;
+  largest_ = component_sizes_.empty()
+                 ? 0
+                 : *std::max_element(component_sizes_.begin(),
+                                     component_sizes_.end());
+}
+
+bool ConnectivityGraph::connected(std::uint32_t a, std::uint32_t b) const {
+  return component_.at(a) == component_.at(b);
+}
+
+double ConnectivityGraph::pair_connectivity() const noexcept {
+  const std::size_t n = component_.size();
+  if (n < 2) return n == 1 ? 1.0 : 0.0;
+  std::size_t connected_pairs = 0;
+  for (const std::size_t size : component_sizes_) {
+    connected_pairs += size * (size - 1) / 2;
+  }
+  return static_cast<double>(connected_pairs) /
+         (static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
+}
+
+std::vector<std::uint32_t> ConnectivityGraph::neighbors(
+    std::uint32_t node) const {
+  std::vector<std::uint32_t> out;
+  const Vec2 p = positions_.at(node);
+  const double range_sq = range_m_ * range_m_;
+  for (std::size_t v = 0; v < positions_.size(); ++v) {
+    if (v == node) continue;
+    if ((positions_[v] - p).norm_sq() <= range_sq) {
+      out.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  return out;
+}
+
+int ConnectivityGraph::hop_distance(std::uint32_t a, std::uint32_t b) const {
+  if (a == b) return 0;
+  if (!connected(a, b)) return -1;
+  std::vector<int> dist(positions_.size(), -1);
+  std::queue<std::uint32_t> frontier;
+  dist[a] = 0;
+  frontier.push(a);
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop();
+    for (const std::uint32_t v : neighbors(u)) {
+      if (dist[v] != -1) continue;
+      dist[v] = dist[u] + 1;
+      if (v == b) return dist[v];
+      frontier.push(v);
+    }
+  }
+  return -1;  // unreachable; connected() said otherwise only for a==b
+}
+
+std::vector<ConnectivitySample> connectivity_over_time(
+    std::span<const NodePath> paths, const ConnectivitySweepOptions& options) {
+  if (options.dt_s <= 0.0) throw std::invalid_argument("dt must be > 0");
+  std::vector<ConnectivitySample> out;
+  for (double t = options.t_start_s; t <= options.t_end_s + 1e-9;
+       t += options.dt_s) {
+    std::vector<Vec2> positions;
+    positions.reserve(paths.size());
+    for (const NodePath& path : paths) positions.push_back(path.position(t));
+    const ConnectivityGraph graph(positions, options.range_m);
+    ConnectivitySample sample;
+    sample.time_s = t;
+    sample.components = graph.component_count();
+    sample.largest_component = graph.largest_component();
+    sample.pair_connectivity = graph.pair_connectivity();
+    sample.pair_of_interest_connected =
+        options.node_a < paths.size() && options.node_b < paths.size() &&
+        graph.connected(options.node_a, options.node_b);
+    out.push_back(sample);
+  }
+  return out;
+}
+
+double link_change_rate(std::span<const NodePath> paths,
+                        const ConnectivitySweepOptions& options) {
+  if (options.dt_s <= 0.0) throw std::invalid_argument("dt must be > 0");
+  const std::size_t n = paths.size();
+  auto adjacency_at = [&](double t) {
+    std::vector<Vec2> positions;
+    positions.reserve(n);
+    for (const NodePath& path : paths) positions.push_back(path.position(t));
+    const double range_sq = options.range_m * options.range_m;
+    std::vector<bool> adj(n * n, false);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if ((positions[a] - positions[b]).norm_sq() <= range_sq) {
+          adj[a * n + b] = true;
+        }
+      }
+    }
+    return adj;
+  };
+
+  std::vector<bool> prev = adjacency_at(options.t_start_s);
+  std::size_t changes = 0;
+  std::size_t intervals = 0;
+  for (double t = options.t_start_s + options.dt_s;
+       t <= options.t_end_s + 1e-9; t += options.dt_s) {
+    const std::vector<bool> cur = adjacency_at(t);
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      if (cur[i] != prev[i]) ++changes;
+    }
+    prev = cur;
+    ++intervals;
+  }
+  return intervals > 0
+             ? static_cast<double>(changes) / static_cast<double>(intervals)
+             : 0.0;
+}
+
+double pair_uptime(std::span<const ConnectivitySample> samples) {
+  if (samples.empty()) return 0.0;
+  std::size_t up = 0;
+  for (const auto& s : samples) {
+    if (s.pair_of_interest_connected) ++up;
+  }
+  return static_cast<double>(up) / static_cast<double>(samples.size());
+}
+
+}  // namespace cavenet::trace

@@ -1,0 +1,83 @@
+// Connectivity analysis of mobility traces (paper Section III, Fig. 1).
+//
+// The paper motivates multi-lane modelling with two radio effects:
+// (a) connectivity gaps on one lane can be bridged by relay vehicles on a
+// parallel lane, and (b) interferers on the opposite lane. This module
+// quantifies (a): unit-disk connectivity graphs over node positions and
+// their evolution along a trace.
+#ifndef CAVENET_TRACE_CONNECTIVITY_H
+#define CAVENET_TRACE_CONNECTIVITY_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/mobility_trace.h"
+#include "util/vec2.h"
+
+namespace cavenet::trace {
+
+/// Unit-disk graph over a set of positions: nodes are adjacent when their
+/// distance is at most `range_m`. Components are computed eagerly.
+class ConnectivityGraph {
+ public:
+  ConnectivityGraph(std::span<const Vec2> positions, double range_m);
+
+  std::size_t node_count() const noexcept { return component_.size(); }
+  /// Nodes in the same connected component can reach each other via
+  /// multi-hop relaying.
+  bool connected(std::uint32_t a, std::uint32_t b) const;
+  std::size_t component_count() const noexcept { return component_count_; }
+  std::size_t largest_component() const noexcept { return largest_; }
+  /// Fraction of unordered node pairs that are connected, in [0, 1];
+  /// 1 when the graph has a single component.
+  double pair_connectivity() const noexcept;
+  /// Direct (1-hop) neighbours of `node`.
+  std::vector<std::uint32_t> neighbors(std::uint32_t node) const;
+  /// Minimum hop count between two nodes (BFS), or -1 if disconnected.
+  int hop_distance(std::uint32_t a, std::uint32_t b) const;
+
+ private:
+  double range_m_;
+  std::vector<Vec2> positions_;
+  std::vector<std::uint32_t> component_;
+  std::vector<std::size_t> component_sizes_;
+  std::size_t component_count_ = 0;
+  std::size_t largest_ = 0;
+};
+
+/// Time series of connectivity statistics sampled along compiled paths.
+struct ConnectivitySample {
+  double time_s = 0.0;
+  std::size_t components = 0;
+  std::size_t largest_component = 0;
+  double pair_connectivity = 0.0;
+  bool pair_of_interest_connected = false;
+};
+
+struct ConnectivitySweepOptions {
+  double range_m = 250.0;
+  double t_start_s = 0.0;
+  double t_end_s = 100.0;
+  double dt_s = 1.0;
+  /// Optional pair tracked by `pair_of_interest_connected` (e.g. the
+  /// Table-I sender/receiver).
+  std::uint32_t node_a = 0;
+  std::uint32_t node_b = 0;
+};
+
+std::vector<ConnectivitySample> connectivity_over_time(
+    std::span<const NodePath> paths, const ConnectivitySweepOptions& options);
+
+/// Fraction of samples in which the tracked pair was connected.
+double pair_uptime(std::span<const ConnectivitySample> samples);
+
+/// Topology-change rate (a paper future-work metric): mean number of link
+/// appearances + disappearances per sampling interval, measured by
+/// diffing the unit-disk adjacency between consecutive samples.
+double link_change_rate(std::span<const NodePath> paths,
+                        const ConnectivitySweepOptions& options);
+
+}  // namespace cavenet::trace
+
+#endif  // CAVENET_TRACE_CONNECTIVITY_H

@@ -1,0 +1,40 @@
+#include "trace/csv_format.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace cavenet::trace {
+
+void write_positions_csv(const MobilityTrace& trace, std::ostream& out,
+                         const CsvExportOptions& options) {
+  if (options.dt_s <= 0.0) throw std::invalid_argument("dt must be > 0");
+  if (options.t_end_s < options.t_start_s) {
+    throw std::invalid_argument("t_end must be >= t_start");
+  }
+  const auto paths = compile_paths(trace);
+  out << "t,node,x,y,speed\n";
+  char buf[160];
+  for (double t = options.t_start_s; t <= options.t_end_s + 1e-9;
+       t += options.dt_s) {
+    for (std::size_t node = 0; node < paths.size(); ++node) {
+      const Vec2 p = paths[node].position(t);
+      const double speed = paths[node].velocity(t).norm();
+      std::snprintf(buf, sizeof buf, "%.6g,%zu,%.6f,%.6f,%.6f\n", t, node,
+                    p.x, p.y, speed);
+      out << buf;
+    }
+  }
+}
+
+bool write_positions_csv_file(const MobilityTrace& trace,
+                              const std::string& path,
+                              const CsvExportOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_positions_csv(trace, out, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace cavenet::trace

@@ -1,0 +1,30 @@
+// CSV mobility export — the paper notes that "extending the BA block in
+// order to export to other formats is straightforward"; this is the second
+// format, a flat position sample table any plotting tool ingests.
+#ifndef CAVENET_TRACE_CSV_FORMAT_H
+#define CAVENET_TRACE_CSV_FORMAT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/mobility_trace.h"
+
+namespace cavenet::trace {
+
+struct CsvExportOptions {
+  double t_start_s = 0.0;
+  double t_end_s = 100.0;
+  double dt_s = 1.0;
+};
+
+/// Writes "t,node,x,y,speed" rows sampled every dt over [t_start, t_end].
+/// Throws std::invalid_argument on a non-positive dt or inverted range.
+void write_positions_csv(const MobilityTrace& trace, std::ostream& out,
+                         const CsvExportOptions& options = {});
+bool write_positions_csv_file(const MobilityTrace& trace,
+                              const std::string& path,
+                              const CsvExportOptions& options = {});
+
+}  // namespace cavenet::trace
+
+#endif  // CAVENET_TRACE_CSV_FORMAT_H

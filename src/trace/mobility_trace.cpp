@@ -1,0 +1,92 @@
+#include "trace/mobility_trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cavenet::trace {
+
+void MobilityTrace::normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time_s != b.time_s) return a.time_s < b.time_s;
+                     return a.node < b.node;
+                   });
+}
+
+Vec2 NodePath::position(double t_s) const {
+  if (segments_.empty()) return {};
+  if (t_s <= segments_.front().t0) return segments_.front().from;
+  // Last segment with t0 <= t.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t_s,
+      [](double t, const Segment& s) { return t < s.t0; });
+  const Segment& seg = *(it - 1);
+  if (t_s >= seg.t1 || seg.t1 <= seg.t0) return seg.to;
+  const double frac = (t_s - seg.t0) / (seg.t1 - seg.t0);
+  return seg.from + (seg.to - seg.from) * frac;
+}
+
+Vec2 NodePath::velocity(double t_s) const {
+  if (segments_.empty()) return {};
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t_s,
+      [](double t, const Segment& s) { return t < s.t0; });
+  if (it == segments_.begin()) return {};
+  const Segment& seg = *(it - 1);
+  if (t_s >= seg.t1 || seg.t1 <= seg.t0) return {};
+  return (seg.to - seg.from) * (1.0 / (seg.t1 - seg.t0));
+}
+
+double NodePath::end_time() const noexcept {
+  return segments_.empty() ? 0.0 : segments_.back().t1;
+}
+
+std::vector<NodePath> compile_paths(const MobilityTrace& trace) {
+  std::vector<NodePath> paths(trace.node_count());
+  // Current position and pending motion per node while scanning events.
+  struct Cursor {
+    Vec2 pos;
+  };
+  std::vector<Cursor> cursors(trace.node_count());
+  for (std::uint32_t i = 0; i < trace.node_count(); ++i) {
+    cursors[i].pos = trace.initial_positions[i];
+    NodePath::Segment rest;
+    rest.t0 = 0.0;
+    rest.t1 = 0.0;
+    rest.from = rest.to = cursors[i].pos;
+    paths[i].segments_.push_back(rest);
+  }
+
+  MobilityTrace sorted = trace;
+  sorted.normalize();
+  for (const TraceEvent& ev : sorted.events) {
+    if (ev.node >= trace.node_count()) {
+      throw std::out_of_range("trace event for unknown node");
+    }
+    auto& path = paths[ev.node];
+    auto& cur = cursors[ev.node];
+    // Where the node actually is when the event fires (it may still be
+    // travelling toward the previous waypoint).
+    const Vec2 at = path.position(ev.time_s);
+    // Truncate any in-flight segment at the event time.
+    auto& last = path.segments_.back();
+    if (last.t1 > ev.time_s) {
+      last.t1 = ev.time_s;
+      last.to = at;
+    }
+    NodePath::Segment seg;
+    seg.t0 = ev.time_s;
+    seg.from = at;
+    seg.to = ev.target;
+    if (ev.kind == TraceEvent::Kind::kSetPosition || ev.speed_ms <= 0.0) {
+      seg.t1 = ev.time_s;  // teleport (or zero-speed: treated as teleport-in-place)
+    } else {
+      seg.t1 = ev.time_s + distance(at, ev.target) / ev.speed_ms;
+    }
+    path.segments_.push_back(seg);
+    cur.pos = seg.to;
+  }
+  return paths;
+}
+
+}  // namespace cavenet::trace

@@ -1,0 +1,71 @@
+// In-memory mobility traces — the interface between CAVENET's Behavioural
+// Analyzer (the CA) and the Communication Protocol Simulator.
+//
+// A trace is an initial position per node plus a time-ordered list of
+// ns-2-style commands: "setdest x y speed" (move in a straight line toward
+// a waypoint at constant speed) and "set position" (instantaneous teleport,
+// used when a straight-line lane wraps — the discontinuity the paper's
+// improved circular layout eliminates).
+#ifndef CAVENET_TRACE_MOBILITY_TRACE_H
+#define CAVENET_TRACE_MOBILITY_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/vec2.h"
+
+namespace cavenet::trace {
+
+struct TraceEvent {
+  enum class Kind {
+    kSetDest,      ///< move toward `target` at `speed_ms`
+    kSetPosition,  ///< teleport to `target`
+  };
+  double time_s = 0.0;
+  std::uint32_t node = 0;
+  Kind kind = Kind::kSetDest;
+  Vec2 target;
+  double speed_ms = 0.0;
+};
+
+struct MobilityTrace {
+  std::vector<Vec2> initial_positions;  ///< index = node id
+  std::vector<TraceEvent> events;       ///< sorted by (time, node)
+
+  std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(initial_positions.size());
+  }
+
+  /// Sorts events by (time, node); writers call this before serializing.
+  void normalize();
+};
+
+/// A compiled, per-node piecewise-linear path: position is O(log segments)
+/// per query and the network simulator samples it every movement update.
+class NodePath {
+ public:
+  /// Position at absolute time t (seconds). Clamps before the first and
+  /// after the last segment.
+  Vec2 position(double t_s) const;
+  /// Velocity vector at time t (zero when idle).
+  Vec2 velocity(double t_s) const;
+  /// Time after which the node no longer moves.
+  double end_time() const noexcept;
+
+ private:
+  friend std::vector<NodePath> compile_paths(const MobilityTrace& trace);
+  struct Segment {
+    double t0 = 0.0;  ///< departure time
+    double t1 = 0.0;  ///< arrival time (>= t0; == t0 for teleports)
+    Vec2 from;
+    Vec2 to;
+  };
+  std::vector<Segment> segments_;  // sorted by t0
+};
+
+/// Compiles a trace into one path per node.
+std::vector<NodePath> compile_paths(const MobilityTrace& trace);
+
+}  // namespace cavenet::trace
+
+#endif  // CAVENET_TRACE_MOBILITY_TRACE_H

@@ -1,0 +1,32 @@
+// ns-2 mobility-trace serialization (paper Fig. 3-b).
+//
+// Format written (and parsed back):
+//   $node_(3) set X_ 123.456789
+//   $node_(3) set Y_ 7.500000
+//   $node_(3) set Z_ 0.000000
+//   $ns_ at 2.0 "$node_(3) setdest 130.9 7.5 7.5"
+//   $ns_ at 3.0 "$node_(3) set X_ 1.0"        (teleport, on lane wrap)
+#ifndef CAVENET_TRACE_NS2_FORMAT_H
+#define CAVENET_TRACE_NS2_FORMAT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/mobility_trace.h"
+
+namespace cavenet::trace {
+
+/// Writes the trace in ns-2 syntax.
+void write_ns2(const MobilityTrace& trace, std::ostream& out);
+/// Convenience: writes to a file; returns false on I/O failure.
+bool write_ns2_file(const MobilityTrace& trace, const std::string& path);
+
+/// Parses ns-2 syntax back into a trace. Throws std::runtime_error with a
+/// line number on malformed input. Unknown lines (comments, blank) are
+/// skipped. Node count is inferred from the highest node index seen.
+MobilityTrace read_ns2(std::istream& in);
+MobilityTrace read_ns2_file(const std::string& path);
+
+}  // namespace cavenet::trace
+
+#endif  // CAVENET_TRACE_NS2_FORMAT_H

@@ -1,0 +1,61 @@
+#include "trace/random_waypoint.h"
+
+#include <stdexcept>
+
+namespace cavenet::trace {
+
+MobilityTrace generate_random_waypoint(const RandomWaypointOptions& options) {
+  if (options.v_min_ms <= 0.0 || options.v_max_ms < options.v_min_ms) {
+    throw std::invalid_argument("need 0 < v_min <= v_max");
+  }
+  if (options.area_x_m <= 0.0 || options.area_y_m <= 0.0) {
+    throw std::invalid_argument("area must be positive");
+  }
+  if (options.pause_s < 0.0 || options.duration_s < 0.0) {
+    throw std::invalid_argument("pause/duration must be >= 0");
+  }
+
+  MobilityTrace trace;
+  trace.initial_positions.reserve(options.nodes);
+
+  Rng master(options.seed, 0x7277);
+  for (std::uint32_t node = 0; node < options.nodes; ++node) {
+    Rng rng(options.seed, 0x72770000ULL + node);
+    Vec2 position{rng.uniform(0.0, options.area_x_m),
+                  rng.uniform(0.0, options.area_y_m)};
+    trace.initial_positions.push_back(position);
+
+    double t = 0.0;
+    while (t < options.duration_s) {
+      const Vec2 destination{rng.uniform(0.0, options.area_x_m),
+                             rng.uniform(0.0, options.area_y_m)};
+      const double speed = rng.uniform(options.v_min_ms, options.v_max_ms);
+      TraceEvent ev;
+      ev.time_s = t;
+      ev.node = node;
+      ev.kind = TraceEvent::Kind::kSetDest;
+      ev.target = destination;
+      ev.speed_ms = speed;
+      trace.events.push_back(ev);
+      t += distance(position, destination) / speed + options.pause_s;
+      position = destination;
+    }
+  }
+  trace.normalize();
+  return trace;
+}
+
+std::vector<double> mean_speed_series(std::span<const NodePath> paths,
+                                      double t0_s, double t1_s, double dt_s) {
+  if (dt_s <= 0.0) throw std::invalid_argument("dt must be > 0");
+  std::vector<double> out;
+  for (double t = t0_s; t <= t1_s + 1e-9; t += dt_s) {
+    double sum = 0.0;
+    for (const NodePath& path : paths) sum += path.velocity(t).norm();
+    out.push_back(paths.empty() ? 0.0
+                                : sum / static_cast<double>(paths.size()));
+  }
+  return out;
+}
+
+}  // namespace cavenet::trace

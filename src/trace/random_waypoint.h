@@ -1,0 +1,45 @@
+// Random Waypoint (RW) mobility — the baseline the paper contrasts CAVENET
+// against (Sections I and IV-B).
+//
+// Every node repeatedly picks a uniform destination in a rectangle and a
+// uniform speed in [v_min, v_max], travels there, pauses, and repeats.
+// With v_min near 0 the model exhibits the classic velocity-decay problem:
+// the average instantaneous speed keeps falling because slow legs take
+// arbitrarily long — exactly the transient pathology (Yoon/Le Boudec) that
+// motivates CAVENET's finite-state CA mobility.
+#ifndef CAVENET_TRACE_RANDOM_WAYPOINT_H
+#define CAVENET_TRACE_RANDOM_WAYPOINT_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/mobility_trace.h"
+#include "util/rng.h"
+
+namespace cavenet::trace {
+
+struct RandomWaypointOptions {
+  std::uint32_t nodes = 30;
+  double area_x_m = 1000.0;
+  double area_y_m = 1000.0;
+  double v_min_ms = 0.1;   ///< small but nonzero: 0 would strand nodes
+  double v_max_ms = 37.5;  ///< matches the CA's 135 km/h
+  double pause_s = 0.0;
+  double duration_s = 100.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates an RW mobility trace in the ns-2-compatible waypoint format
+/// (so it can drive the same Communication Protocol Simulator the CA
+/// traces drive — the two-block separation at work).
+MobilityTrace generate_random_waypoint(const RandomWaypointOptions& options);
+
+/// Average instantaneous node speed sampled over [t0, t1] every dt —
+/// the velocity-decay observable.
+std::vector<double> mean_speed_series(std::span<const NodePath> paths,
+                                      double t0_s, double t1_s, double dt_s);
+
+}  // namespace cavenet::trace
+
+#endif  // CAVENET_TRACE_RANDOM_WAYPOINT_H

@@ -1,0 +1,109 @@
+#include "util/cli_args.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cavenet {
+namespace {
+
+bool is_flag(const std::string& token) {
+  return token.size() > 2 && token[0] == '-' && token[1] == '-' &&
+         token[2] != '-';
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
+}
+
+CliArgs::CliArgs(const std::vector<std::string>& tokens) { parse(tokens); }
+
+void CliArgs::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (!is_flag(token)) {
+      if (token.rfind("---", 0) == 0) {
+        throw std::invalid_argument("malformed flag: " + token);
+      }
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--flag value" unless the next token is itself a flag (then boolean).
+    if (i + 1 < tokens.size() && !is_flag(tokens[i + 1])) {
+      flags_[body] = tokens[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& flag) const {
+  queried_[flag] = true;
+  return flags_.contains(flag);
+}
+
+std::string CliArgs::get_string(const std::string& flag,
+                                const std::string& default_value) const {
+  queried_[flag] = true;
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& flag,
+                              std::int64_t default_value) const {
+  queried_[flag] = true;
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + flag + " expects an integer, got '" +
+                                it->second + "'");
+  }
+  return value;
+}
+
+double CliArgs::get_double(const std::string& flag,
+                           double default_value) const {
+  queried_[flag] = true;
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + flag + " expects a number, got '" +
+                                it->second + "'");
+  }
+  return value;
+}
+
+bool CliArgs::get_bool(const std::string& flag, bool default_value) const {
+  queried_[flag] = true;
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("--" + flag + " expects a boolean, got '" + v +
+                              "'");
+}
+
+std::vector<std::string> CliArgs::unknown_flags() const {
+  std::vector<std::string> out;
+  for (const auto& [flag, value] : flags_) {
+    if (!queried_.contains(flag)) out.push_back(flag);
+  }
+  return out;
+}
+
+}  // namespace cavenet

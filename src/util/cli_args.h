@@ -1,0 +1,55 @@
+// Minimal command-line flag parsing for the CAVENET tools.
+//
+// Supports "--flag value", "--flag=value" and bare "--flag" booleans, plus
+// positional arguments. No external dependencies; errors throw with a
+// message naming the offending flag.
+#ifndef CAVENET_UTIL_CLI_ARGS_H
+#define CAVENET_UTIL_CLI_ARGS_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cavenet {
+
+class CliArgs {
+ public:
+  /// Parses argv[1..argc). Throws std::invalid_argument on malformed input
+  /// (e.g. "---x").
+  CliArgs(int argc, const char* const* argv);
+  /// Parses a pre-split token list (for tests).
+  explicit CliArgs(const std::vector<std::string>& tokens);
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  bool has(const std::string& flag) const;
+
+  /// Typed access; the default is returned when the flag is absent.
+  /// Throws std::invalid_argument when present but unparsable.
+  std::string get_string(const std::string& flag,
+                         const std::string& default_value = "") const;
+  std::int64_t get_int(const std::string& flag,
+                       std::int64_t default_value = 0) const;
+  double get_double(const std::string& flag, double default_value = 0.0) const;
+  /// Bare "--flag" and "--flag true/1/yes" are true.
+  bool get_bool(const std::string& flag, bool default_value = false) const;
+
+  /// Flags that were provided but never queried — call after parsing all
+  /// expected flags to reject typos.
+  std::vector<std::string> unknown_flags() const;
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cavenet
+
+#endif  // CAVENET_UTIL_CLI_ARGS_H

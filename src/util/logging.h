@@ -1,0 +1,60 @@
+// Minimal leveled logger.
+//
+// Simulations produce enormous event volumes, so logging defaults to Warn
+// and formatting cost is only paid for enabled levels. No global mutable
+// state beyond the level itself (tests flip it around specific sections).
+#ifndef CAVENET_UTIL_LOGGING_H
+#define CAVENET_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cavenet {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log level. Defaults to kWarn.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// True if `level` messages are currently emitted.
+bool log_enabled(LogLevel level) noexcept;
+
+/// Emits one line to stderr: "[level] component: message".
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace cavenet
+
+/// Stream-style logging: CAVENET_LOG(kDebug, "mac") << "tx " << id;
+/// The message expression is not evaluated when the level is disabled.
+#define CAVENET_LOG(level, component)                       \
+  if (!::cavenet::log_enabled(::cavenet::LogLevel::level)) { \
+  } else                                                    \
+    ::cavenet::detail::LogMessage(::cavenet::LogLevel::level, (component))
+
+#endif  // CAVENET_UTIL_LOGGING_H

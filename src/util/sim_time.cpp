@@ -1,0 +1,18 @@
+#include "util/sim_time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cavenet {
+
+SimTime SimTime::from_seconds(double s) noexcept {
+  return SimTime(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::string SimTime::to_string() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9fs", sec());
+  return buf;
+}
+
+}  // namespace cavenet

@@ -1,0 +1,93 @@
+// Simulation time as integral nanoseconds.
+//
+// MAC-layer timing (SIFS = 10 us, slot = 20 us, ...) must compose exactly;
+// floating-point seconds accumulate drift and break event ordering. SimTime
+// is a strong typedef over int64 nanoseconds with explicit conversions.
+#ifndef CAVENET_UTIL_SIM_TIME_H
+#define CAVENET_UTIL_SIM_TIME_H
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace cavenet {
+
+/// A point in (or duration of) simulation time, in nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  static constexpr SimTime zero() noexcept { return SimTime(0); }
+  static constexpr SimTime max() noexcept {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+  static constexpr SimTime nanoseconds(std::int64_t ns) noexcept {
+    return SimTime(ns);
+  }
+  static constexpr SimTime microseconds(std::int64_t us) noexcept {
+    return SimTime(us * 1'000);
+  }
+  static constexpr SimTime milliseconds(std::int64_t ms) noexcept {
+    return SimTime(ms * 1'000'000);
+  }
+  static constexpr SimTime seconds(std::int64_t s) noexcept {
+    return SimTime(s * 1'000'000'000);
+  }
+  /// Converts from floating-point seconds, rounding to the nearest ns.
+  static SimTime from_seconds(double s) noexcept;
+
+  constexpr std::int64_t ns() const noexcept { return ns_; }
+  constexpr double us() const noexcept { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const noexcept { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const noexcept { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(SimTime other) const noexcept {
+    return SimTime(ns_ + other.ns_);
+  }
+  constexpr SimTime operator-(SimTime other) const noexcept {
+    return SimTime(ns_ - other.ns_);
+  }
+  constexpr SimTime& operator+=(SimTime other) noexcept {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime other) noexcept {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const noexcept {
+    return SimTime(ns_ * k);
+  }
+  constexpr std::int64_t operator/(SimTime other) const noexcept {
+    return ns_ / other.ns_;
+  }
+
+  /// "12.345678901s" style rendering for logs.
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime::nanoseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::microseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace cavenet
+
+#endif  // CAVENET_UTIL_SIM_TIME_H

@@ -1,0 +1,102 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace cavenet {
+
+std::string format_cell(const TableCell& cell) {
+  struct Visitor {
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      return buf;
+    }
+  };
+  return std::visit(Visitor{}, cell);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("table needs columns");
+}
+
+void TableWriter::add_row(std::vector<TableCell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("row width does not match column count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rendered) print_row(row);
+}
+
+void TableWriter::write_csv(std::ostream& out) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c == 0 ? "" : ",") << csv_escape(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",") << csv_escape(format_cell(row[c]));
+    }
+    out << '\n';
+  }
+}
+
+bool TableWriter::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace cavenet

@@ -1,0 +1,47 @@
+// Tabular output for the benchmark harness.
+//
+// Every figure/table reproduction prints both a human-readable aligned table
+// (stdout) and, optionally, a CSV file so results can be re-plotted. One
+// writer instance per table keeps columns consistent.
+#ifndef CAVENET_UTIL_TABLE_WRITER_H
+#define CAVENET_UTIL_TABLE_WRITER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cavenet {
+
+/// A cell is a string, an integer, or a double (printed with %.6g).
+using TableCell = std::variant<std::string, std::int64_t, double>;
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> columns);
+
+  /// Appends a row; must have exactly as many cells as columns.
+  void add_row(std::vector<TableCell> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& out) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& out) const;
+  /// Convenience: writes CSV to `path`, returns false on I/O failure.
+  bool write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<TableCell>> rows_;
+};
+
+/// Formats a cell for display.
+std::string format_cell(const TableCell& cell);
+
+}  // namespace cavenet
+
+#endif  // CAVENET_UTIL_TABLE_WRITER_H

@@ -1,0 +1,40 @@
+// Physical unit conversions used across the PHY and mobility code.
+#ifndef CAVENET_UTIL_UNITS_H
+#define CAVENET_UTIL_UNITS_H
+
+#include <cmath>
+
+namespace cavenet {
+
+/// Converts power in dBm to Watts.
+inline double dbm_to_watt(double dbm) noexcept {
+  return std::pow(10.0, (dbm - 30.0) / 10.0);
+}
+
+/// Converts power in Watts to dBm.
+inline double watt_to_dbm(double watt) noexcept {
+  return 10.0 * std::log10(watt) + 30.0;
+}
+
+/// Converts a dimensionless ratio to decibels.
+inline double ratio_to_db(double ratio) noexcept {
+  return 10.0 * std::log10(ratio);
+}
+
+/// Converts decibels to a dimensionless ratio.
+inline double db_to_ratio(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// km/h to m/s.
+inline constexpr double kmh_to_ms(double kmh) noexcept { return kmh / 3.6; }
+
+/// m/s to km/h.
+inline constexpr double ms_to_kmh(double ms) noexcept { return ms * 3.6; }
+
+/// Speed of light, m/s.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+}  // namespace cavenet
+
+#endif  // CAVENET_UTIL_UNITS_H

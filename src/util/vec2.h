@@ -1,0 +1,38 @@
+// 2-D vector used for node positions and velocities on the plane.
+#ifndef CAVENET_UTIL_VEC2_H
+#define CAVENET_UTIL_VEC2_H
+
+#include <cmath>
+#include <compare>
+
+namespace cavenet {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double k) noexcept {
+    return {a.x * k, a.y * k};
+  }
+  friend constexpr Vec2 operator*(double k, Vec2 a) noexcept { return a * k; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept = default;
+
+  constexpr double dot(Vec2 other) const noexcept {
+    return x * other.x + y * other.y;
+  }
+  double norm() const noexcept { return std::hypot(x, y); }
+  constexpr double norm_sq() const noexcept { return x * x + y * y; }
+};
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+
+}  // namespace cavenet
+
+#endif  // CAVENET_UTIL_VEC2_H

@@ -1,0 +1,111 @@
+#include "analysis/autocorrelation.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cavenet::analysis {
+namespace {
+
+std::vector<double> ar1(std::size_t n, double phi, Rng rng) {
+  std::vector<double> x(n);
+  x[0] = rng.normal();
+  for (std::size_t i = 1; i < n; ++i) {
+    x[i] = phi * x[i - 1] + rng.normal();
+  }
+  return x;
+}
+
+TEST(AutocorrelationTest, RejectsShortSignal) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(autocorrelation(one, 4), std::invalid_argument);
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  Rng rng(1);
+  std::vector<double> x(256);
+  for (double& v : x) v = rng.normal();
+  const auto acf = autocorrelation(x, 10);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(AutocorrelationTest, ConstantSignalConvention) {
+  const std::vector<double> x(64, 3.0);
+  const auto acf = autocorrelation(x, 5);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  for (std::size_t k = 1; k < acf.size(); ++k) EXPECT_EQ(acf[k], 0.0);
+}
+
+TEST(AutocorrelationTest, MaxLagClampsToSignalLength) {
+  const std::vector<double> x = {1.0, -1.0, 1.0, -1.0};
+  const auto acf = autocorrelation(x, 100);
+  EXPECT_EQ(acf.size(), 4u);  // lags 0..3
+}
+
+TEST(AutocorrelationTest, WhiteNoiseDecorrelates) {
+  Rng rng(2);
+  std::vector<double> x(8192);
+  for (double& v : x) v = rng.normal();
+  const auto acf = autocorrelation(x, 50);
+  for (std::size_t k = 1; k <= 50; ++k) {
+    EXPECT_NEAR(acf[k], 0.0, 0.05);
+  }
+}
+
+TEST(AutocorrelationTest, Ar1MatchesPhiPowers) {
+  const double phi = 0.8;
+  const auto x = ar1(65536, phi, Rng(3));
+  const auto acf = autocorrelation(x, 10);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(acf[k], std::pow(phi, static_cast<double>(k)), 0.05);
+  }
+}
+
+TEST(AutocorrelationTest, AlternatingSignalHasNegativeLagOne) {
+  std::vector<double> x(512);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  const auto acf = autocorrelation(x, 2);
+  EXPECT_NEAR(acf[1], -1.0, 0.01);
+  EXPECT_NEAR(acf[2], 1.0, 0.02);
+}
+
+TEST(PartialSumsTest, WhiteNoiseSumsStayBounded) {
+  Rng rng(4);
+  std::vector<double> x(16384);
+  for (double& v : x) v = rng.normal();
+  const auto sums = autocorrelation_partial_sums(x, 200);
+  for (const double s : sums) EXPECT_LT(std::abs(s), 1.0);
+}
+
+TEST(PartialSumsTest, Ar1SumsConvergeToTheory) {
+  // For AR(1), sum_{k>=1} phi^k = phi / (1 - phi).
+  const double phi = 0.5;
+  const auto x = ar1(131072, phi, Rng(5));
+  const auto sums = autocorrelation_partial_sums(x, 100);
+  EXPECT_NEAR(sums.back(), phi / (1.0 - phi), 0.15);
+}
+
+TEST(HurstTest, RejectsShortSignal) {
+  const std::vector<double> x(8, 0.0);
+  EXPECT_THROW(hurst_rs(x), std::invalid_argument);
+}
+
+TEST(HurstTest, WhiteNoiseIsAboutHalf) {
+  Rng rng(6);
+  std::vector<double> x(16384);
+  for (double& v : x) v = rng.normal();
+  EXPECT_NEAR(hurst_rs(x), 0.5, 0.12);
+}
+
+TEST(HurstTest, PersistentSignalExceedsHalf) {
+  // Strongly persistent AR(1) looks LRD at these scales.
+  const auto x = ar1(16384, 0.95, Rng(7));
+  EXPECT_GT(hurst_rs(x), 0.65);
+}
+
+}  // namespace
+}  // namespace cavenet::analysis

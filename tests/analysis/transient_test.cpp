@@ -1,0 +1,105 @@
+#include "analysis/transient.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cavenet::analysis {
+namespace {
+
+/// Exponential decay toward `level` plus small noise — the velocity-decay
+/// shape the paper discusses for RW-like models.
+std::vector<double> decaying(std::size_t n, double start, double level,
+                             double tau, double noise, Rng rng) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = level + (start - level) * std::exp(-static_cast<double>(i) / tau) +
+           rng.normal(0.0, noise);
+  }
+  return x;
+}
+
+TEST(TransientEndTest, RejectsShortSignal) {
+  const std::vector<double> x(4, 0.0);
+  EXPECT_THROW(transient_end(x), std::invalid_argument);
+}
+
+TEST(TransientEndTest, ConstantSignalHasNoTransient) {
+  const std::vector<double> x(256, 2.5);
+  const auto end = transient_end(x);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, 0u);
+}
+
+TEST(TransientEndTest, FindsDecayKnee) {
+  const auto x = decaying(2000, 10.0, 2.0, 100.0, 0.05, Rng(1));
+  const auto end = transient_end(x);
+  ASSERT_TRUE(end.has_value());
+  // The decay has effectively ended within a few time constants.
+  EXPECT_GT(*end, 50u);
+  EXPECT_LT(*end, 900u);
+}
+
+TEST(TransientEndTest, LongerTransientYieldsLargerTau) {
+  const auto fast = decaying(4000, 10.0, 2.0, 50.0, 0.05, Rng(2));
+  const auto slow = decaying(4000, 10.0, 2.0, 400.0, 0.05, Rng(2));
+  const auto fast_end = transient_end(fast);
+  const auto slow_end = transient_end(slow);
+  ASSERT_TRUE(fast_end.has_value());
+  ASSERT_TRUE(slow_end.has_value());
+  EXPECT_LT(*fast_end, *slow_end);
+}
+
+TEST(TransientEndTest, NeverSettlingSignalReturnsNullopt) {
+  // A ramp keeps drifting: there is no stationary tail to settle into.
+  std::vector<double> x(512);
+  Rng rng(3);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) + rng.normal(0.0, 0.01);
+  }
+  EXPECT_FALSE(transient_end(x).has_value());
+}
+
+TEST(TransientEndTest, HoldParameterRejectsBriefTouches) {
+  // Signal touches the tail level briefly mid-transient, then leaves again.
+  std::vector<double> x(400, 10.0);
+  for (std::size_t i = 0; i < 100; ++i) x[i] = 10.0;
+  x[50] = 2.0;  // brief touch
+  for (std::size_t i = 100; i < 200; ++i) x[i] = 6.0;
+  for (std::size_t i = 200; i < 400; ++i) x[i] = 2.0;
+  TransientOptions options;
+  options.hold = 32;
+  const auto end = transient_end(x, options);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_GE(*end, 200u);
+}
+
+TEST(MserTest, RejectsDegenerateInput) {
+  const std::vector<double> x(6, 1.0);
+  EXPECT_THROW(mser_truncation(x, 0), std::invalid_argument);
+  EXPECT_THROW(mser_truncation(x, 5), std::invalid_argument);
+}
+
+TEST(MserTest, CleanSignalNeedsNoTruncation) {
+  Rng rng(4);
+  std::vector<double> x(1000);
+  for (double& v : x) v = rng.normal(5.0, 0.1);
+  EXPECT_LE(mser_truncation(x), 50u);
+}
+
+TEST(MserTest, RemovesInitialBias) {
+  Rng rng(5);
+  std::vector<double> x(2000);
+  for (std::size_t i = 0; i < 400; ++i) x[i] = 50.0 + rng.normal(0.0, 0.1);
+  for (std::size_t i = 400; i < x.size(); ++i) x[i] = rng.normal(0.0, 0.1);
+  const std::size_t d = mser_truncation(x);
+  EXPECT_GE(d, 350u);
+  EXPECT_LE(d, 550u);
+}
+
+}  // namespace
+}  // namespace cavenet::analysis

@@ -1,0 +1,88 @@
+#include "app/flow_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::app {
+namespace {
+
+using namespace cavenet::literals;
+
+TEST(FlowMetricsTest, FreshMetricsAreZero) {
+  FlowMetrics m;
+  EXPECT_EQ(m.tx_packets(), 0u);
+  EXPECT_EQ(m.rx_packets(), 0u);
+  EXPECT_EQ(m.pdr(), 0.0);
+  EXPECT_EQ(m.mean_delay_s(), 0.0);
+  EXPECT_EQ(m.first_delivery_delay_s(), -1.0);
+}
+
+TEST(FlowMetricsTest, PdrIsRxOverTx) {
+  FlowMetrics m;
+  for (int i = 0; i < 10; ++i) m.on_sent(SimTime::seconds(i), 512);
+  for (int i = 0; i < 7; ++i) {
+    m.on_received(SimTime::seconds(i) + 100_ms, SimTime::seconds(i), 512);
+  }
+  EXPECT_DOUBLE_EQ(m.pdr(), 0.7);
+  EXPECT_EQ(m.rx_bytes(), 7u * 512u);
+}
+
+TEST(FlowMetricsTest, DelayStatistics) {
+  FlowMetrics m;
+  m.on_sent(0_s, 100);
+  m.on_received(SimTime::milliseconds(50), 0_s, 100);
+  m.on_sent(1_s, 100);
+  m.on_received(1_s + 150_ms, 1_s, 100);
+  EXPECT_NEAR(m.mean_delay_s(), 0.1, 1e-9);
+  EXPECT_NEAR(m.max_delay_s(), 0.15, 1e-9);
+}
+
+TEST(FlowMetricsTest, FirstDeliveryDelay) {
+  FlowMetrics m;
+  m.on_sent(10_s, 100);
+  m.on_sent(11_s, 100);
+  m.on_received(12_s, 11_s, 100);
+  // First delivery at 12 s, first send at 10 s.
+  EXPECT_NEAR(m.first_delivery_delay_s(), 2.0, 1e-9);
+}
+
+TEST(FlowMetricsTest, GoodputBinsBySecond) {
+  FlowMetrics m;
+  // 512 bytes at t = 0.5 and two at t = 2.x.
+  m.on_received(500_ms, 0_s, 512);
+  m.on_received(2_s + 100_ms, 2_s, 512);
+  m.on_received(2_s + 600_ms, 2_s, 512);
+  const auto series = m.goodput_bps(4_s);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_DOUBLE_EQ(series[0], 512.0 * 8.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.0);
+  EXPECT_DOUBLE_EQ(series[2], 2.0 * 512.0 * 8.0);
+  EXPECT_DOUBLE_EQ(series[3], 0.0);
+}
+
+TEST(FlowMetricsTest, GoodputHorizonTruncates) {
+  FlowMetrics m;
+  m.on_received(10_s, 9_s, 512);
+  const auto series = m.goodput_bps(5_s);
+  EXPECT_EQ(series.size(), 5u);
+  for (const double v : series) EXPECT_EQ(v, 0.0);
+}
+
+TEST(FlowMetricsTest, CustomBinWidth) {
+  FlowMetrics m(500_ms);
+  m.on_received(250_ms, 0_s, 100);
+  m.on_received(750_ms, 0_s, 100);
+  const auto series = m.goodput_bps(1_s);
+  ASSERT_EQ(series.size(), 2u);
+  // 100 bytes per 0.5 s bin = 1600 bps.
+  EXPECT_DOUBLE_EQ(series[0], 1600.0);
+  EXPECT_DOUBLE_EQ(series[1], 1600.0);
+}
+
+TEST(FlowMetricsTest, FractionalHorizonRoundsUp) {
+  FlowMetrics m;
+  const auto series = m.goodput_bps(SimTime::milliseconds(2500));
+  EXPECT_EQ(series.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cavenet::app

@@ -1,0 +1,103 @@
+#include "core/geometry.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cavenet::ca {
+namespace {
+
+TEST(LineGeometryTest, RejectsNonPositiveLength) {
+  EXPECT_THROW(LineGeometry(0.0), std::invalid_argument);
+  EXPECT_THROW(LineGeometry(-5.0), std::invalid_argument);
+}
+
+TEST(LineGeometryTest, MapsArcToXAxis) {
+  const LineGeometry line(100.0);
+  EXPECT_DOUBLE_EQ(line.position(0.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(line.position(42.0).x, 42.0);
+  EXPECT_DOUBLE_EQ(line.position(42.0).y, 0.0);
+  EXPECT_FALSE(line.wrap_continuous());
+}
+
+TEST(LineGeometryTest, HeadingIsUnitX) {
+  const LineGeometry line(100.0);
+  EXPECT_DOUBLE_EQ(line.heading(50.0).x, 1.0);
+  EXPECT_DOUBLE_EQ(line.heading(50.0).y, 0.0);
+}
+
+TEST(LineGeometryTest, TransformAppliesToPositionsAndHeadings) {
+  const auto transform = LaneTransform::translation(0.0, 10.0) *
+                         LaneTransform::rotation(std::numbers::pi / 2.0);
+  const LineGeometry line(100.0, transform);
+  const Vec2 p = line.position(5.0);
+  EXPECT_NEAR(p.x, 0.0, 1e-12);
+  EXPECT_NEAR(p.y, 15.0, 1e-12);
+  const Vec2 h = line.heading(5.0);
+  EXPECT_NEAR(h.x, 0.0, 1e-12);
+  EXPECT_NEAR(h.y, 1.0, 1e-12);
+}
+
+TEST(LineGeometryTest, WrapIsSpatiallyDiscontinuous) {
+  const LineGeometry line(100.0);
+  // Start and end of the lane are 100 m apart: the first CAVENET's flaw.
+  EXPECT_NEAR(distance(line.position(0.0), line.position(100.0)), 100.0, 1e-12);
+}
+
+TEST(CircuitGeometryTest, RejectsNonPositiveLength) {
+  EXPECT_THROW(CircuitGeometry(0.0), std::invalid_argument);
+}
+
+TEST(CircuitGeometryTest, RadiusFromCircumference) {
+  const CircuitGeometry circuit(3000.0);
+  EXPECT_NEAR(circuit.radius(), 3000.0 / (2.0 * std::numbers::pi), 1e-9);
+}
+
+TEST(CircuitGeometryTest, PointsLieOnTheCircle) {
+  const CircuitGeometry circuit(3000.0, {50.0, -20.0});
+  for (const double arc : {0.0, 300.0, 1500.0, 2999.0}) {
+    const Vec2 p = circuit.position(arc);
+    EXPECT_NEAR(distance(p, {50.0, -20.0}), circuit.radius(), 1e-9);
+  }
+}
+
+TEST(CircuitGeometryTest, WrapIsSpatiallyContinuous) {
+  const CircuitGeometry circuit(3000.0);
+  EXPECT_TRUE(circuit.wrap_continuous());
+  // position(L) == position(0): the paper's improvement in one assertion.
+  EXPECT_NEAR(distance(circuit.position(0.0), circuit.position(3000.0)), 0.0,
+              1e-9);
+}
+
+TEST(CircuitGeometryTest, ArcLengthIsPreserved) {
+  const CircuitGeometry circuit(1000.0);
+  // Chord between two nearby arc points ~ arc difference.
+  const Vec2 a = circuit.position(100.0);
+  const Vec2 b = circuit.position(101.0);
+  EXPECT_NEAR(distance(a, b), 1.0, 1e-3);
+}
+
+TEST(CircuitGeometryTest, HeadingIsTangentAndUnit) {
+  const CircuitGeometry circuit(1000.0);
+  for (const double arc : {0.0, 123.0, 456.0, 999.0}) {
+    const Vec2 h = circuit.heading(arc);
+    EXPECT_NEAR(h.norm(), 1.0, 1e-12);
+    // Tangent is orthogonal to the radius vector.
+    const Vec2 r = circuit.position(arc);
+    EXPECT_NEAR(h.dot(r), 0.0, 1e-9);
+  }
+}
+
+TEST(GeometryFactoryTest, FactoriesProduceCorrectTypes) {
+  const auto line = make_line(10.0);
+  const auto circuit = make_circuit(10.0);
+  EXPECT_FALSE(line->wrap_continuous());
+  EXPECT_TRUE(circuit->wrap_continuous());
+  EXPECT_DOUBLE_EQ(line->length_m(), 10.0);
+  EXPECT_DOUBLE_EQ(circuit->length_m(), 10.0);
+}
+
+}  // namespace
+}  // namespace cavenet::ca

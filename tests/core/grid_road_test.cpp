@@ -1,0 +1,130 @@
+#include "core/grid_road.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/connectivity.h"
+#include "trace/trace_generator.h"
+
+namespace cavenet::ca {
+namespace {
+
+GridRoadConfig small_grid() {
+  GridRoadConfig config;
+  config.horizontal_lanes = 2;
+  config.vertical_lanes = 2;
+  config.block_cells = 20;  // 150 m blocks
+  config.vehicles_per_lane = 5;
+  config.seed = 3;
+  return config;
+}
+
+TEST(GridRoadTest, RejectsBadDimensions) {
+  GridRoadConfig config = small_grid();
+  config.horizontal_lanes = 0;
+  EXPECT_THROW(GridRoad{config}, std::invalid_argument);
+  config = small_grid();
+  config.green_period_steps = 0;
+  EXPECT_THROW(GridRoad{config}, std::invalid_argument);
+}
+
+TEST(GridRoadTest, BuildsAllLanesAndVehicles) {
+  GridRoad grid(small_grid());
+  EXPECT_EQ(grid.road().lane_count(), 4u);
+  EXPECT_EQ(grid.vehicle_count(), 20u);
+  EXPECT_DOUBLE_EQ(grid.width_m(), 2 * 20 * 7.5);
+  EXPECT_DOUBLE_EQ(grid.height_m(), 2 * 20 * 7.5);
+}
+
+TEST(GridRoadTest, LanesLieOnTheGridGeometry) {
+  GridRoad grid(small_grid());
+  const auto states = grid.road().states();
+  const double block_m = 150.0;
+  for (const auto& s : states) {
+    if (s.lane < 2) {
+      // Horizontal lanes: y is an exact block line.
+      EXPECT_TRUE(s.position.y == 0.0 || s.position.y == block_m)
+          << "lane " << s.lane << " y=" << s.position.y;
+    } else {
+      EXPECT_TRUE(s.position.x == 0.0 || s.position.x == block_m)
+          << "lane " << s.lane << " x=" << s.position.x;
+    }
+  }
+}
+
+TEST(GridRoadTest, SignalsAlternatePhases) {
+  GridRoadConfig config = small_grid();
+  config.green_period_steps = 5;
+  GridRoad grid(config);
+  std::set<bool> phases;
+  int flips = 0;
+  bool last = grid.horizontal_green();
+  for (int i = 0; i < 30; ++i) {
+    grid.step();
+    phases.insert(grid.horizontal_green());
+    if (grid.horizontal_green() != last) {
+      last = grid.horizontal_green();
+      ++flips;
+    }
+  }
+  EXPECT_EQ(phases.size(), 2u);
+  EXPECT_GE(flips, 5);
+}
+
+TEST(GridRoadTest, RedLanesQueueAtCrossings) {
+  // Freeze the signal on horizontal-green long enough and the vertical
+  // lanes must stop completely while horizontal traffic flows.
+  GridRoadConfig config = small_grid();
+  config.green_period_steps = 1000;  // never flips within the test
+  config.slowdown_p = 0.0;
+  GridRoad grid(config);
+  for (int i = 0; i < 60; ++i) grid.step();
+  const double h_velocity =
+      (grid.road().lane(0).average_velocity() +
+       grid.road().lane(1).average_velocity()) / 2.0;
+  const double v_velocity =
+      (grid.road().lane(2).average_velocity() +
+       grid.road().lane(3).average_velocity()) / 2.0;
+  EXPECT_GT(h_velocity, 2.0);
+  EXPECT_LT(v_velocity, 0.5);  // queued behind red crossings
+}
+
+TEST(GridRoadTest, VehicleCountConservedUnderSignals) {
+  GridRoad grid(small_grid());
+  for (int i = 0; i < 200; ++i) {
+    grid.step();
+    ASSERT_EQ(grid.vehicle_count(), 20u);
+    for (std::size_t k = 0; k < 4; ++k) {
+      std::int64_t prev = -1;
+      for (const Vehicle& v : grid.road().lane(k).vehicles()) {
+        ASSERT_GT(v.cell, prev);  // exclusion holds with blocked cells
+        prev = v.cell;
+      }
+    }
+  }
+}
+
+TEST(GridRoadTest, TraceGenerationViaPreStepHook) {
+  GridRoad grid(small_grid());
+  trace::TraceGeneratorOptions options;
+  options.steps = 40;
+  options.pre_step = [&grid](Road& road) { grid.apply_signals(road); };
+  const auto mobility = trace::generate_trace(grid.road(), options);
+  EXPECT_EQ(mobility.node_count(), 20u);
+  EXPECT_FALSE(mobility.events.empty());
+  // Node positions stay inside the grid bounding box (plus delta offset).
+  const auto paths = trace::compile_paths(mobility);
+  for (const auto& path : paths) {
+    for (double t = 0.0; t <= 40.0; t += 1.0) {
+      const Vec2 p = path.position(t);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, grid.width_m() + 2.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, grid.height_m() + 2.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cavenet::ca

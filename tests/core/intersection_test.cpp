@@ -1,0 +1,152 @@
+#include "core/intersection.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::ca {
+namespace {
+
+NasParams params(std::int64_t cells, double p = 0.0) {
+  NasParams out;
+  out.lane_length = cells;
+  out.slowdown_p = p;
+  return out;
+}
+
+TEST(BlockedCellTest, RejectsOutOfRange) {
+  NasLane lane(params(50), 3);
+  EXPECT_THROW(lane.block_cell(-1), std::out_of_range);
+  EXPECT_THROW(lane.block_cell(50), std::out_of_range);
+}
+
+TEST(BlockedCellTest, VehiclesStopBeforeObstacle) {
+  NasLane lane(params(100), 1, InitialPlacement::kEven);  // car at cell 0
+  lane.block_cell(20);
+  lane.run(30);
+  const Vehicle& v = lane.vehicles()[0];
+  // The car queued up right behind the obstacle and stopped.
+  EXPECT_EQ(v.cell, 19);
+  EXPECT_EQ(v.velocity, 0);
+  EXPECT_EQ(v.wraps, 0);
+}
+
+TEST(BlockedCellTest, UnblockReleasesTheQueue) {
+  NasLane lane(params(100), 1, InitialPlacement::kEven);
+  lane.block_cell(20);
+  lane.run(30);
+  lane.unblock_cell(20);
+  lane.run(5);
+  EXPECT_GT(lane.vehicles()[0].cell, 20);
+  EXPECT_GT(lane.vehicles()[0].velocity, 0);
+}
+
+TEST(BlockedCellTest, IsBlockedReflectsState) {
+  NasLane lane(params(50), 0);
+  EXPECT_FALSE(lane.is_blocked(10));
+  lane.block_cell(10);
+  EXPECT_TRUE(lane.is_blocked(10));
+  lane.unblock_cell(10);
+  EXPECT_FALSE(lane.is_blocked(10));
+}
+
+TEST(BlockedCellTest, BlockWrapsOnClosedLane) {
+  // Vehicle near the end of the ring must see a block just past the seam.
+  NasLane lane(params(50), 1, InitialPlacement::kEven);
+  lane.block_cell(2);
+  lane.run(60);
+  const Vehicle& v = lane.vehicles()[0];
+  EXPECT_EQ(v.cell, 1);  // queued behind cell 2, across the wrap
+  EXPECT_EQ(v.velocity, 0);
+}
+
+TEST(IntersectionTest, RejectsBadConfig) {
+  NasLane a(params(100), 5);
+  NasLane b(params(100), 5);
+  IntersectionConfig config;
+  config.cell_a = 100;
+  EXPECT_THROW(Intersection(a, b, config), std::invalid_argument);
+  config = {};
+  config.clearance_cells = -1;
+  EXPECT_THROW(Intersection(a, b, config), std::invalid_argument);
+  config = {};
+  config.green_period_steps = 0;
+  EXPECT_THROW(Intersection(a, b, config), std::invalid_argument);
+}
+
+TEST(IntersectionTest, PriorityPolicyNeverConflicts) {
+  NasLane a(params(120, 0.3), 30, InitialPlacement::kRandom, Rng(1));
+  NasLane b(params(120, 0.3), 30, InitialPlacement::kRandom, Rng(2));
+  IntersectionConfig config;
+  config.cell_a = 60;
+  config.cell_b = 60;
+  Intersection intersection(a, b, config);
+  for (int step = 0; step < 300; ++step) {
+    intersection.step();
+    ASSERT_FALSE(intersection.conflict()) << "conflict at step " << step;
+  }
+}
+
+TEST(IntersectionTest, TrafficLightAlternates) {
+  NasLane a(params(100, 0.0), 10, InitialPlacement::kEven);
+  NasLane b(params(100, 0.0), 10, InitialPlacement::kEven);
+  IntersectionConfig config;
+  config.policy = IntersectionPolicy::kTrafficLight;
+  config.green_period_steps = 10;
+  config.cell_a = 50;
+  config.cell_b = 50;
+  Intersection intersection(a, b, config);
+  int flips = 0;
+  bool last = true;
+  for (int step = 0; step < 60; ++step) {
+    intersection.step();
+    if (intersection.lane_a_has_right_of_way() != last) {
+      last = intersection.lane_a_has_right_of_way();
+      ++flips;
+    }
+    ASSERT_FALSE(intersection.conflict());
+  }
+  EXPECT_GE(flips, 4);
+}
+
+TEST(IntersectionTest, CrosspointIsABottleneck) {
+  // Paper Section III: "the crosspoint is the bottleneck for the lane".
+  // Lane B's long-run flow with a priority intersection is below its
+  // free-running flow at the same density.
+  auto run_flow = [](bool with_intersection) {
+    NasLane a(params(200, 0.0), 66, InitialPlacement::kRandom, Rng(3));
+    NasLane b(params(200, 0.0), 66, InitialPlacement::kRandom, Rng(4));
+    IntersectionConfig config;
+    config.cell_a = 100;
+    config.cell_b = 100;
+    Intersection intersection(a, b, config);
+    double flow = 0.0;
+    for (int step = 0; step < 400; ++step) {
+      if (with_intersection) {
+        intersection.step();
+      } else {
+        a.step();
+        b.step();
+      }
+      if (step >= 200) flow += b.flow();
+    }
+    return flow / 200.0;
+  };
+  EXPECT_LT(run_flow(true), run_flow(false) * 0.95);
+}
+
+TEST(IntersectionTest, YieldingLaneQueuesUpstream) {
+  // Saturate lane A so its clearance window is always occupied: lane B
+  // must form a standing queue behind the crosspoint.
+  NasLane a(params(60, 0.0), 55, InitialPlacement::kRandom, Rng(5));
+  NasLane b(params(60, 0.0), 10, InitialPlacement::kEven, Rng(6));
+  IntersectionConfig config;
+  config.cell_a = 30;
+  config.cell_b = 30;
+  Intersection intersection(a, b, config);
+  for (int step = 0; step < 120; ++step) intersection.step();
+  // Lane A at density 0.92 keeps a car near the crossing essentially
+  // always; lane B's flow collapses.
+  EXPECT_LT(b.average_velocity(), 1.0);
+}
+
+}  // namespace
+}  // namespace cavenet::ca

@@ -1,0 +1,129 @@
+#include "core/lane_statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::ca {
+namespace {
+
+NasParams params(std::int64_t cells, double p = 0.0) {
+  NasParams out;
+  out.lane_length = cells;
+  out.slowdown_p = p;
+  return out;
+}
+
+TEST(SnapshotStatsTest, EmptyLane) {
+  NasLane lane(params(50), 0);
+  const auto stats = snapshot_stats(lane);
+  EXPECT_EQ(stats.mean_velocity, 0.0);
+  EXPECT_EQ(stats.jam_clusters, 0u);
+}
+
+TEST(SnapshotStatsTest, EvenPlacementGaps) {
+  NasLane lane(params(100), 10, InitialPlacement::kEven);
+  const auto stats = snapshot_stats(lane);
+  // 10 vehicles every 10 cells: every gap is 9.
+  EXPECT_DOUBLE_EQ(stats.mean_gap, 9.0);
+  EXPECT_DOUBLE_EQ(stats.max_gap, 9.0);
+  EXPECT_EQ(stats.stopped, 10u);
+  // All stopped but separated: each is its own "cluster start" by the
+  // adjacency rule, so clusters == stopped count.
+  EXPECT_EQ(stats.jam_clusters, 10u);
+}
+
+TEST(SnapshotStatsTest, SingleJamBlockIsOneCluster) {
+  NasLane lane(params(100), 8, InitialPlacement::kJam);
+  const auto stats = snapshot_stats(lane);
+  EXPECT_EQ(stats.stopped, 8u);
+  EXPECT_EQ(stats.jam_clusters, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_gap, (100.0 - 8.0) / 8.0);
+  EXPECT_DOUBLE_EQ(stats.max_gap, 92.0);
+}
+
+TEST(SnapshotStatsTest, FullRingIsOneCluster) {
+  NasLane lane(params(10), 10, InitialPlacement::kJam);
+  const auto stats = snapshot_stats(lane);
+  EXPECT_EQ(stats.stopped, 10u);
+  EXPECT_EQ(stats.jam_clusters, 1u);
+}
+
+TEST(SnapshotStatsTest, FreeFlowHasNoClusters) {
+  NasLane lane(params(100), 5, InitialPlacement::kEven);
+  lane.run(30);
+  const auto stats = snapshot_stats(lane);
+  EXPECT_EQ(stats.stopped, 0u);
+  EXPECT_EQ(stats.jam_clusters, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_velocity, 5.0);
+  EXPECT_DOUBLE_EQ(stats.velocity_stddev, 0.0);
+}
+
+TEST(LaneStatisticsTest, GapExceedanceIsMonotone) {
+  NasLane lane(params(200, 0.5), 40, InitialPlacement::kRandom, Rng(3));
+  LaneStatistics stats(lane.params());
+  for (int i = 0; i < 100; ++i) {
+    lane.step();
+    stats.record(lane);
+  }
+  EXPECT_EQ(stats.samples(), 100u);
+  EXPECT_DOUBLE_EQ(stats.gap_exceedance(0), 1.0);
+  double prev = 1.0;
+  for (std::int64_t g = 1; g <= 50; g += 7) {
+    const double p = stats.gap_exceedance(g);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(LaneStatisticsTest, VelocityProbabilitiesSumToOne) {
+  NasLane lane(params(150, 0.3), 30, InitialPlacement::kRandom, Rng(4));
+  LaneStatistics stats(lane.params());
+  for (int i = 0; i < 50; ++i) {
+    lane.step();
+    stats.record(lane);
+  }
+  double sum = 0.0;
+  for (std::int32_t v = 0; v <= 5; ++v) sum += stats.velocity_probability(v);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(stats.velocity_probability(-1), 0.0);
+  EXPECT_EQ(stats.velocity_probability(6), 0.0);
+}
+
+TEST(LaneStatisticsTest, MultiGapFractionDetectsPartitions) {
+  // Even spacing of 30 vehicles on 400 cells: every gap ~12 cells, so no
+  // gap ever reaches 34 cells (250 m) without jamming.
+  NasLane calm(params(400, 0.1), 30, InitialPlacement::kEven, Rng(5));
+  LaneStatistics calm_stats(calm.params());
+  for (int i = 0; i < 200; ++i) {
+    calm.step();
+    calm_stats.record(calm);
+  }
+  // Jam-regime traffic clusters vehicles, opening multiple radio-range
+  // gaps simultaneously — the ring-partition condition.
+  NasLane jammy(params(400, 0.7), 30, InitialPlacement::kRandom, Rng(5));
+  LaneStatistics jammy_stats(jammy.params());
+  for (int i = 0; i < 200; ++i) {
+    jammy.step();
+    jammy_stats.record(jammy);
+  }
+  const std::int64_t range_cells = 34;  // 250 m / 7.5 m
+  EXPECT_LT(calm_stats.multi_gap_fraction(range_cells, 2),
+            jammy_stats.multi_gap_fraction(range_cells, 2));
+  EXPECT_GT(jammy_stats.multi_gap_fraction(range_cells, 2), 0.2);
+}
+
+TEST(LaneStatisticsTest, JamClustersGrowWithP) {
+  NasLane calm(params(300, 0.1), 60, InitialPlacement::kRandom, Rng(6));
+  NasLane noisy(params(300, 0.7), 60, InitialPlacement::kRandom, Rng(6));
+  LaneStatistics calm_stats(calm.params());
+  LaneStatistics noisy_stats(noisy.params());
+  for (int i = 0; i < 100; ++i) {
+    calm.step();
+    noisy.step();
+    calm_stats.record(calm);
+    noisy_stats.record(noisy);
+  }
+  EXPECT_LT(calm_stats.mean_jam_clusters(), noisy_stats.mean_jam_clusters());
+}
+
+}  // namespace
+}  // namespace cavenet::ca

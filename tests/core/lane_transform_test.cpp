@@ -1,0 +1,95 @@
+#include "core/lane_transform.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace cavenet::ca {
+namespace {
+
+void expect_vec_near(Vec2 actual, Vec2 expected, double tolerance = 1e-12) {
+  EXPECT_NEAR(actual.x, expected.x, tolerance);
+  EXPECT_NEAR(actual.y, expected.y, tolerance);
+}
+
+TEST(LaneTransformTest, IdentityLeavesPointsAlone) {
+  const LaneTransform id;
+  expect_vec_near(id.apply({3.0, -2.0}), {3.0, -2.0});
+  EXPECT_EQ(id, LaneTransform::identity());
+}
+
+TEST(LaneTransformTest, Translation) {
+  const auto t = LaneTransform::translation(10.0, -5.0);
+  expect_vec_near(t.apply({1.0, 2.0}), {11.0, -3.0});
+}
+
+TEST(LaneTransformTest, Scaling) {
+  const auto s = LaneTransform::scaling(2.0, 3.0);
+  expect_vec_near(s.apply({1.0, 1.0}), {2.0, 3.0});
+}
+
+TEST(LaneTransformTest, RotationQuarterTurn) {
+  const auto r = LaneTransform::rotation(std::numbers::pi / 2.0);
+  expect_vec_near(r.apply({1.0, 0.0}), {0.0, 1.0});
+  expect_vec_near(r.apply({0.0, 1.0}), {-1.0, 0.0});
+}
+
+TEST(LaneTransformTest, MirrorX) {
+  expect_vec_near(LaneTransform::mirror_x().apply({2.0, 3.0}), {2.0, -3.0});
+}
+
+TEST(LaneTransformTest, SwapAxesMatchesPaperExample) {
+  // Paper Section III-D: lane 3's matrix [[0 1 XS/2], [1 0 Delta], [0 0 1]]
+  // maps (X_i, 0, 1) to (XS/2, X_i + Delta).
+  const double xs = 1000.0;
+  const double delta = 1.0;
+  const LaneTransform lane3 =
+      LaneTransform(0, 1, xs / 2, 1, 0, delta);
+  expect_vec_near(lane3.apply({100.0, 0.0}), {xs / 2, 100.0 + delta});
+  // The same matrix built compositionally.
+  const LaneTransform composed =
+      LaneTransform::translation(xs / 2, delta) * LaneTransform::swap_axes();
+  expect_vec_near(composed.apply({100.0, 0.0}), {xs / 2, 100.0 + delta});
+}
+
+TEST(LaneTransformTest, CompositionOrderMatters) {
+  const auto t = LaneTransform::translation(1.0, 0.0);
+  const auto r = LaneTransform::rotation(std::numbers::pi / 2.0);
+  // (r * t): translate first, then rotate.
+  expect_vec_near((r * t).apply({0.0, 0.0}), {0.0, 1.0});
+  // (t * r): rotate first, then translate.
+  expect_vec_near((t * r).apply({0.0, 0.0}), {1.0, 0.0});
+}
+
+TEST(LaneTransformTest, CompositionIsAssociative) {
+  const auto a = LaneTransform::rotation(0.3);
+  const auto b = LaneTransform::translation(2.0, -1.0);
+  const auto c = LaneTransform::scaling(0.5, 4.0);
+  const Vec2 p{1.5, -2.5};
+  expect_vec_near(((a * b) * c).apply(p), (a * (b * c)).apply(p), 1e-9);
+}
+
+TEST(LaneTransformTest, ComposedEqualsSequentialApplication) {
+  const auto a = LaneTransform::rotation(1.1);
+  const auto b = LaneTransform::translation(3.0, 4.0);
+  const Vec2 p{2.0, 5.0};
+  expect_vec_near((a * b).apply(p), a.apply(b.apply(p)), 1e-9);
+}
+
+TEST(LaneTransformTest, DirectionIgnoresTranslation) {
+  const auto t = LaneTransform::translation(100.0, 200.0) *
+                 LaneTransform::rotation(std::numbers::pi);
+  expect_vec_near(t.apply_direction({1.0, 0.0}), {-1.0, 0.0}, 1e-12);
+}
+
+TEST(LaneTransformTest, MatrixAccessor) {
+  const auto t = LaneTransform::translation(7.0, 8.0);
+  const auto& m = t.matrix();
+  EXPECT_DOUBLE_EQ(m[2], 7.0);
+  EXPECT_DOUBLE_EQ(m[5], 8.0);
+  EXPECT_DOUBLE_EQ(m[8], 1.0);
+}
+
+}  // namespace
+}  // namespace cavenet::ca

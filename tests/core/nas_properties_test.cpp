@@ -1,0 +1,133 @@
+// Property-based sweeps of the NaS automaton invariants over a grid of
+// (density, slowdown probability, boundary, placement) configurations.
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/nas_lane.h"
+
+namespace cavenet::ca {
+namespace {
+
+struct NasCase {
+  double density;
+  double p;
+  Boundary boundary;
+  InitialPlacement placement;
+};
+
+class NasInvariantTest : public ::testing::TestWithParam<NasCase> {};
+
+TEST_P(NasInvariantTest, InvariantsHoldOverTime) {
+  const NasCase c = GetParam();
+  NasParams params;
+  params.lane_length = 120;
+  params.slowdown_p = c.p;
+  params.boundary = c.boundary;
+  const auto n = static_cast<std::int64_t>(c.density * 120.0);
+  NasLane lane(params, n, c.placement, Rng(99));
+
+  for (int step = 0; step < 150; ++step) {
+    lane.step();
+    // Vehicle count conserved.
+    ASSERT_EQ(lane.vehicle_count(), n);
+    std::set<std::uint32_t> ids;
+    std::int64_t prev_cell = -1;
+    for (const Vehicle& v : lane.vehicles()) {
+      // Exclusion: strictly increasing cells => one vehicle per site.
+      ASSERT_GT(v.cell, prev_cell);
+      prev_cell = v.cell;
+      // Positions on the lane.
+      ASSERT_GE(v.cell, 0);
+      ASSERT_LT(v.cell, params.lane_length);
+      // Velocity bounds.
+      ASSERT_GE(v.velocity, 0);
+      ASSERT_LE(v.velocity, params.v_max);
+      // Ids unique and stable.
+      ASSERT_TRUE(ids.insert(v.id).second);
+      ASSERT_LT(v.id, static_cast<std::uint32_t>(n));
+      // Wraps only ever grow.
+      ASSERT_GE(v.wraps, 0);
+    }
+    // Average velocity bounded by v_max.
+    ASSERT_LE(lane.average_velocity(), static_cast<double>(params.v_max));
+    ASSERT_GE(lane.average_velocity(), 0.0);
+    // Flow = rho * v by definition.
+    ASSERT_NEAR(lane.flow(), lane.density() * lane.average_velocity(), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityProbabilityGrid, NasInvariantTest,
+    ::testing::Values(
+        NasCase{0.05, 0.0, Boundary::kClosed, InitialPlacement::kRandom},
+        NasCase{0.05, 0.3, Boundary::kClosed, InitialPlacement::kRandom},
+        NasCase{0.05, 1.0, Boundary::kClosed, InitialPlacement::kRandom},
+        NasCase{0.25, 0.0, Boundary::kClosed, InitialPlacement::kEven},
+        NasCase{0.25, 0.5, Boundary::kClosed, InitialPlacement::kRandom},
+        NasCase{0.5, 0.0, Boundary::kClosed, InitialPlacement::kJam},
+        NasCase{0.5, 0.3, Boundary::kClosed, InitialPlacement::kRandom},
+        NasCase{0.9, 0.5, Boundary::kClosed, InitialPlacement::kRandom},
+        NasCase{1.0, 0.3, Boundary::kClosed, InitialPlacement::kJam},
+        NasCase{0.05, 0.3, Boundary::kOpenShift, InitialPlacement::kRandom},
+        NasCase{0.25, 0.0, Boundary::kOpenShift, InitialPlacement::kEven},
+        NasCase{0.5, 0.5, Boundary::kOpenShift, InitialPlacement::kRandom},
+        NasCase{0.9, 0.3, Boundary::kOpenShift, InitialPlacement::kJam}));
+
+/// On a closed deterministic lane, relative vehicle order never changes:
+/// follow each vehicle's cumulative position and check monotone gaps.
+class NasOrderTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NasOrderTest, ClosedLanePreservesCyclicOrder) {
+  NasParams params;
+  params.lane_length = 100;
+  params.slowdown_p = GetParam();
+  NasLane lane(params, 20, InitialPlacement::kRandom, Rng(5));
+  for (int step = 0; step < 100; ++step) {
+    lane.step();
+    // Cumulative positions of consecutive-id vehicles never cross.
+    // (Ids were assigned in initial site order.)
+    for (std::uint32_t id = 0; id + 1 < 20; ++id) {
+      const double a = lane.cumulative_position_m(lane.vehicle_by_id(id));
+      const double b = lane.cumulative_position_m(lane.vehicle_by_id(id + 1));
+      ASSERT_LT(a, b) << "vehicles " << id << " and " << id + 1
+                      << " crossed at step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlowdownSweep, NasOrderTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.9));
+
+/// The deterministic steady-state flow is min(v_max*rho, 1-rho); simulated
+/// long-run flow must approach it for any density.
+class NasFlowTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NasFlowTest, DeterministicFlowMatchesTheory) {
+  const double rho = GetParam();
+  NasParams params;
+  params.lane_length = 200;
+  params.slowdown_p = 0.0;
+  const auto n = static_cast<std::int64_t>(rho * 200.0);
+  NasLane lane(params, n, InitialPlacement::kRandom, Rng(11));
+  lane.run(400);  // transient
+  double flow_sum = 0.0;
+  const int window = 200;
+  for (int i = 0; i < window; ++i) {
+    lane.step();
+    flow_sum += lane.flow();
+  }
+  const double simulated = flow_sum / window;
+  const double rho_actual = lane.density();
+  const double expected =
+      std::min(5.0 * rho_actual, 1.0 - rho_actual);
+  EXPECT_NEAR(simulated, expected, 0.03) << "rho = " << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(DensitySweep, NasFlowTest,
+                         ::testing::Values(0.05, 0.1, 1.0 / 6.0, 0.25, 0.4,
+                                           0.6, 0.8, 0.95));
+
+}  // namespace
+}  // namespace cavenet::ca

@@ -1,0 +1,101 @@
+#include "core/road.h"
+
+#include <numbers>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cavenet::ca {
+namespace {
+
+NasParams small_params(std::int64_t cells = 100) {
+  NasParams p;
+  p.lane_length = cells;
+  return p;
+}
+
+TEST(RoadTest, RejectsNullGeometry) {
+  Road road;
+  EXPECT_THROW(road.add_lane(NasLane(small_params(), 5), nullptr),
+               std::invalid_argument);
+}
+
+TEST(RoadTest, RejectsLengthMismatch) {
+  Road road;
+  EXPECT_THROW(
+      road.add_lane(NasLane(small_params(100), 5), make_line(100.0)),
+      std::invalid_argument);  // 100 cells = 750 m, not 100 m
+}
+
+TEST(RoadTest, AssignsGlobalNodeIdsAcrossLanes) {
+  Road road;
+  road.add_lane(NasLane(small_params(), 3, InitialPlacement::kEven),
+                make_line(750.0));
+  road.add_lane(NasLane(small_params(), 2, InitialPlacement::kEven),
+                make_line(750.0, LaneTransform::translation(0.0, 10.0)));
+  EXPECT_EQ(road.vehicle_count(), 5u);
+  const auto states = road.states();
+  ASSERT_EQ(states.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(states[i].node_id, i);
+  }
+  EXPECT_EQ(states[3].lane, 1u);
+  EXPECT_EQ(states[3].vehicle_id, 0u);
+}
+
+TEST(RoadTest, StatesLieOnTheLaneGeometry) {
+  Road road;
+  road.add_lane(NasLane(small_params(), 4, InitialPlacement::kEven),
+                make_circuit(750.0));
+  for (int step = 0; step < 20; ++step) {
+    road.step();
+    for (const auto& s : road.states()) {
+      const double r = 750.0 / (2.0 * std::numbers::pi);
+      EXPECT_NEAR(s.position.norm(), r, 1e-9);
+    }
+  }
+}
+
+TEST(RoadTest, VelocityDirectionFollowsHeading) {
+  Road road;
+  road.add_lane(NasLane(small_params(), 1, InitialPlacement::kEven),
+                make_line(750.0));
+  road.step();  // the lone vehicle accelerates
+  const auto states = road.states();
+  EXPECT_GT(states[0].velocity.x, 0.0);
+  EXPECT_DOUBLE_EQ(states[0].velocity.y, 0.0);
+  // Speed = velocity (cells/step) * 7.5 m.
+  EXPECT_NEAR(states[0].velocity.x, 7.5, 1e-9);  // v=1 after first step
+}
+
+TEST(RoadTest, WrappedThisStepFlag) {
+  NasParams params = small_params(10);  // tiny ring: wraps quickly
+  Road road;
+  road.add_lane(NasLane(params, 1, InitialPlacement::kEven),
+                make_circuit(75.0));
+  int wrap_events = 0;
+  for (int i = 0; i < 30; ++i) {
+    road.step();
+    for (const auto& s : road.states()) {
+      if (s.wrapped_this_step) ++wrap_events;
+    }
+  }
+  // A lone vehicle at v_max=5 on a 10-cell ring wraps roughly every 2 steps.
+  EXPECT_GT(wrap_events, 8);
+}
+
+TEST(RoadTest, StepAdvancesAllLanes) {
+  Road road;
+  road.add_lane(NasLane(small_params(), 2, InitialPlacement::kEven),
+                make_line(750.0));
+  road.add_lane(NasLane(small_params(), 2, InitialPlacement::kEven),
+                make_line(750.0));
+  road.step();
+  road.step();
+  EXPECT_EQ(road.time_step(), 2);
+  EXPECT_EQ(road.lane(0).time_step(), 2);
+  EXPECT_EQ(road.lane(1).time_step(), 2);
+}
+
+}  // namespace
+}  // namespace cavenet::ca

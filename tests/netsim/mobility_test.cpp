@@ -1,0 +1,74 @@
+#include "netsim/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/layers.h"
+#include "netsim/packet.h"
+
+namespace cavenet::netsim {
+namespace {
+
+using namespace cavenet::literals;
+
+TEST(StaticMobilityTest, PositionConstantVelocityZero) {
+  StaticMobility m({3.0, -4.0});
+  EXPECT_EQ(m.position(0_s), (Vec2{3.0, -4.0}));
+  EXPECT_EQ(m.position(100_s), (Vec2{3.0, -4.0}));
+  EXPECT_EQ(m.velocity(50_s), (Vec2{0.0, 0.0}));
+}
+
+TEST(FunctionMobilityTest, DelegatesToFunctions) {
+  FunctionMobility m([](double t) { return Vec2{t * 2.0, 0.0}; },
+                     [](double) { return Vec2{2.0, 0.0}; });
+  EXPECT_EQ(m.position(5_s), (Vec2{10.0, 0.0}));
+  EXPECT_EQ(m.velocity(5_s), (Vec2{2.0, 0.0}));
+}
+
+TEST(FunctionMobilityTest, MissingVelocityIsZero) {
+  FunctionMobility m([](double) { return Vec2{1.0, 1.0}; }, nullptr);
+  EXPECT_EQ(m.velocity(1_s), (Vec2{0.0, 0.0}));
+}
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 b{1.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 3.0}));
+  EXPECT_EQ(a - b, (Vec2{2.0, 5.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{6.0, 8.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), -1.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), std::hypot(2.0, 5.0));
+}
+
+TEST(AddressTest, BroadcastPredicate) {
+  EXPECT_TRUE(is_broadcast(kBroadcast));
+  EXPECT_FALSE(is_broadcast(0));
+  EXPECT_FALSE(is_broadcast(12345));
+}
+
+/// The default LinkLayer::send_priority falls back to send().
+class RecordingLink final : public LinkLayer {
+ public:
+  void send(Packet packet, NodeId dest) override {
+    (void)packet;
+    last_dest = dest;
+    ++sends;
+  }
+  void set_receive_callback(ReceiveCallback) override {}
+  void set_tx_failed_callback(TxFailedCallback) override {}
+  NodeId address() const override { return 7; }
+  int sends = 0;
+  NodeId last_dest = 0;
+};
+
+TEST(LinkLayerTest, DefaultPriorityFallsBackToSend) {
+  RecordingLink link;
+  link.send_priority(Packet(10), 3);
+  EXPECT_EQ(link.sends, 1);
+  EXPECT_EQ(link.last_dest, 3u);
+}
+
+}  // namespace
+}  // namespace cavenet::netsim

@@ -1,0 +1,60 @@
+#include "netsim/packet_log.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cavenet::netsim {
+namespace {
+
+using namespace cavenet::literals;
+
+TEST(PacketLogTest, RecordsEntriesInOrder) {
+  PacketLog log;
+  log.record(1_s, PacketLog::Event::kSend, PacketLog::Layer::kAgent, 4, 17,
+             "cbr", 512);
+  log.record(2_s, PacketLog::Event::kReceive, PacketLog::Layer::kMac, 0, 17,
+             "cbr", 512);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.entries()[0].node, 4u);
+  EXPECT_EQ(log.entries()[1].event, PacketLog::Event::kReceive);
+}
+
+TEST(PacketLogTest, CountsByEventAndLayer) {
+  PacketLog log;
+  log.record(1_s, PacketLog::Event::kDrop, PacketLog::Layer::kMac, 1, 1, "x", 1);
+  log.record(2_s, PacketLog::Event::kDrop, PacketLog::Layer::kMac, 2, 2, "x", 1);
+  log.record(3_s, PacketLog::Event::kDrop, PacketLog::Layer::kRouter, 3, 3, "x", 1);
+  EXPECT_EQ(log.count(PacketLog::Event::kDrop, PacketLog::Layer::kMac), 2u);
+  EXPECT_EQ(log.count(PacketLog::Event::kDrop, PacketLog::Layer::kRouter), 1u);
+  EXPECT_EQ(log.count(PacketLog::Event::kSend, PacketLog::Layer::kMac), 0u);
+}
+
+TEST(PacketLogTest, Ns2LineFormat) {
+  PacketLog log;
+  log.record(SimTime::milliseconds(10500), PacketLog::Event::kSend,
+             PacketLog::Layer::kAgent, 4, 17, "cbr", 512);
+  std::ostringstream out;
+  log.write_ns2(out);
+  EXPECT_EQ(out.str(), "s 10.500000000 _4_ AGT --- 17 cbr 512\n");
+}
+
+TEST(PacketLogTest, EventCodesAndLayerNames) {
+  EXPECT_EQ(PacketLog::event_code(PacketLog::Event::kSend), 's');
+  EXPECT_EQ(PacketLog::event_code(PacketLog::Event::kReceive), 'r');
+  EXPECT_EQ(PacketLog::event_code(PacketLog::Event::kForward), 'f');
+  EXPECT_EQ(PacketLog::event_code(PacketLog::Event::kDrop), 'D');
+  EXPECT_STREQ(PacketLog::layer_name(PacketLog::Layer::kAgent), "AGT");
+  EXPECT_STREQ(PacketLog::layer_name(PacketLog::Layer::kRouter), "RTR");
+  EXPECT_STREQ(PacketLog::layer_name(PacketLog::Layer::kMac), "MAC");
+}
+
+TEST(PacketLogTest, ClearEmpties) {
+  PacketLog log;
+  log.record(1_s, PacketLog::Event::kSend, PacketLog::Layer::kMac, 0, 0, "x", 0);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cavenet::netsim

@@ -1,0 +1,134 @@
+#include "netsim/packet.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cavenet::netsim {
+namespace {
+
+struct TestHeaderA final : HeaderBase<TestHeaderA> {
+  int value = 0;
+  std::size_t size_bytes() const override { return 10; }
+  std::string name() const override { return "test-a"; }
+};
+
+struct TestHeaderB final : HeaderBase<TestHeaderB> {
+  double payload = 0.0;
+  std::size_t size_bytes() const override { return 4; }
+  std::string name() const override { return "test-b"; }
+};
+
+TEST(PacketTest, PayloadSizeOnly) {
+  Packet p(512);
+  EXPECT_EQ(p.payload_bytes(), 512u);
+  EXPECT_EQ(p.size_bytes(), 512u);
+  EXPECT_EQ(p.header_count(), 0u);
+}
+
+TEST(PacketTest, UidsAreUniqueAcrossPackets) {
+  Packet a(0), b(0);
+  EXPECT_NE(a.uid(), b.uid());
+}
+
+TEST(PacketTest, PushAddsHeaderSize) {
+  Packet p(100);
+  TestHeaderA a;
+  a.value = 7;
+  p.push(a);
+  EXPECT_EQ(p.size_bytes(), 110u);
+  TestHeaderB b;
+  p.push(b);
+  EXPECT_EQ(p.size_bytes(), 114u);
+  EXPECT_EQ(p.header_count(), 2u);
+}
+
+TEST(PacketTest, PeekSeesTopHeaderOnly) {
+  Packet p(0);
+  TestHeaderA a;
+  a.value = 42;
+  p.push(a);
+  TestHeaderB b;
+  b.payload = 2.5;
+  p.push(b);
+  EXPECT_EQ(p.peek<TestHeaderA>(), nullptr);
+  ASSERT_NE(p.peek<TestHeaderB>(), nullptr);
+  EXPECT_DOUBLE_EQ(p.peek<TestHeaderB>()->payload, 2.5);
+}
+
+TEST(PacketTest, PopReturnsAndRemoves) {
+  Packet p(0);
+  TestHeaderA a;
+  a.value = 9;
+  p.push(a);
+  const TestHeaderA popped = p.pop<TestHeaderA>();
+  EXPECT_EQ(popped.value, 9);
+  EXPECT_EQ(p.header_count(), 0u);
+  EXPECT_EQ(p.size_bytes(), 0u);
+}
+
+TEST(PacketTest, PopWrongTypeThrows) {
+  Packet p(0);
+  p.push(TestHeaderA{});
+  EXPECT_THROW(p.pop<TestHeaderB>(), std::logic_error);
+  Packet empty(0);
+  EXPECT_THROW(empty.pop<TestHeaderA>(), std::logic_error);
+}
+
+TEST(PacketTest, FindSearchesWholeStack) {
+  Packet p(0);
+  TestHeaderA a;
+  a.value = 13;
+  p.push(a);
+  p.push(TestHeaderB{});
+  ASSERT_NE(p.find<TestHeaderA>(), nullptr);
+  EXPECT_EQ(p.find<TestHeaderA>()->value, 13);
+}
+
+TEST(PacketTest, CopyIsDeepButKeepsUid) {
+  Packet p(64);
+  TestHeaderA a;
+  a.value = 1;
+  p.push(a);
+  Packet copy = p;
+  EXPECT_EQ(copy.uid(), p.uid());
+  EXPECT_EQ(copy.size_bytes(), p.size_bytes());
+  // Mutating the copy's header must not affect the original.
+  copy.peek<TestHeaderA>()->value = 99;
+  EXPECT_EQ(p.peek<TestHeaderA>()->value, 1);
+}
+
+TEST(PacketTest, CopyAssignmentReplacesContents) {
+  Packet p(10);
+  p.push(TestHeaderA{});
+  Packet q(20);
+  q.push(TestHeaderB{});
+  q = p;
+  EXPECT_EQ(q.payload_bytes(), 10u);
+  EXPECT_NE(q.peek<TestHeaderA>(), nullptr);
+  EXPECT_EQ(q.uid(), p.uid());
+}
+
+TEST(PacketTest, SelfAssignmentIsSafe) {
+  Packet p(10);
+  p.push(TestHeaderA{});
+  Packet& alias = p;
+  p = alias;
+  EXPECT_EQ(p.payload_bytes(), 10u);
+  EXPECT_EQ(p.header_count(), 1u);
+}
+
+TEST(PacketTest, MovePreservesEverything) {
+  Packet p(33);
+  TestHeaderA a;
+  a.value = 5;
+  p.push(a);
+  const std::uint64_t uid = p.uid();
+  Packet moved = std::move(p);
+  EXPECT_EQ(moved.uid(), uid);
+  EXPECT_EQ(moved.payload_bytes(), 33u);
+  EXPECT_EQ(moved.peek<TestHeaderA>()->value, 5);
+}
+
+}  // namespace
+}  // namespace cavenet::netsim

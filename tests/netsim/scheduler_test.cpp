@@ -1,0 +1,110 @@
+#include "netsim/scheduler.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cavenet::netsim {
+namespace {
+
+using namespace cavenet::literals;
+
+TEST(SchedulerTest, EmptyInitially) {
+  Scheduler s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.next_time(), SimTime::max());
+  EXPECT_FALSE(s.run_one());
+}
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3_s, [&] { order.push_back(3); });
+  s.schedule_at(1_s, [&] { order.push_back(1); });
+  s.schedule_at(2_s, [&] { order.push_back(2); });
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5_s, [&order, i] { order.push_back(i); });
+  }
+  while (s.run_one()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule_at(1_s, [&] { fired = true; });
+  EXPECT_TRUE(id.pending());
+  id.cancel();
+  EXPECT_FALSE(id.pending());
+  while (s.run_one()) {
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, CancelIsIdempotentAndSafeAfterExpiry) {
+  Scheduler s;
+  EventId id = s.schedule_at(1_s, [] {});
+  s.run_one();
+  EXPECT_FALSE(id.pending());
+  id.cancel();  // no crash
+  EventId defaulted;
+  defaulted.cancel();  // no crash
+  EXPECT_FALSE(defaulted.pending());
+}
+
+TEST(SchedulerTest, RejectsSchedulingIntoThePast) {
+  Scheduler s;
+  s.schedule_at(10_s, [] {});
+  s.run_one();
+  EXPECT_THROW(s.schedule_at(5_s, [] {}), std::logic_error);
+  // Scheduling at exactly the current time is allowed.
+  EXPECT_NO_THROW(s.schedule_at(10_s, [] {}));
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> reschedule = [&]() {
+    ++count;
+    if (count < 5) {
+      s.schedule_at(s.last_dispatched() + 1_s, reschedule);
+    }
+  };
+  s.schedule_at(0_s, reschedule);
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.last_dispatched(), 4_s);
+}
+
+TEST(SchedulerTest, DispatchedCountTracksExecutedOnly) {
+  Scheduler s;
+  s.schedule_at(1_s, [] {});
+  EventId cancelled = s.schedule_at(2_s, [] {});
+  cancelled.cancel();
+  s.schedule_at(3_s, [] {});
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(s.dispatched_count(), 2u);
+}
+
+TEST(SchedulerTest, NextTimeSkipsCancelled) {
+  Scheduler s;
+  EventId first = s.schedule_at(1_s, [] {});
+  s.schedule_at(2_s, [] {});
+  first.cancel();
+  EXPECT_EQ(s.next_time(), 2_s);
+}
+
+}  // namespace
+}  // namespace cavenet::netsim

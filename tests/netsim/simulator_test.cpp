@@ -1,0 +1,104 @@
+#include "netsim/simulator.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cavenet::netsim {
+namespace {
+
+using namespace cavenet::literals;
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(SimulatorTest, ScheduleAdvancesClockToEventTime) {
+  Simulator sim;
+  SimTime seen = SimTime::zero();
+  sim.schedule(5_s, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 5_s);
+  EXPECT_EQ(sim.now(), 5_s);
+}
+
+TEST(SimulatorTest, RelativeDelaysCompose) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule(1_s, [&] {
+    times.push_back(sim.now().sec());
+    sim.schedule(2_s, [&] { times.push_back(sim.now().sec()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(SimulatorTest, RejectsNegativeDelayAndPastAbsolute) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(SimTime::zero() - 1_s, [] {}),
+               std::invalid_argument);
+  sim.schedule(2_s, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1_s, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1_s, [&] { ++fired; });
+  sim.schedule(10_s, [&] { ++fired; });
+  sim.run_until(5_s);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5_s);
+  sim.run_until(20_s);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20_s);
+}
+
+TEST(SimulatorTest, RunUntilIncludesEventsAtBoundary) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(5_s, [&] { fired = true; });
+  sim.run_until(5_s);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StopAbortsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1_s, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2_s, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // A second run resumes with the remaining events.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, MakeRngIsDeterministicPerStream) {
+  Simulator sim(42);
+  Rng a = sim.make_rng(1);
+  Rng b = sim.make_rng(1);
+  Rng c = sim.make_rng(2);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng a2 = sim.make_rng(1);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+  EXPECT_EQ(sim.seed(), 42u);
+}
+
+TEST(SimulatorTest, EventsDispatchedCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(SimTime::seconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_dispatched(), 7u);
+}
+
+}  // namespace
+}  // namespace cavenet::netsim

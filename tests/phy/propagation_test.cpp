@@ -1,0 +1,150 @@
+#include "phy/propagation.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.h"
+#include "util/units.h"
+
+namespace cavenet::phy {
+namespace {
+
+TEST(RadioConstantsTest, WavelengthAt914MHz) {
+  RadioConstants c;
+  EXPECT_NEAR(c.wavelength_m(), 0.328, 0.001);
+}
+
+TEST(FreeSpaceTest, MatchesFriisFormula) {
+  RadioConstants c;
+  FreeSpaceModel model(c);
+  const double pt = 0.28183815;
+  const double d = 100.0;
+  const double lambda = c.wavelength_m();
+  const double expected =
+      pt * lambda * lambda / std::pow(4.0 * std::numbers::pi * d, 2.0);
+  EXPECT_NEAR(model.rx_power_w(pt, {0, 0}, {d, 0}), expected, expected * 1e-9);
+}
+
+TEST(FreeSpaceTest, InverseSquareLaw) {
+  FreeSpaceModel model;
+  const double p1 = model.rx_power_w(1.0, {0, 0}, {100, 0});
+  const double p2 = model.rx_power_w(1.0, {0, 0}, {200, 0});
+  EXPECT_NEAR(p1 / p2, 4.0, 1e-9);
+}
+
+TEST(FreeSpaceTest, ZeroDistanceReturnsTxPower) {
+  FreeSpaceModel model;
+  EXPECT_DOUBLE_EQ(model.rx_power_w(0.5, {3, 4}, {3, 4}), 0.5);
+}
+
+TEST(TwoRayGroundTest, CrossoverDistance) {
+  TwoRayGroundModel model;
+  // dc = 4 pi ht hr / lambda with ht = hr = 1.5 m at 914 MHz ~ 86 m.
+  EXPECT_NEAR(model.crossover_distance_m(), 86.0, 1.0);
+}
+
+TEST(TwoRayGroundTest, FreeSpaceBelowCrossover) {
+  RadioConstants c;
+  TwoRayGroundModel two_ray(c);
+  FreeSpaceModel free_space(c);
+  const double d = 50.0;  // below crossover
+  EXPECT_NEAR(two_ray.rx_power_w(1.0, {0, 0}, {d, 0}),
+              free_space.rx_power_w(1.0, {0, 0}, {d, 0}), 1e-15);
+}
+
+TEST(TwoRayGroundTest, FourthPowerLawBeyondCrossover) {
+  TwoRayGroundModel model;
+  const double p1 = model.rx_power_w(1.0, {0, 0}, {200, 0});
+  const double p2 = model.rx_power_w(1.0, {0, 0}, {400, 0});
+  EXPECT_NEAR(p1 / p2, 16.0, 1e-9);
+}
+
+TEST(TwoRayGroundTest, WaveLanThresholdsGive250mRange) {
+  // The ns-2 WaveLAN profile the paper's setup uses: the received power at
+  // exactly 250 m equals the receive threshold.
+  TwoRayGroundModel model;
+  WaveLanProfile profile;
+  const double at_250 = model.rx_power_w(profile.tx_power_w, {0, 0}, {250, 0});
+  EXPECT_NEAR(at_250 / profile.rx_threshold_w, 1.0, 0.01);
+  // And the carrier-sense threshold sits at ~550 m.
+  const double at_550 = model.rx_power_w(profile.tx_power_w, {0, 0}, {550, 0});
+  EXPECT_NEAR(at_550 / profile.cs_threshold_w, 1.0, 0.02);
+  // Strictly beyond range: undecodable.
+  const double at_251 = model.rx_power_w(profile.tx_power_w, {0, 0}, {251, 0});
+  EXPECT_LT(at_251, profile.rx_threshold_w);
+}
+
+TEST(ShadowingTest, RejectsBadParameters) {
+  EXPECT_THROW(ShadowingModel(0.0, 4.0, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(ShadowingModel(2.0, -1.0, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(ShadowingModel(2.0, 4.0, Rng(1), 0.0), std::invalid_argument);
+}
+
+TEST(ShadowingTest, ZeroSigmaIsDeterministicPathLoss) {
+  ShadowingModel model(2.0, 0.0, Rng(1));
+  FreeSpaceModel free_space;
+  // With beta = 2 and sigma = 0 the model reduces to free space.
+  const double a = model.rx_power_w(1.0, {0, 0}, {100, 0});
+  const double b = free_space.rx_power_w(1.0, {0, 0}, {100, 0});
+  EXPECT_NEAR(a / b, 1.0, 1e-6);
+}
+
+TEST(ShadowingTest, MeanPathLossFollowsExponent) {
+  ShadowingModel model(3.0, 0.0, Rng(2));
+  const double p1 = model.rx_power_w(1.0, {0, 0}, {100, 0});
+  const double p2 = model.rx_power_w(1.0, {0, 0}, {1000, 0});
+  // 10x distance at beta = 3 -> 30 dB.
+  EXPECT_NEAR(ratio_to_db(p1 / p2), 30.0, 0.01);
+}
+
+TEST(ShadowingTest, FluctuationsHaveRequestedSigma) {
+  ShadowingModel model(2.8, 6.0, Rng(3));
+  analysis::RunningStats db;
+  for (int i = 0; i < 5000; ++i) {
+    db.add(watt_to_dbm(model.rx_power_w(1.0, {0, 0}, {200, 0})));
+  }
+  EXPECT_NEAR(db.stddev(), 6.0, 0.3);
+}
+
+TEST(RayleighFadingTest, RequiresBaseModel) {
+  EXPECT_THROW(RayleighFadingModel(nullptr, Rng(1)), std::invalid_argument);
+}
+
+TEST(RayleighFadingTest, UnitMeanPreservesAveragePower) {
+  RayleighFadingModel model(std::make_unique<TwoRayGroundModel>(), Rng(4));
+  TwoRayGroundModel base;
+  const double expected = base.rx_power_w(1.0, {0, 0}, {200, 0});
+  analysis::RunningStats power;
+  for (int i = 0; i < 20000; ++i) {
+    power.add(model.rx_power_w(1.0, {0, 0}, {200, 0}));
+  }
+  EXPECT_NEAR(power.mean() / expected, 1.0, 0.05);
+}
+
+TEST(RayleighFadingTest, DeepFadesOccur) {
+  // Rayleigh fading drops below -10 dB of the mean with P = 1-e^-0.1 ~ 9.5%.
+  RayleighFadingModel model(std::make_unique<TwoRayGroundModel>(), Rng(5));
+  TwoRayGroundModel base;
+  const double mean_power = base.rx_power_w(1.0, {0, 0}, {200, 0});
+  int deep = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.rx_power_w(1.0, {0, 0}, {200, 0}) < 0.1 * mean_power) ++deep;
+  }
+  EXPECT_NEAR(static_cast<double>(deep) / n, 0.095, 0.01);
+}
+
+TEST(UnitsTest, DbmWattRoundTrip) {
+  EXPECT_NEAR(dbm_to_watt(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(watt_to_dbm(1.0), 30.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watt(watt_to_dbm(0.28183815)), 0.28183815, 1e-9);
+  EXPECT_NEAR(db_to_ratio(ratio_to_db(123.0)), 123.0, 1e-9);
+  EXPECT_DOUBLE_EQ(kmh_to_ms(135.0), 37.5);
+  EXPECT_DOUBLE_EQ(ms_to_kmh(37.5), 135.0);
+}
+
+}  // namespace
+}  // namespace cavenet::phy

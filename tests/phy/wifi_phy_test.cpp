@@ -1,0 +1,196 @@
+#include "phy/wifi_phy.h"
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "phy/channel.h"
+
+namespace cavenet::phy {
+namespace {
+
+using namespace cavenet::literals;
+using netsim::Packet;
+
+struct RadioFixture {
+  netsim::Simulator sim{1};
+  Channel channel{sim, std::make_unique<TwoRayGroundModel>()};
+  std::vector<std::unique_ptr<netsim::StaticMobility>> mobilities;
+  std::vector<std::unique_ptr<WifiPhy>> radios;
+
+  WifiPhy& add_radio(Vec2 position) {
+    mobilities.push_back(std::make_unique<netsim::StaticMobility>(position));
+    radios.push_back(std::make_unique<WifiPhy>(
+        sim, static_cast<netsim::NodeId>(radios.size()),
+        mobilities.back().get()));
+    channel.attach(radios.back().get());
+    return *radios.back();
+  }
+};
+
+TEST(WifiPhyTest, RequiresMobility) {
+  netsim::Simulator sim;
+  EXPECT_THROW(WifiPhy(sim, 0, nullptr), std::invalid_argument);
+}
+
+TEST(WifiPhyTest, FrameDurationMath) {
+  RadioFixture f;
+  WifiPhy& radio = f.add_radio({0, 0});
+  // PLCP 192 us + 1000 bytes * 8 / 2 Mbps = 192 + 4000 us.
+  EXPECT_EQ(radio.frame_duration(1000), 4192_us);
+  EXPECT_EQ(radio.frame_duration(0), 192_us);
+}
+
+TEST(WifiPhyTest, TransmitRequiresChannel) {
+  netsim::Simulator sim;
+  netsim::StaticMobility mob({0, 0});
+  WifiPhy radio(sim, 0, &mob);
+  EXPECT_THROW(radio.transmit(Packet(10)), std::logic_error);
+}
+
+TEST(WifiPhyTest, DeliversFrameWithinRange) {
+  RadioFixture f;
+  WifiPhy& tx = f.add_radio({0, 0});
+  WifiPhy& rx = f.add_radio({200, 0});
+  std::optional<std::uint64_t> received_uid;
+  rx.set_receive_callback(
+      [&](Packet p, double) { received_uid = p.uid(); });
+  Packet p(100);
+  const std::uint64_t uid = p.uid();
+  tx.transmit(std::move(p));
+  f.sim.run();
+  ASSERT_TRUE(received_uid.has_value());
+  EXPECT_EQ(*received_uid, uid);
+  EXPECT_EQ(tx.stats().frames_sent, 1u);
+  EXPECT_EQ(rx.stats().frames_received, 1u);
+}
+
+TEST(WifiPhyTest, NoDeliveryBeyond250m) {
+  RadioFixture f;
+  WifiPhy& tx = f.add_radio({0, 0});
+  WifiPhy& rx = f.add_radio({260, 0});
+  bool received = false;
+  rx.set_receive_callback([&](Packet, double) { received = true; });
+  tx.transmit(Packet(100));
+  f.sim.run();
+  EXPECT_FALSE(received);
+  EXPECT_EQ(rx.stats().below_rx_threshold, 1u);
+}
+
+TEST(WifiPhyTest, CarrierSensedBetween250And550m) {
+  RadioFixture f;
+  WifiPhy& tx = f.add_radio({0, 0});
+  WifiPhy& rx = f.add_radio({400, 0});
+  int busy_transitions = 0;
+  rx.set_cca_callback([&](bool busy) {
+    if (busy) ++busy_transitions;
+  });
+  tx.transmit(Packet(100));
+  f.sim.run_until(1_ms);
+  EXPECT_EQ(busy_transitions, 1);
+  EXPECT_FALSE(rx.cca_busy());  // signal over
+  EXPECT_EQ(rx.stats().frames_received, 0u);
+}
+
+TEST(WifiPhyTest, NothingSensedBeyond550m) {
+  RadioFixture f;
+  WifiPhy& tx = f.add_radio({0, 0});
+  WifiPhy& rx = f.add_radio({600, 0});
+  int transitions = 0;
+  rx.set_cca_callback([&](bool) { ++transitions; });
+  tx.transmit(Packet(100));
+  f.sim.run();
+  EXPECT_EQ(transitions, 0);
+}
+
+TEST(WifiPhyTest, SimultaneousFramesCollide) {
+  RadioFixture f;
+  WifiPhy& tx1 = f.add_radio({-100, 0});
+  WifiPhy& tx2 = f.add_radio({100, 0});
+  WifiPhy& rx = f.add_radio({0, 0});
+  int received = 0;
+  rx.set_receive_callback([&](Packet, double) { ++received; });
+  tx1.transmit(Packet(100));
+  tx2.transmit(Packet(100));
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(rx.stats().collisions, 1u);
+}
+
+TEST(WifiPhyTest, CaptureWhenMuchStronger) {
+  RadioFixture f;
+  WifiPhy& strong = f.add_radio({10, 0});   // very close
+  WifiPhy& weak = f.add_radio({240, 0});    // near edge of range
+  WifiPhy& rx = f.add_radio({0, 0});
+  int received = 0;
+  rx.set_receive_callback([&](Packet, double) { ++received; });
+  strong.transmit(Packet(100));
+  weak.transmit(Packet(100));
+  f.sim.run();
+  // The strong frame is locked first and survives the weak overlap.
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(rx.stats().captures, 1u);
+}
+
+TEST(WifiPhyTest, TransmitAbortsReception) {
+  RadioFixture f;
+  WifiPhy& tx = f.add_radio({0, 0});
+  WifiPhy& rx = f.add_radio({100, 0});
+  int received = 0;
+  rx.set_receive_callback([&](Packet, double) { ++received; });
+  tx.transmit(Packet(1000));
+  // Mid-reception, the receiver transmits its own frame.
+  f.sim.schedule(1_ms, [&] { rx.transmit(Packet(10)); });
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(WifiPhyTest, TransmitWhileTransmittingThrows) {
+  RadioFixture f;
+  WifiPhy& tx = f.add_radio({0, 0});
+  f.add_radio({100, 0});
+  tx.transmit(Packet(1000));
+  EXPECT_THROW(tx.transmit(Packet(10)), std::logic_error);
+}
+
+TEST(WifiPhyTest, CcaBusyDuringOwnTransmission) {
+  RadioFixture f;
+  WifiPhy& tx = f.add_radio({0, 0});
+  f.add_radio({100, 0});
+  EXPECT_FALSE(tx.cca_busy());
+  tx.transmit(Packet(100));
+  EXPECT_TRUE(tx.cca_busy());
+  EXPECT_TRUE(tx.transmitting());
+  f.sim.run();
+  EXPECT_FALSE(tx.cca_busy());
+}
+
+TEST(WifiPhyTest, BroadcastReachesAllInRange) {
+  RadioFixture f;
+  WifiPhy& tx = f.add_radio({0, 0});
+  WifiPhy& near1 = f.add_radio({100, 0});
+  WifiPhy& near2 = f.add_radio({-200, 0});
+  WifiPhy& far = f.add_radio({300, 0});
+  int count = 0;
+  for (WifiPhy* r : {&near1, &near2, &far}) {
+    r->set_receive_callback([&](Packet, double) { ++count; });
+  }
+  tx.transmit(Packet(64));
+  f.sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(WifiPhyTest, RxPowerReportedToCallback) {
+  RadioFixture f;
+  WifiPhy& tx = f.add_radio({0, 0});
+  WifiPhy& rx = f.add_radio({250, 0});
+  double power = 0.0;
+  rx.set_receive_callback([&](Packet, double p) { power = p; });
+  tx.transmit(Packet(10));
+  f.sim.run();
+  WaveLanProfile profile;
+  EXPECT_NEAR(power / profile.rx_threshold_w, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace cavenet::phy

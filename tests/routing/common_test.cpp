@@ -1,0 +1,95 @@
+#include "routing/common.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::routing {
+namespace {
+
+using namespace cavenet::literals;
+
+TEST(DataHeaderTest, SizeIsIpv4Like) {
+  DataHeader h;
+  EXPECT_EQ(h.size_bytes(), 20u);
+  EXPECT_EQ(h.name(), "data");
+}
+
+TEST(RoutingTableTest, LookupMissingReturnsNull) {
+  RoutingTable t;
+  EXPECT_EQ(t.lookup(5, 0_s), nullptr);
+  EXPECT_EQ(t.find(5), nullptr);
+}
+
+TEST(RoutingTableTest, UpsertAndLookupValid) {
+  RoutingTable t;
+  RouteEntry& e = t.upsert(3);
+  e.next_hop = 7;
+  e.hop_count = 2;
+  e.valid = true;
+  e.expires = 10_s;
+  const RouteEntry* found = t.lookup(3, 5_s);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->next_hop, 7u);
+}
+
+TEST(RoutingTableTest, ExpiredRoutesAreInvisible) {
+  RoutingTable t;
+  RouteEntry& e = t.upsert(3);
+  e.valid = true;
+  e.expires = 10_s;
+  EXPECT_EQ(t.lookup(3, 10_s), nullptr);  // expiry boundary exclusive
+  EXPECT_EQ(t.lookup(3, 20_s), nullptr);
+  EXPECT_NE(t.find(3), nullptr);  // find ignores validity
+}
+
+TEST(RoutingTableTest, InvalidateKeepsEntry) {
+  RoutingTable t;
+  RouteEntry& e = t.upsert(3);
+  e.valid = true;
+  e.expires = 10_s;
+  e.seqno = 42;
+  t.invalidate(3);
+  EXPECT_EQ(t.lookup(3, 1_s), nullptr);
+  ASSERT_NE(t.find(3), nullptr);
+  EXPECT_EQ(t.find(3)->seqno, 42u);
+  t.invalidate(99);  // no-op for unknown
+}
+
+TEST(RoutingTableTest, EraseAndClear) {
+  RoutingTable t;
+  t.upsert(1);
+  t.upsert(2);
+  t.erase(1);
+  EXPECT_EQ(t.find(1), nullptr);
+  EXPECT_NE(t.find(2), nullptr);
+  t.clear();
+  EXPECT_TRUE(t.entries().empty());
+}
+
+TEST(PacketBufferTest, EnqueueAndTake) {
+  PacketBuffer buffer(4);
+  EXPECT_FALSE(buffer.has(1));
+  EXPECT_TRUE(buffer.enqueue(1, netsim::Packet(10)));
+  EXPECT_TRUE(buffer.enqueue(1, netsim::Packet(20)));
+  EXPECT_TRUE(buffer.has(1));
+  EXPECT_EQ(buffer.size(1), 2u);
+  auto out = buffer.take(1);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_FALSE(buffer.has(1));
+  EXPECT_EQ(buffer.size(1), 0u);
+}
+
+TEST(PacketBufferTest, PerDestinationLimit) {
+  PacketBuffer buffer(2);
+  EXPECT_TRUE(buffer.enqueue(1, netsim::Packet(0)));
+  EXPECT_TRUE(buffer.enqueue(1, netsim::Packet(0)));
+  EXPECT_FALSE(buffer.enqueue(1, netsim::Packet(0)));  // full
+  EXPECT_TRUE(buffer.enqueue(2, netsim::Packet(0)));   // other dst unaffected
+}
+
+TEST(PacketBufferTest, TakeUnknownDestinationIsEmpty) {
+  PacketBuffer buffer;
+  EXPECT_TRUE(buffer.take(9).empty());
+}
+
+}  // namespace
+}  // namespace cavenet::routing

@@ -1,0 +1,109 @@
+// OLSR HNA (Host and Network Association) tests — the gateway mechanism
+// the paper describes in Section III-B1.
+#include <gtest/gtest.h>
+
+#include "routing/olsr.h"
+#include "routing/testbed.h"
+
+namespace cavenet::routing::olsr {
+namespace {
+
+using namespace cavenet::literals;
+using test::Testbed;
+
+constexpr netsim::NodeId kInternet = 1000;  // non-MANET pseudo-address
+
+Testbed::ProtocolFactory olsr_factory() {
+  return [](netsim::Simulator& sim, netsim::LinkLayer& link) {
+    return std::make_unique<OlsrProtocol>(sim, link);
+  };
+}
+
+TEST(OlsrHnaTest, HeaderSizeScalesWithNetworks) {
+  HnaHeader hna;
+  EXPECT_EQ(hna.size_bytes(), 12u);
+  hna.networks.push_back(kInternet);
+  EXPECT_EQ(hna.size_bytes(), 20u);
+}
+
+TEST(OlsrHnaTest, AssociationFloodsThroughTheManet) {
+  Testbed bed;
+  bed.add_chain(4, 200.0, olsr_factory());
+  auto& gateway = dynamic_cast<OlsrProtocol&>(bed.router(3));
+  gateway.add_local_network(kInternet);
+  bed.start_all();
+  bed.sim.run_until(15_s);  // hello sym + TC routes + HNA floods
+  for (netsim::NodeId node = 0; node < 3; ++node) {
+    auto& router = dynamic_cast<OlsrProtocol&>(bed.router(node));
+    const auto gw = router.gateway_for(kInternet);
+    ASSERT_TRUE(gw.has_value()) << "node " << node;
+    EXPECT_EQ(*gw, 3u);
+  }
+}
+
+TEST(OlsrHnaTest, DataToExternalAddressRoutedViaGateway) {
+  Testbed bed;
+  bed.add_chain(4, 200.0, olsr_factory());
+  auto& gateway = dynamic_cast<OlsrProtocol&>(bed.router(3));
+  gateway.add_local_network(kInternet);
+  bed.start_all();
+  bed.sim.run_until(15_s);
+  // Node 0 sends to the Internet pseudo-address; without HNA this would be
+  // drops_no_route. With HNA the packet travels hop by hop to the gateway
+  // (and is counted as forwarded by the intermediate routers).
+  const auto before = bed.router(1).stats().data_forwarded;
+  bed.sim.schedule(SimTime::zero(), [&] { bed.send_data(0, kInternet); });
+  bed.sim.run_until(16_s);
+  EXPECT_EQ(bed.router(0).stats().drops_no_route, 0u);
+  EXPECT_GT(bed.router(1).stats().data_forwarded, before);
+}
+
+TEST(OlsrHnaTest, NearestGatewayWins) {
+  Testbed bed;
+  bed.add_chain(5, 200.0, olsr_factory());
+  // Gateways at both ends; node 1 must prefer the near one (node 0).
+  dynamic_cast<OlsrProtocol&>(bed.router(0)).add_local_network(kInternet);
+  dynamic_cast<OlsrProtocol&>(bed.router(4)).add_local_network(kInternet);
+  bed.start_all();
+  bed.sim.run_until(20_s);
+  auto& router1 = dynamic_cast<OlsrProtocol&>(bed.router(1));
+  const auto gw = router1.gateway_for(kInternet);
+  ASSERT_TRUE(gw.has_value());
+  EXPECT_EQ(*gw, 0u);
+  auto& router3 = dynamic_cast<OlsrProtocol&>(bed.router(3));
+  const auto gw3 = router3.gateway_for(kInternet);
+  ASSERT_TRUE(gw3.has_value());
+  EXPECT_EQ(*gw3, 4u);
+}
+
+TEST(OlsrHnaTest, AssociationExpiresWhenGatewayLeaves) {
+  Testbed bed;
+  bed.add_chain(3, 200.0, olsr_factory());
+  dynamic_cast<OlsrProtocol&>(bed.router(2)).add_local_network(kInternet);
+  bed.start_all();
+  bed.sim.run_until(12_s);
+  auto& router0 = dynamic_cast<OlsrProtocol&>(bed.router(0));
+  ASSERT_TRUE(router0.gateway_for(kInternet).has_value());
+
+  bed.mobility(2).move_to({400.0, 9000.0});
+  bed.sim.run_until(40_s);
+  // Either the association expired or the gateway route vanished; both
+  // make the lookup fail.
+  EXPECT_FALSE(router0.gateway_for(kInternet).has_value());
+}
+
+TEST(OlsrHnaTest, NoAssociationWithoutGateway) {
+  Testbed bed;
+  bed.add_chain(2, 150.0, olsr_factory());
+  bed.start_all();
+  bed.sim.run_until(10_s);
+  auto& router0 = dynamic_cast<OlsrProtocol&>(bed.router(0));
+  EXPECT_FALSE(router0.gateway_for(kInternet).has_value());
+  // Sending to the unknown address drops cleanly.
+  bed.send_data(0, kInternet);
+  bed.sim.run_until(11_s);
+  EXPECT_EQ(bed.router(0).stats().drops_no_route, 1u);
+}
+
+}  // namespace
+}  // namespace cavenet::routing::olsr

@@ -1,0 +1,53 @@
+#include "routing/testbed.h"
+
+namespace cavenet::routing::test {
+
+Testbed::Testbed(std::uint64_t seed)
+    : sim(seed),
+      channel(sim, std::make_unique<phy::TwoRayGroundModel>()) {}
+
+netsim::NodeId Testbed::add_node(Vec2 position,
+                                 const ProtocolFactory& factory) {
+  const auto id = static_cast<netsim::NodeId>(routers_.size());
+  mobilities_.push_back(std::make_unique<MovableMobility>(position));
+  phys_.push_back(
+      std::make_unique<phy::WifiPhy>(sim, id, mobilities_.back().get()));
+  channel.attach(phys_.back().get());
+  macs_.push_back(
+      std::make_unique<mac::WifiMac>(sim, *phys_.back(), mac::MacParams{}, id));
+  routers_.push_back(factory(sim, *macs_.back()));
+  routers_.back()->set_deliver_callback(
+      [this, id](netsim::Packet packet, netsim::NodeId from) {
+        delivered_.push_back({id, from, packet.uid()});
+      });
+  return id;
+}
+
+void Testbed::add_chain(std::size_t n, double spacing_m,
+                        const ProtocolFactory& factory) {
+  for (std::size_t i = 0; i < n; ++i) {
+    add_node({static_cast<double>(i) * spacing_m, 0.0}, factory);
+  }
+}
+
+void Testbed::start_all() {
+  for (auto& router : routers_) router->start();
+}
+
+std::uint64_t Testbed::send_data(netsim::NodeId src, netsim::NodeId dst,
+                                 std::size_t payload) {
+  netsim::Packet packet(payload);
+  const std::uint64_t uid = packet.uid();
+  routers_.at(src)->send(std::move(packet), dst);
+  return uid;
+}
+
+std::size_t Testbed::delivered_to(netsim::NodeId node) const {
+  std::size_t count = 0;
+  for (const auto& d : delivered_) {
+    if (d.at == node) ++count;
+  }
+  return count;
+}
+
+}  // namespace cavenet::routing::test

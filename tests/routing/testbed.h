@@ -1,0 +1,78 @@
+// Shared routing-test fixture: static or movable nodes with a full
+// PHY + 802.11 MAC stack under the routing protocol being tested.
+#ifndef CAVENET_TESTS_ROUTING_TESTBED_H
+#define CAVENET_TESTS_ROUTING_TESTBED_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mac/wifi_mac.h"
+#include "netsim/mobility.h"
+#include "netsim/simulator.h"
+#include "phy/channel.h"
+#include "routing/common.h"
+
+namespace cavenet::routing::test {
+
+/// Mobility whose position tests can change mid-run (to break links).
+class MovableMobility final : public netsim::MobilityModel {
+ public:
+  explicit MovableMobility(Vec2 position) : position_(position) {}
+  Vec2 position(SimTime) const override { return position_; }
+  Vec2 velocity(SimTime) const override { return {}; }
+  void move_to(Vec2 position) { position_ = position; }
+
+ private:
+  Vec2 position_;
+};
+
+struct Delivered {
+  netsim::NodeId at;
+  netsim::NodeId from;
+  std::uint64_t uid;
+};
+
+class Testbed {
+ public:
+  using ProtocolFactory = std::function<std::unique_ptr<RoutingProtocol>(
+      netsim::Simulator&, netsim::LinkLayer&)>;
+
+  explicit Testbed(std::uint64_t seed = 1);
+
+  /// Adds a node at `position`; returns its id.
+  netsim::NodeId add_node(Vec2 position, const ProtocolFactory& factory);
+
+  /// Adds `n` nodes in a line with the given spacing.
+  void add_chain(std::size_t n, double spacing_m,
+                 const ProtocolFactory& factory);
+
+  /// Calls start() on every protocol (hello/TC timers begin).
+  void start_all();
+
+  RoutingProtocol& router(netsim::NodeId id) { return *routers_.at(id); }
+  MovableMobility& mobility(netsim::NodeId id) { return *mobilities_.at(id); }
+  mac::WifiMac& mac(netsim::NodeId id) { return *macs_.at(id); }
+
+  /// Sends a data packet from `src`'s routing layer toward `dst`.
+  std::uint64_t send_data(netsim::NodeId src, netsim::NodeId dst,
+                          std::size_t payload = 512);
+
+  /// Packets delivered to any node's application layer, in order.
+  const std::vector<Delivered>& delivered() const { return delivered_; }
+  std::size_t delivered_to(netsim::NodeId node) const;
+
+  netsim::Simulator sim;
+  phy::Channel channel;
+
+ private:
+  std::vector<std::unique_ptr<MovableMobility>> mobilities_;
+  std::vector<std::unique_ptr<phy::WifiPhy>> phys_;
+  std::vector<std::unique_ptr<mac::WifiMac>> macs_;
+  std::vector<std::unique_ptr<RoutingProtocol>> routers_;
+  std::vector<Delivered> delivered_;
+};
+
+}  // namespace cavenet::routing::test
+
+#endif  // CAVENET_TESTS_ROUTING_TESTBED_H

@@ -1,0 +1,81 @@
+#include "scenario/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::scenario {
+namespace {
+
+TEST(EstimateTest, EmptySamples) {
+  const Estimate e = estimate({});
+  EXPECT_EQ(e.n, 0u);
+  EXPECT_EQ(e.mean, 0.0);
+  EXPECT_EQ(e.ci95, 0.0);
+}
+
+TEST(EstimateTest, SingleSampleHasNoInterval) {
+  const std::vector<double> xs = {3.0};
+  const Estimate e = estimate(xs);
+  EXPECT_EQ(e.n, 1u);
+  EXPECT_DOUBLE_EQ(e.mean, 3.0);
+  EXPECT_EQ(e.ci95, 0.0);
+}
+
+TEST(EstimateTest, KnownValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Estimate e = estimate(xs);
+  EXPECT_DOUBLE_EQ(e.mean, 2.5);
+  EXPECT_NEAR(e.stddev, 1.29099, 1e-4);
+  EXPECT_NEAR(e.ci95, 1.96 * 1.29099 / 2.0, 1e-4);
+}
+
+TEST(DefaultSeedsTest, OneBasedSequence) {
+  const auto seeds = default_seeds(3);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(JainFairnessTest, KnownValues) {
+  EXPECT_EQ(jain_fairness({}), 0.0);
+  const std::vector<double> equal = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(equal), 1.0);
+  const std::vector<double> starved = {10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(starved), 0.25);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_EQ(jain_fairness(zeros), 0.0);
+  const std::vector<double> mixed = {4.0, 2.0};
+  EXPECT_NEAR(jain_fairness(mixed), 36.0 / (2.0 * 20.0), 1e-12);
+}
+
+TEST(SeedSweepTest, AggregatesAcrossSeeds) {
+  TableIConfig config;
+  config.protocol = Protocol::kDymo;
+  config.sender = 2;
+  config.duration_s = 20.0;
+  config.traffic_start_s = 5.0;
+  config.traffic_stop_s = 15.0;
+  const auto seeds = default_seeds(3);
+  const auto sweep = run_seed_sweep(config, seeds);
+  EXPECT_EQ(sweep.runs.size(), 3u);
+  EXPECT_EQ(sweep.pdr.n, 3u);
+  EXPECT_GT(sweep.pdr.mean, 0.0);
+  EXPECT_LE(sweep.pdr.mean, 1.0);
+  // Different seeds give different event counts: the sweep is not
+  // degenerate.
+  EXPECT_NE(sweep.runs[0].events_dispatched, sweep.runs[1].events_dispatched);
+}
+
+TEST(SeedSweepTest, DeterministicGivenSeeds) {
+  TableIConfig config;
+  config.protocol = Protocol::kAodv;
+  config.sender = 1;
+  config.duration_s = 15.0;
+  config.traffic_start_s = 5.0;
+  config.traffic_stop_s = 12.0;
+  const std::vector<std::uint64_t> seeds = {7, 8};
+  const auto a = run_seed_sweep(config, seeds);
+  const auto b = run_seed_sweep(config, seeds);
+  EXPECT_DOUBLE_EQ(a.pdr.mean, b.pdr.mean);
+  EXPECT_DOUBLE_EQ(a.control_bytes.mean, b.control_bytes.mean);
+}
+
+}  // namespace
+}  // namespace cavenet::scenario

@@ -1,0 +1,187 @@
+#include "trace/connectivity.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/geometry.h"
+#include "core/nas_lane.h"
+#include "core/road.h"
+#include "trace/trace_generator.h"
+
+namespace cavenet::trace {
+namespace {
+
+TEST(ConnectivityGraphTest, RejectsBadRange) {
+  const std::vector<Vec2> p = {{0, 0}};
+  EXPECT_THROW(ConnectivityGraph(p, 0.0), std::invalid_argument);
+}
+
+TEST(ConnectivityGraphTest, EmptyAndSingleton) {
+  const std::vector<Vec2> none;
+  const ConnectivityGraph empty(none, 100.0);
+  EXPECT_EQ(empty.component_count(), 0u);
+  EXPECT_EQ(empty.pair_connectivity(), 0.0);
+
+  const std::vector<Vec2> one = {{5, 5}};
+  const ConnectivityGraph singleton(one, 100.0);
+  EXPECT_EQ(singleton.component_count(), 1u);
+  EXPECT_EQ(singleton.largest_component(), 1u);
+  EXPECT_EQ(singleton.pair_connectivity(), 1.0);
+}
+
+TEST(ConnectivityGraphTest, ChainIsOneComponent) {
+  std::vector<Vec2> p;
+  for (int i = 0; i < 5; ++i) p.push_back({i * 200.0, 0.0});
+  const ConnectivityGraph g(p, 250.0);
+  EXPECT_EQ(g.component_count(), 1u);
+  EXPECT_EQ(g.largest_component(), 5u);
+  EXPECT_TRUE(g.connected(0, 4));
+  EXPECT_DOUBLE_EQ(g.pair_connectivity(), 1.0);
+}
+
+TEST(ConnectivityGraphTest, GapSplitsComponents) {
+  const std::vector<Vec2> p = {{0, 0}, {200, 0}, {600, 0}, {800, 0}};
+  const ConnectivityGraph g(p, 250.0);
+  EXPECT_EQ(g.component_count(), 2u);
+  EXPECT_EQ(g.largest_component(), 2u);
+  EXPECT_TRUE(g.connected(0, 1));
+  EXPECT_FALSE(g.connected(1, 2));
+  // 2 connected pairs out of 6.
+  EXPECT_NEAR(g.pair_connectivity(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(ConnectivityGraphTest, NeighborsAreSymmetricAndRangeLimited) {
+  const std::vector<Vec2> p = {{0, 0}, {100, 0}, {240, 0}, {600, 0}};
+  const ConnectivityGraph g(p, 250.0);
+  EXPECT_EQ(g.neighbors(0), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(g.neighbors(3), (std::vector<std::uint32_t>{}));
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (const std::uint32_t b : g.neighbors(a)) {
+      const auto back = g.neighbors(b);
+      EXPECT_NE(std::find(back.begin(), back.end(), a), back.end());
+    }
+  }
+}
+
+TEST(ConnectivityGraphTest, HopDistance) {
+  std::vector<Vec2> p;
+  for (int i = 0; i < 6; ++i) p.push_back({i * 200.0, 0.0});
+  p.push_back({10000.0, 0.0});
+  const ConnectivityGraph g(p, 250.0);
+  EXPECT_EQ(g.hop_distance(0, 0), 0);
+  EXPECT_EQ(g.hop_distance(0, 1), 1);
+  EXPECT_EQ(g.hop_distance(0, 5), 5);
+  EXPECT_EQ(g.hop_distance(0, 6), -1);
+}
+
+TEST(ConnectivityGraphTest, RelayLaneBridgesGap) {
+  // Paper Fig. 1-a: a gap on lane 1 is bridged by a relay on lane 2.
+  const std::vector<Vec2> lane1 = {{0, 0}, {480, 0}};  // 480 m gap: cut
+  const ConnectivityGraph without(lane1, 250.0);
+  EXPECT_FALSE(without.connected(0, 1));
+
+  const std::vector<Vec2> with_relay = {{0, 0}, {480, 0}, {240, 7.5}};
+  const ConnectivityGraph bridged(with_relay, 250.0);
+  EXPECT_TRUE(bridged.connected(0, 1));
+  EXPECT_EQ(bridged.hop_distance(0, 1), 2);
+}
+
+TEST(ConnectivityOverTimeTest, TracksPairOfInterest) {
+  // Two nodes drifting apart: connected early, partitioned later.
+  MobilityTrace trace;
+  trace.initial_positions = {{0, 0}, {100, 0}};
+  trace.events.push_back(
+      {0.0, 1, TraceEvent::Kind::kSetDest, {1000.0, 0.0}, 30.0});
+  const auto paths = compile_paths(trace);
+
+  ConnectivitySweepOptions options;
+  options.range_m = 250.0;
+  options.t_end_s = 30.0;
+  options.node_a = 0;
+  options.node_b = 1;
+  const auto samples = connectivity_over_time(paths, options);
+  ASSERT_EQ(samples.size(), 31u);
+  EXPECT_TRUE(samples.front().pair_of_interest_connected);
+  EXPECT_FALSE(samples.back().pair_of_interest_connected);
+  const double uptime = pair_uptime(samples);
+  EXPECT_GT(uptime, 0.0);
+  EXPECT_LT(uptime, 1.0);
+}
+
+TEST(ConnectivityOverTimeTest, RejectsBadDt) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0, 0}};
+  const auto paths = compile_paths(trace);
+  ConnectivitySweepOptions options;
+  options.dt_s = 0.0;
+  EXPECT_THROW(connectivity_over_time(paths, options), std::invalid_argument);
+}
+
+TEST(LinkChangeRateTest, StaticNodesHaveZeroChurn) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0, 0}, {100, 0}, {200, 0}};
+  const auto paths = compile_paths(trace);
+  ConnectivitySweepOptions options;
+  options.t_end_s = 10.0;
+  EXPECT_EQ(link_change_rate(paths, options), 0.0);
+}
+
+TEST(LinkChangeRateTest, CountsLinkFlips) {
+  // One node crosses another's range once: exactly one link-up and one
+  // link-down event over the sweep.
+  MobilityTrace trace;
+  trace.initial_positions = {{0, 0}, {600, 0}};
+  trace.events.push_back(
+      {0.0, 1, TraceEvent::Kind::kSetDest, {-600.0, 0.0}, 50.0});
+  const auto paths = compile_paths(trace);
+  ConnectivitySweepOptions options;
+  options.t_end_s = 24.0;
+  options.dt_s = 1.0;
+  // Mean changes per interval * number of intervals == total changes == 2.
+  EXPECT_NEAR(link_change_rate(paths, options) * 24.0, 2.0, 1e-9);
+}
+
+TEST(LinkChangeRateTest, JamRegimeChurnsMoreThanFreeFlow) {
+  auto churn_for = [](double p) {
+    ca::NasParams params;
+    params.lane_length = 400;
+    params.slowdown_p = p;
+    ca::Road road;
+    road.add_lane(ca::NasLane(params, 30, ca::InitialPlacement::kRandom, Rng(4)),
+                  ca::make_circuit(3000.0));
+    TraceGeneratorOptions trace_options;
+    trace_options.steps = 60;
+    const auto trace = generate_trace(road, trace_options);
+    const auto paths = compile_paths(trace);
+    ConnectivitySweepOptions options;
+    options.t_end_s = 60.0;
+    return link_change_rate(paths, options);
+  };
+  EXPECT_GT(churn_for(0.7), churn_for(0.1));
+}
+
+TEST(ConnectivityOverTimeTest, CaCircuitStaysWellConnectedAtLowP) {
+  ca::NasParams params;
+  params.lane_length = 400;
+  params.slowdown_p = 0.1;
+  ca::Road road;
+  road.add_lane(ca::NasLane(params, 30, ca::InitialPlacement::kEven, Rng(3)),
+                ca::make_circuit(3000.0));
+  TraceGeneratorOptions trace_options;
+  trace_options.steps = 50;
+  const auto trace = generate_trace(road, trace_options);
+  const auto paths = compile_paths(trace);
+
+  ConnectivitySweepOptions options;
+  options.t_end_s = 50.0;
+  const auto samples = connectivity_over_time(paths, options);
+  double mean_pc = 0.0;
+  for (const auto& s : samples) mean_pc += s.pair_connectivity;
+  mean_pc /= static_cast<double>(samples.size());
+  // Even spacing at 100 m with 250 m range: essentially always connected.
+  EXPECT_GT(mean_pc, 0.95);
+}
+
+}  // namespace
+}  // namespace cavenet::trace

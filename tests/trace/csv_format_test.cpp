@@ -1,0 +1,68 @@
+#include "trace/csv_format.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cavenet::trace {
+namespace {
+
+MobilityTrace moving_trace() {
+  MobilityTrace trace;
+  trace.initial_positions = {{0.0, 0.0}, {10.0, 5.0}};
+  trace.events.push_back({0.0, 0, TraceEvent::Kind::kSetDest, {8.0, 0.0}, 2.0});
+  return trace;
+}
+
+TEST(CsvFormatTest, RejectsBadOptions) {
+  std::ostringstream out;
+  CsvExportOptions options;
+  options.dt_s = 0.0;
+  EXPECT_THROW(write_positions_csv(moving_trace(), out, options),
+               std::invalid_argument);
+  options = {};
+  options.t_end_s = -1.0;
+  EXPECT_THROW(write_positions_csv(moving_trace(), out, options),
+               std::invalid_argument);
+}
+
+TEST(CsvFormatTest, HeaderAndRowCount) {
+  std::ostringstream out;
+  CsvExportOptions options;
+  options.t_end_s = 4.0;
+  write_positions_csv(moving_trace(), out, options);
+  const std::string s = out.str();
+  EXPECT_EQ(s.rfind("t,node,x,y,speed\n", 0), 0u);
+  int lines = 0;
+  for (const char c : s) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1 + 5 * 2);  // header + 5 samples x 2 nodes
+}
+
+TEST(CsvFormatTest, SamplesInterpolatedPositions) {
+  std::ostringstream out;
+  CsvExportOptions options;
+  options.t_end_s = 2.0;
+  write_positions_csv(moving_trace(), out, options);
+  // Node 0 moves at 2 m/s toward x=8: at t=2 it is at x=4 with speed 2.
+  EXPECT_NE(out.str().find("2,0,4.000000,0.000000,2.000000"),
+            std::string::npos);
+  // Node 1 never moves.
+  EXPECT_NE(out.str().find("2,1,10.000000,5.000000,0.000000"),
+            std::string::npos);
+}
+
+TEST(CsvFormatTest, FileVariantWrites) {
+  const std::string path = ::testing::TempDir() + "/csv_format_test.csv";
+  ASSERT_TRUE(write_positions_csv_file(moving_trace(), path));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "t,node,x,y,speed");
+}
+
+}  // namespace
+}  // namespace cavenet::trace

@@ -1,0 +1,112 @@
+#include "trace/mobility_trace.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cavenet::trace {
+namespace {
+
+TEST(MobilityTraceTest, NormalizeSortsByTimeThenNode) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0, 0}, {1, 1}, {2, 2}};
+  trace.events.push_back({2.0, 1, TraceEvent::Kind::kSetDest, {5, 5}, 1.0});
+  trace.events.push_back({1.0, 2, TraceEvent::Kind::kSetDest, {6, 6}, 1.0});
+  trace.events.push_back({1.0, 0, TraceEvent::Kind::kSetDest, {7, 7}, 1.0});
+  trace.normalize();
+  EXPECT_EQ(trace.events[0].node, 0u);
+  EXPECT_EQ(trace.events[1].node, 2u);
+  EXPECT_EQ(trace.events[2].node, 1u);
+}
+
+TEST(CompilePathsTest, StaticNodeStaysPut) {
+  MobilityTrace trace;
+  trace.initial_positions = {{3.0, 4.0}};
+  const auto paths = compile_paths(trace);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].position(0.0), (Vec2{3.0, 4.0}));
+  EXPECT_EQ(paths[0].position(100.0), (Vec2{3.0, 4.0}));
+  EXPECT_EQ(paths[0].velocity(50.0), (Vec2{0.0, 0.0}));
+}
+
+TEST(CompilePathsTest, SetDestInterpolatesLinearly) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0.0, 0.0}};
+  trace.events.push_back({1.0, 0, TraceEvent::Kind::kSetDest, {10.0, 0.0}, 2.0});
+  const auto paths = compile_paths(trace);
+  // Departs at t=1, arrives at t=6 (10 m at 2 m/s).
+  EXPECT_EQ(paths[0].position(0.5), (Vec2{0.0, 0.0}));
+  EXPECT_NEAR(paths[0].position(3.5).x, 5.0, 1e-9);
+  EXPECT_EQ(paths[0].position(6.0), (Vec2{10.0, 0.0}));
+  EXPECT_EQ(paths[0].position(10.0), (Vec2{10.0, 0.0}));
+  EXPECT_NEAR(paths[0].end_time(), 6.0, 1e-9);
+}
+
+TEST(CompilePathsTest, VelocityDuringAndAfterMotion) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0.0, 0.0}};
+  trace.events.push_back({0.0, 0, TraceEvent::Kind::kSetDest, {0.0, 8.0}, 4.0});
+  const auto paths = compile_paths(trace);
+  EXPECT_NEAR(paths[0].velocity(1.0).y, 4.0, 1e-9);
+  EXPECT_EQ(paths[0].velocity(3.0), (Vec2{0.0, 0.0}));  // arrived at t=2
+}
+
+TEST(CompilePathsTest, TeleportJumpsInstantly) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0.0, 0.0}};
+  trace.events.push_back(
+      {5.0, 0, TraceEvent::Kind::kSetPosition, {100.0, 100.0}, 0.0});
+  const auto paths = compile_paths(trace);
+  EXPECT_EQ(paths[0].position(4.999999), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(paths[0].position(5.0), (Vec2{100.0, 100.0}));
+}
+
+TEST(CompilePathsTest, NewWaypointPreemptsInFlightMotion) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0.0, 0.0}};
+  // Move right at 1 m/s toward x=10 (would arrive at t=10)...
+  trace.events.push_back({0.0, 0, TraceEvent::Kind::kSetDest, {10.0, 0.0}, 1.0});
+  // ...but at t=4 turn around toward the origin at 2 m/s.
+  trace.events.push_back({4.0, 0, TraceEvent::Kind::kSetDest, {0.0, 0.0}, 2.0});
+  const auto paths = compile_paths(trace);
+  EXPECT_NEAR(paths[0].position(4.0).x, 4.0, 1e-9);
+  EXPECT_NEAR(paths[0].position(5.0).x, 2.0, 1e-9);
+  EXPECT_NEAR(paths[0].position(6.0).x, 0.0, 1e-9);
+}
+
+TEST(CompilePathsTest, SequentialWaypointsChain) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0.0, 0.0}};
+  trace.events.push_back({0.0, 0, TraceEvent::Kind::kSetDest, {5.0, 0.0}, 5.0});
+  trace.events.push_back({1.0, 0, TraceEvent::Kind::kSetDest, {5.0, 3.0}, 3.0});
+  const auto paths = compile_paths(trace);
+  EXPECT_NEAR(paths[0].position(1.0).x, 5.0, 1e-9);
+  EXPECT_NEAR(paths[0].position(2.0).y, 3.0, 1e-9);
+}
+
+TEST(CompilePathsTest, ZeroSpeedSetDestActsAsTeleport) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0.0, 0.0}};
+  trace.events.push_back({1.0, 0, TraceEvent::Kind::kSetDest, {9.0, 0.0}, 0.0});
+  const auto paths = compile_paths(trace);
+  EXPECT_EQ(paths[0].position(1.0), (Vec2{9.0, 0.0}));
+}
+
+TEST(CompilePathsTest, RejectsUnknownNode) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0.0, 0.0}};
+  trace.events.push_back({1.0, 5, TraceEvent::Kind::kSetDest, {1.0, 1.0}, 1.0});
+  EXPECT_THROW(compile_paths(trace), std::out_of_range);
+}
+
+TEST(CompilePathsTest, MultipleNodesAreIndependent) {
+  MobilityTrace trace;
+  trace.initial_positions = {{0.0, 0.0}, {100.0, 0.0}};
+  trace.events.push_back({0.0, 0, TraceEvent::Kind::kSetDest, {10.0, 0.0}, 1.0});
+  const auto paths = compile_paths(trace);
+  EXPECT_NEAR(paths[0].position(5.0).x, 5.0, 1e-9);
+  EXPECT_EQ(paths[1].position(5.0), (Vec2{100.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace cavenet::trace

@@ -1,0 +1,125 @@
+#include "trace/random_waypoint.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.h"
+
+namespace cavenet::trace {
+namespace {
+
+TEST(RandomWaypointTest, RejectsBadOptions) {
+  RandomWaypointOptions options;
+  options.v_min_ms = 0.0;
+  EXPECT_THROW(generate_random_waypoint(options), std::invalid_argument);
+  options = {};
+  options.v_max_ms = options.v_min_ms / 2;
+  EXPECT_THROW(generate_random_waypoint(options), std::invalid_argument);
+  options = {};
+  options.area_x_m = -1.0;
+  EXPECT_THROW(generate_random_waypoint(options), std::invalid_argument);
+  options = {};
+  options.pause_s = -1.0;
+  EXPECT_THROW(generate_random_waypoint(options), std::invalid_argument);
+}
+
+TEST(RandomWaypointTest, NodesStayInsideArea) {
+  RandomWaypointOptions options;
+  options.nodes = 10;
+  options.duration_s = 60.0;
+  options.seed = 4;
+  const auto trace = generate_random_waypoint(options);
+  const auto paths = compile_paths(trace);
+  for (const auto& path : paths) {
+    for (double t = 0.0; t <= 60.0; t += 0.5) {
+      const Vec2 p = path.position(t);
+      EXPECT_GE(p.x, -1e-9);
+      EXPECT_LE(p.x, options.area_x_m + 1e-9);
+      EXPECT_GE(p.y, -1e-9);
+      EXPECT_LE(p.y, options.area_y_m + 1e-9);
+    }
+  }
+}
+
+TEST(RandomWaypointTest, DeterministicForSeed) {
+  RandomWaypointOptions options;
+  options.nodes = 5;
+  options.seed = 9;
+  const auto a = generate_random_waypoint(options);
+  const auto b = generate_random_waypoint(options);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time_s, b.events[i].time_s);
+    EXPECT_EQ(a.events[i].target.x, b.events[i].target.x);
+  }
+  options.seed = 10;
+  const auto c = generate_random_waypoint(options);
+  EXPECT_NE(a.events.size(), c.events.size());
+}
+
+TEST(RandomWaypointTest, SpeedsWithinBounds) {
+  RandomWaypointOptions options;
+  options.nodes = 8;
+  options.v_min_ms = 5.0;
+  options.v_max_ms = 10.0;
+  const auto trace = generate_random_waypoint(options);
+  for (const auto& ev : trace.events) {
+    EXPECT_GE(ev.speed_ms, 5.0);
+    EXPECT_LE(ev.speed_ms, 10.0);
+  }
+}
+
+TEST(RandomWaypointTest, EventsCoverTheWholeDuration) {
+  RandomWaypointOptions options;
+  options.nodes = 3;
+  options.duration_s = 120.0;
+  const auto trace = generate_random_waypoint(options);
+  const auto paths = compile_paths(trace);
+  for (const auto& path : paths) {
+    EXPECT_GE(path.end_time(), 120.0);
+  }
+}
+
+TEST(MeanSpeedSeriesTest, RejectsBadDt) {
+  const std::vector<NodePath> none;
+  EXPECT_THROW(mean_speed_series(none, 0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(MeanSpeedSeriesTest, VelocityDecayWithSmallVmin) {
+  // The classic RW pathology (paper Sections I/IV-B): with v_min ~ 0 the
+  // mean instantaneous speed decays over time because slow legs last
+  // arbitrarily long.
+  RandomWaypointOptions options;
+  options.nodes = 60;
+  options.v_min_ms = 0.05;
+  options.v_max_ms = 37.5;
+  options.duration_s = 2000.0;
+  options.seed = 13;
+  const auto trace = generate_random_waypoint(options);
+  const auto paths = compile_paths(trace);
+  const auto speeds = mean_speed_series(paths, 0.0, 2000.0, 10.0);
+  const std::span<const double> s(speeds);
+  const double early = analysis::mean(s.subspan(0, 20));
+  const double late = analysis::mean(s.subspan(s.size() - 20));
+  EXPECT_LT(late, early * 0.8);
+}
+
+TEST(MeanSpeedSeriesTest, NoDecayWithLargeVmin) {
+  RandomWaypointOptions options;
+  options.nodes = 60;
+  options.v_min_ms = 20.0;
+  options.v_max_ms = 37.5;
+  options.duration_s = 2000.0;
+  options.seed = 13;
+  const auto trace = generate_random_waypoint(options);
+  const auto paths = compile_paths(trace);
+  const auto speeds = mean_speed_series(paths, 0.0, 2000.0, 10.0);
+  const std::span<const double> s(speeds);
+  const double early = analysis::mean(s.subspan(0, 20));
+  const double late = analysis::mean(s.subspan(s.size() - 20));
+  EXPECT_GT(late, early * 0.9);
+}
+
+}  // namespace
+}  // namespace cavenet::trace

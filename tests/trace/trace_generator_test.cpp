@@ -1,0 +1,121 @@
+#include "trace/trace_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/geometry.h"
+
+namespace cavenet::trace {
+namespace {
+
+ca::NasParams params(std::int64_t cells, double p = 0.0) {
+  ca::NasParams out;
+  out.lane_length = cells;
+  out.slowdown_p = p;
+  return out;
+}
+
+TEST(TraceGeneratorTest, InitialPositionsIncludeDeltaOffset) {
+  ca::Road road;
+  road.add_lane(ca::NasLane(params(100), 3, ca::InitialPlacement::kEven),
+                ca::make_line(750.0));
+  TraceGeneratorOptions options;
+  options.steps = 0;
+  options.delta_offset = 2.5;
+  const MobilityTrace trace = generate_trace(road, options);
+  ASSERT_EQ(trace.node_count(), 3u);
+  EXPECT_DOUBLE_EQ(trace.initial_positions[0].x, 2.5);  // cell 0 + delta
+  EXPECT_DOUBLE_EQ(trace.initial_positions[0].y, 2.5);
+}
+
+TEST(TraceGeneratorTest, ReplayMatchesCaPositionsAtIntegerTimes) {
+  // The compiled path must land exactly on the CA's absolute positions at
+  // every step boundary — the trace is a faithful serialization.
+  ca::Road reference;
+  reference.add_lane(
+      ca::NasLane(params(100, 0.3), 10, ca::InitialPlacement::kRandom, Rng(5)),
+      ca::make_circuit(750.0));
+  ca::Road traced;
+  traced.add_lane(
+      ca::NasLane(params(100, 0.3), 10, ca::InitialPlacement::kRandom, Rng(5)),
+      ca::make_circuit(750.0));
+
+  TraceGeneratorOptions options;
+  options.steps = 30;
+  options.delta_offset = 0.0;
+  const MobilityTrace trace = generate_trace(traced, options);
+  const auto paths = compile_paths(trace);
+
+  for (int step = 0; step <= 30; ++step) {
+    const auto states = reference.states();
+    for (const auto& s : states) {
+      const Vec2 replayed = paths[s.node_id].position(static_cast<double>(step));
+      EXPECT_NEAR(replayed.x, s.position.x, 1e-6)
+          << "node " << s.node_id << " step " << step;
+      EXPECT_NEAR(replayed.y, s.position.y, 1e-6);
+    }
+    if (step < 30) reference.step();
+  }
+}
+
+TEST(TraceGeneratorTest, CircularLaneEmitsNoTeleports) {
+  ca::Road road;
+  road.add_lane(ca::NasLane(params(20), 3, ca::InitialPlacement::kEven),
+                ca::make_circuit(150.0));
+  TraceGeneratorOptions options;
+  options.steps = 50;  // small ring: many wraps
+  const MobilityTrace trace = generate_trace(road, options);
+  for (const auto& ev : trace.events) {
+    EXPECT_EQ(ev.kind, TraceEvent::Kind::kSetDest);
+  }
+}
+
+TEST(TraceGeneratorTest, StraightLaneEmitsTeleportsOnWrap) {
+  ca::Road road;
+  road.add_lane(ca::NasLane(params(20), 3, ca::InitialPlacement::kEven),
+                ca::make_line(150.0));
+  TraceGeneratorOptions options;
+  options.steps = 50;
+  const MobilityTrace trace = generate_trace(road, options);
+  int teleports = 0;
+  for (const auto& ev : trace.events) {
+    if (ev.kind == TraceEvent::Kind::kSetPosition) ++teleports;
+  }
+  EXPECT_GT(teleports, 0);
+}
+
+TEST(TraceGeneratorTest, SkipIdleOmitsParkedVehicles) {
+  // Full jam on a closed lane: nobody can move, so no events at all.
+  ca::Road road;
+  road.add_lane(ca::NasLane(params(10), 10, ca::InitialPlacement::kJam),
+                ca::make_circuit(75.0));
+  TraceGeneratorOptions options;
+  options.steps = 10;
+  options.skip_idle = true;
+  const MobilityTrace trace = generate_trace(road, options);
+  EXPECT_TRUE(trace.events.empty());
+}
+
+TEST(TraceGeneratorTest, SetDestSpeedMatchesDisplacement) {
+  ca::Road road;
+  road.add_lane(ca::NasLane(params(100), 1, ca::InitialPlacement::kEven),
+                ca::make_line(750.0));
+  TraceGeneratorOptions options;
+  options.steps = 3;
+  options.delta_offset = 0.0;
+  const MobilityTrace trace = generate_trace(road, options);
+  // Lone vehicle accelerates 1, 2, 3 cells/step = 7.5, 15, 22.5 m/s.
+  ASSERT_EQ(trace.events.size(), 3u);
+  EXPECT_NEAR(trace.events[0].speed_ms, 7.5, 1e-9);
+  EXPECT_NEAR(trace.events[1].speed_ms, 15.0, 1e-9);
+  EXPECT_NEAR(trace.events[2].speed_ms, 22.5, 1e-9);
+}
+
+TEST(TraceGeneratorTest, RejectsNegativeSteps) {
+  ca::Road road;
+  TraceGeneratorOptions options;
+  options.steps = -1;
+  EXPECT_THROW(generate_trace(road, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cavenet::trace

@@ -1,0 +1,88 @@
+#include "util/cli_args.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cavenet {
+namespace {
+
+TEST(CliArgsTest, ParsesSpaceSeparatedValues) {
+  const CliArgs args({"--nodes", "30", "--p", "0.5"});
+  EXPECT_EQ(args.get_int("nodes"), 30);
+  EXPECT_DOUBLE_EQ(args.get_double("p"), 0.5);
+}
+
+TEST(CliArgsTest, ParsesEqualsSyntax) {
+  const CliArgs args({"--nodes=42", "--name=test"});
+  EXPECT_EQ(args.get_int("nodes"), 42);
+  EXPECT_EQ(args.get_string("name"), "test");
+}
+
+TEST(CliArgsTest, BareFlagIsBooleanTrue) {
+  const CliArgs args({"--verbose", "--out", "file.txt"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_EQ(args.get_string("out"), "file.txt");
+}
+
+TEST(CliArgsTest, BooleanValueForms) {
+  EXPECT_TRUE(CliArgs({"--x", "true"}).get_bool("x"));
+  EXPECT_TRUE(CliArgs({"--x", "1"}).get_bool("x"));
+  EXPECT_TRUE(CliArgs({"--x", "yes"}).get_bool("x"));
+  EXPECT_FALSE(CliArgs({"--x", "false"}).get_bool("x"));
+  EXPECT_FALSE(CliArgs({"--x", "0"}).get_bool("x"));
+  EXPECT_FALSE(CliArgs({"--x", "no"}).get_bool("x"));
+  EXPECT_THROW(CliArgs({"--x", "maybe"}).get_bool("x"), std::invalid_argument);
+}
+
+TEST(CliArgsTest, DefaultsWhenAbsent) {
+  const CliArgs args({});
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("missing", "d"), "d");
+  EXPECT_FALSE(args.get_bool("missing"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgsTest, PositionalArguments) {
+  const CliArgs args({"subcommand", "--flag", "v", "extra"});
+  // "v" binds to --flag; "subcommand" and "extra" are positional.
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"subcommand", "extra"}));
+}
+
+TEST(CliArgsTest, ConsecutiveFlagsAreBooleans) {
+  const CliArgs args({"--a", "--b", "5"});
+  EXPECT_TRUE(args.get_bool("a"));
+  EXPECT_EQ(args.get_int("b"), 5);
+}
+
+TEST(CliArgsTest, TypeErrorsThrow) {
+  const CliArgs args({"--n", "abc"});
+  EXPECT_THROW(args.get_int("n"), std::invalid_argument);
+  EXPECT_THROW(args.get_double("n"), std::invalid_argument);
+}
+
+TEST(CliArgsTest, MalformedTripleDashThrows) {
+  EXPECT_THROW(CliArgs({"---bad"}), std::invalid_argument);
+}
+
+TEST(CliArgsTest, UnknownFlagsTracksUnqueried) {
+  const CliArgs args({"--known", "1", "--typo", "2"});
+  EXPECT_EQ(args.get_int("known"), 1);
+  EXPECT_EQ(args.unknown_flags(), (std::vector<std::string>{"typo"}));
+}
+
+TEST(CliArgsTest, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "--x", "3"};
+  const CliArgs args(3, argv);
+  EXPECT_EQ(args.get_int("x"), 3);
+}
+
+TEST(CliArgsTest, NegativeNumbersAsValues) {
+  const CliArgs args({"--offset", "-5"});
+  EXPECT_EQ(args.get_int("offset"), -5);
+}
+
+}  // namespace
+}  // namespace cavenet

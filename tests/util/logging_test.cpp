@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, DefaultLevelSuppressesDebug) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, TraceLevelEnablesEverything) {
+  set_log_level(LogLevel::kTrace);
+  EXPECT_TRUE(log_enabled(LogLevel::kTrace));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, OffLevelDisablesEverythingIncludingOff) {
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kOff));
+}
+
+TEST_F(LoggingTest, MacroDoesNotEvaluateDisabledMessages) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  CAVENET_LOG(kDebug, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, SetLevelRoundTrips) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace cavenet

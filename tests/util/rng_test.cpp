@@ -1,0 +1,192 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cavenet {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsProduceDifferentSequences) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, StreamsAreIndependentAndDeterministic) {
+  Rng a(7, 0);
+  Rng b(7, 1);
+  Rng a2(7, 0);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, a2.next_u64());
+    if (va == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(5);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = rng.uniform_int(std::int64_t{-2}, std::int64_t{2});
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(std::int64_t{5}, std::int64_t{5}), 5);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasCorrectMean) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v.begin(), v.end());
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RngTest, ShuffleActuallyShuffles) {
+  Rng rng(14);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  const std::vector<int> original = v;
+  rng.shuffle(v.begin(), v.end());
+  EXPECT_NE(v, original);
+}
+
+TEST(RngTest, JumpDecorrelatesStream) {
+  Rng a(15);
+  Rng b(15);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cavenet

@@ -1,0 +1,76 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet {
+namespace {
+
+using namespace cavenet::literals;
+
+TEST(SimTimeTest, FactoriesAgree) {
+  EXPECT_EQ(SimTime::seconds(1), SimTime::milliseconds(1000));
+  EXPECT_EQ(SimTime::milliseconds(1), SimTime::microseconds(1000));
+  EXPECT_EQ(SimTime::microseconds(1), SimTime::nanoseconds(1000));
+}
+
+TEST(SimTimeTest, LiteralsMatchFactories) {
+  EXPECT_EQ(5_s, SimTime::seconds(5));
+  EXPECT_EQ(20_us, SimTime::microseconds(20));
+  EXPECT_EQ(7_ms, SimTime::milliseconds(7));
+  EXPECT_EQ(3_ns, SimTime::nanoseconds(3));
+}
+
+TEST(SimTimeTest, ConversionsRoundTrip) {
+  const SimTime t = SimTime::microseconds(1500);
+  EXPECT_DOUBLE_EQ(t.us(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.ms(), 1.5);
+  EXPECT_DOUBLE_EQ(t.sec(), 0.0015);
+  EXPECT_EQ(t.ns(), 1'500'000);
+}
+
+TEST(SimTimeTest, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(SimTime::from_seconds(1.0), SimTime::seconds(1));
+  EXPECT_EQ(SimTime::from_seconds(0.2), SimTime::milliseconds(200));
+  EXPECT_EQ(SimTime::from_seconds(1e-9), SimTime::nanoseconds(1));
+  EXPECT_EQ(SimTime::from_seconds(1.5e-9), SimTime::nanoseconds(2));
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::seconds(2);
+  const SimTime b = SimTime::milliseconds(500);
+  EXPECT_EQ((a + b).ms(), 2500.0);
+  EXPECT_EQ((a - b).ms(), 1500.0);
+  EXPECT_EQ((b * 4), a);
+  EXPECT_EQ(a / b, 4);
+
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::milliseconds(2500));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::zero(), SimTime::nanoseconds(1));
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1'000'000));
+  EXPECT_LE(SimTime::seconds(1), SimTime::seconds(1));
+}
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+  EXPECT_EQ(SimTime{}.ns(), 0);
+}
+
+TEST(SimTimeTest, ToStringFormatsSeconds) {
+  EXPECT_EQ(SimTime::milliseconds(1500).to_string(), "1.500000000s");
+  EXPECT_EQ(SimTime::zero().to_string(), "0.000000000s");
+}
+
+TEST(SimTimeTest, NegativeDurationsBehave) {
+  const SimTime t = SimTime::zero() - SimTime::seconds(1);
+  EXPECT_LT(t, SimTime::zero());
+  EXPECT_DOUBLE_EQ(t.sec(), -1.0);
+}
+
+}  // namespace
+}  // namespace cavenet

@@ -1,0 +1,79 @@
+#include "util/table_writer.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cavenet {
+namespace {
+
+TEST(TableWriterTest, RequiresColumns) {
+  EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(TableWriterTest, RejectsMismatchedRowWidth) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only one")}), std::invalid_argument);
+}
+
+TEST(TableWriterTest, PrintsAlignedColumns) {
+  TableWriter t({"name", "value"});
+  t.add_row({std::string("x"), std::int64_t{10}});
+  t.add_row({std::string("longer"), 3.5});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("3.5"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvOutput) {
+  TableWriter t({"a", "b"});
+  t.add_row({std::string("hello"), std::int64_t{1}});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "a,b\nhello,1\n");
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCharacters) {
+  TableWriter t({"a"});
+  t.add_row({std::string("with,comma")});
+  t.add_row({std::string("with\"quote")});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "a\n\"with,comma\"\n\"with\"\"quote\"\n");
+}
+
+TEST(TableWriterTest, FormatCellRendersTypes) {
+  EXPECT_EQ(format_cell(TableCell{std::string("s")}), "s");
+  EXPECT_EQ(format_cell(TableCell{std::int64_t{-4}}), "-4");
+  EXPECT_EQ(format_cell(TableCell{0.25}), "0.25");
+}
+
+TEST(TableWriterTest, RowCount) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({1.0});
+  t.add_row({2.0});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableWriterTest, WritesCsvFile) {
+  TableWriter t({"x"});
+  t.add_row({std::int64_t{7}});
+  const std::string path = ::testing::TempDir() + "/table_writer_test.csv";
+  ASSERT_TRUE(t.write_csv_file(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "7");
+}
+
+}  // namespace
+}  // namespace cavenet

@@ -1,0 +1,103 @@
+// cavenet-replay — inspects an ns-2 mobility trace file (ours or anyone
+// else's): per-node summary, ASCII snapshots of the node layout over
+// time, and connectivity statistics under a chosen radio range.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/connectivity.h"
+#include "trace/ns2_format.h"
+#include "util/cli_args.h"
+
+namespace {
+
+using namespace cavenet;
+
+void render_snapshot(const std::vector<trace::NodePath>& paths, double t,
+                     double min_x, double min_y, double max_x, double max_y) {
+  constexpr int kCols = 72;
+  constexpr int kRows = 24;
+  std::vector<std::string> canvas(kRows, std::string(kCols, '.'));
+  const double span_x = std::max(max_x - min_x, 1.0);
+  const double span_y = std::max(max_y - min_y, 1.0);
+  for (std::size_t node = 0; node < paths.size(); ++node) {
+    const Vec2 p = paths[node].position(t);
+    const int col = std::clamp(
+        static_cast<int>((p.x - min_x) / span_x * (kCols - 1)), 0, kCols - 1);
+    const int row = std::clamp(
+        static_cast<int>((p.y - min_y) / span_y * (kRows - 1)), 0, kRows - 1);
+    canvas[static_cast<std::size_t>(kRows - 1 - row)]
+          [static_cast<std::size_t>(col)] =
+        static_cast<char>('0' + node % 10);
+  }
+  std::printf("t = %.0f s\n", t);
+  for (const std::string& line : canvas) std::printf("  %s\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: cavenet-replay <trace.ns2> [--range M] "
+                 "[--duration S] [--snapshots N]\n");
+    return 2;
+  }
+  const double range = args.get_double("range", 250.0);
+  const int snapshots = static_cast<int>(args.get_int("snapshots", 3));
+
+  trace::MobilityTrace mobility;
+  try {
+    mobility = trace::read_ns2_file(args.positional().front());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const auto paths = trace::compile_paths(mobility);
+
+  double end_time = 0.0;
+  for (const auto& path : paths) end_time = std::max(end_time, path.end_time());
+  const double duration = args.get_double("duration", end_time);
+
+  std::printf("%u nodes, %zu movement events, motion ends at %.1f s\n",
+              mobility.node_count(), mobility.events.size(), end_time);
+
+  // Bounding box over sampled positions.
+  double min_x = 1e300, min_y = 1e300, max_x = -1e300, max_y = -1e300;
+  for (double t = 0.0; t <= duration + 1e-9; t += std::max(duration / 50.0, 1.0)) {
+    for (const auto& path : paths) {
+      const Vec2 p = path.position(t);
+      min_x = std::min(min_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_x = std::max(max_x, p.x);
+      max_y = std::max(max_y, p.y);
+    }
+  }
+  std::printf("bounding box: [%.0f, %.0f] x [%.0f, %.0f] m\n\n", min_x, max_x,
+              min_y, max_y);
+
+  for (int i = 0; i < snapshots; ++i) {
+    const double t =
+        snapshots > 1 ? duration * i / (snapshots - 1) : 0.0;
+    render_snapshot(paths, t, min_x, min_y, max_x, max_y);
+  }
+
+  trace::ConnectivitySweepOptions sweep;
+  sweep.range_m = range;
+  sweep.t_end_s = duration;
+  sweep.dt_s = std::max(duration / 100.0, 1.0);
+  const auto samples = trace::connectivity_over_time(paths, sweep);
+  double components = 0.0, pair_connectivity = 0.0;
+  for (const auto& s : samples) {
+    components += static_cast<double>(s.components);
+    pair_connectivity += s.pair_connectivity;
+  }
+  const auto n = static_cast<double>(samples.size());
+  std::printf("\nconnectivity @ %.0f m range: %.2f components, %.3f pair "
+              "connectivity, %.2f link events/s\n",
+              range, components / n, pair_connectivity / n,
+              trace::link_change_rate(paths, sweep));
+  return 0;
+}
