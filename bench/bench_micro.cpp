@@ -7,7 +7,9 @@
 #include "analysis/spectrum.h"
 #include "core/nas_lane.h"
 #include "mac/wifi_mac.h"
+#include "netsim/packet_log.h"
 #include "netsim/scheduler.h"
+#include "obs/stats_registry.h"
 #include "phy/channel.h"
 #include "scenario/table1.h"
 
@@ -68,6 +70,48 @@ void BM_SchedulerChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_SchedulerChurn);
+
+void BM_PacketLogRecord(benchmark::State& state) {
+  // Per-event logging cost. Type names are interned, so the steady state
+  // is an O(log n) set lookup plus a push_back — no heap allocation per
+  // record (before interning, every record built a std::string).
+  netsim::PacketLog log;
+  log.set_max_entries(1u << 16);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    if (log.size() + 64 >= log.max_entries()) {
+      state.PauseTiming();
+      log.clear();
+      state.ResumeTiming();
+    }
+    for (int i = 0; i < 64; ++i) {
+      log.record(SimTime::nanoseconds(t + i), netsim::PacketLog::Event::kSend,
+                 netsim::PacketLog::Layer::kMac, 4,
+                 static_cast<std::uint64_t>(i), i % 2 ? "cbr" : "aodv-rreq",
+                 512);
+    }
+    t += 64;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PacketLogRecord);
+
+void BM_StatsCounterInc(benchmark::State& state) {
+  // The hot-path stats increment: a single add through a pointer, both
+  // bound and unbound (discard-cell) handles.
+  obs::StatsRegistry registry;
+  obs::Counter bound = registry.counter("bench.counter");
+  obs::Counter unbound;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      bound.inc();
+      unbound.inc();
+    }
+  }
+  benchmark::DoNotOptimize(bound.value());
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_StatsCounterInc);
 
 void BM_PacketCopy(benchmark::State& state) {
   netsim::Packet packet(512);

@@ -4,10 +4,14 @@
 #ifndef CAVENET_BENCH_GOODPUT_SURFACE_H
 #define CAVENET_BENCH_GOODPUT_SURFACE_H
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "obs/run_manifest.h"
+#include "obs/stats_registry.h"
+#include "scenario/run_record.h"
 #include "scenario/table1.h"
 #include "util/table_writer.h"
 
@@ -34,7 +38,14 @@ inline int run_goodput_surface(scenario::Protocol protocol,
   TableIConfig config;
   config.protocol = protocol;
   config.seed = 3;
+  obs::StatsRegistry stats;  // accumulates across the 8 sender runs
+  config.stats = &stats;
+  const auto wall_start = std::chrono::steady_clock::now();
   const auto results = run_all_senders(config, 1, 8);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   // 10-second aggregate columns keep the printed table readable; the CSV
   // below carries the full per-second series.
@@ -85,6 +96,15 @@ inline int run_goodput_surface(scenario::Protocol protocol,
       "\noverall PDR %.3f | peak goodput %.0f bps = %.1fx the CBR rate "
       "(%.0f bps)\n",
       total_rx / total_tx, max_goodput, max_goodput / cbr_bps, cbr_bps);
+
+  const std::string base = std::string("goodput_") + to_string(protocol);
+  obs::RunManifest manifest =
+      make_run_manifest(base, config, results, wall_s);
+  manifest.set_param("senders", "1..8");
+  manifest.set_metric("peak_goodput_bps", max_goodput);
+  if (manifest.write_file(base + ".manifest.json")) {
+    std::cout << "Run manifest written to " << base << ".manifest.json\n";
+  }
   return 0;
 }
 

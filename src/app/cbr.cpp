@@ -20,7 +20,7 @@ void CbrSource::start() {
   const SimTime delay = params_.start > sim_->now()
                             ? params_.start - sim_->now()
                             : SimTime::zero();
-  sim_->schedule(delay, [this] { send_one(); });
+  sim_->schedule(delay, "app.cbr", [this] { send_one(); });
 }
 
 void CbrSource::send_one() {
@@ -35,8 +35,9 @@ void CbrSource::send_one() {
   if (metrics_ != nullptr) {
     metrics_->on_sent(sim_->now(), params_.payload_bytes);
   }
+  obs_tx_.inc();
   network_->send(std::move(packet), params_.destination);
-  sim_->schedule(interval_, [this] { send_one(); });
+  sim_->schedule(interval_, "app.cbr", [this] { send_one(); });
 }
 
 PacketSink::PacketSink(netsim::Simulator& sim, netsim::NetworkLayer& network,
@@ -56,6 +57,7 @@ void PacketSink::on_deliver(netsim::Packet packet, netsim::NodeId source) {
   const UdpHeader* header = packet.peek<UdpHeader>();
   if (header == nullptr || header->dst_port != port_) return;
   ++received_;
+  obs_rx_.inc();
   const UdpHeader udp = packet.pop<UdpHeader>();
   if (const auto it = flows_.find(source);
       it != flows_.end() && it->second != nullptr) {

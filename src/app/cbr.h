@@ -11,6 +11,7 @@
 #include "app/udp.h"
 #include "netsim/layers.h"
 #include "netsim/simulator.h"
+#include "obs/stats_registry.h"
 
 namespace cavenet::app {
 
@@ -39,6 +40,11 @@ class CbrSource {
   std::uint32_t packets_sent() const noexcept { return seq_; }
   const CbrParams& params() const noexcept { return params_; }
 
+  /// Binds the source's send counter ("agt.tx.cbr") into a registry.
+  void bind_stats(obs::StatsRegistry& registry) {
+    obs_tx_ = registry.counter("agt.tx.cbr");
+  }
+
  private:
   void send_one();
 
@@ -48,6 +54,7 @@ class CbrSource {
   FlowMetrics* metrics_;
   std::uint32_t seq_ = 0;
   SimTime interval_;
+  obs::Counter obs_tx_;
 };
 
 /// Receives packets delivered by a network layer, filters on destination
@@ -71,6 +78,11 @@ class PacketSink {
 
   std::uint64_t packets_received() const noexcept { return received_; }
 
+  /// Binds the sink's receive counter ("agt.rx.sink") into a registry.
+  void bind_stats(obs::StatsRegistry& registry) {
+    obs_rx_ = registry.counter("agt.rx.sink");
+  }
+
  private:
   void on_deliver(netsim::Packet packet, netsim::NodeId source);
 
@@ -79,6 +91,7 @@ class PacketSink {
   std::map<netsim::NodeId, FlowMetrics*> flows_;
   PacketHook hook_;
   std::uint64_t received_ = 0;
+  obs::Counter obs_rx_;
 };
 
 }  // namespace cavenet::app

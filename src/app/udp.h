@@ -19,7 +19,7 @@ struct UdpHeader final : netsim::HeaderBase<UdpHeader> {
   SimTime sent_at = SimTime::zero();
 
   std::size_t size_bytes() const override { return 8; }
-  std::string name() const override { return "udp"; }
+  std::string_view name() const override { return "udp"; }
 };
 
 }  // namespace cavenet::app

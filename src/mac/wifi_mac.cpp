@@ -25,6 +25,19 @@ WifiMac::WifiMac(netsim::Simulator& sim, phy::WifiPhy& phy, MacParams params,
   });
 }
 
+void WifiMac::bind_stats(obs::StatsRegistry& registry) {
+  obs_tx_data_ = registry.counter("mac.tx.data");
+  obs_rx_up_ = registry.counter("mac.rx.up");
+  obs_drop_ifq_ = registry.counter("mac.drop.ifq_full");
+  obs_drop_retry_ = registry.counter("mac.drop.retry_limit");
+  obs_tx_success_ = registry.counter("mac.tx.success");
+  obs_retries_ = registry.counter("mac.retry");
+  obs_ack_tx_ = registry.counter("mac.ack.sent");
+  obs_rts_tx_ = registry.counter("mac.rts.sent");
+  obs_cts_tx_ = registry.counter("mac.cts.sent");
+  obs_dup_ = registry.counter("mac.dup.suppressed");
+}
+
 SimTime WifiMac::ack_duration() const noexcept {
   MacHeader ack;
   ack.type = MacHeader::Type::kAck;
@@ -41,7 +54,7 @@ void WifiMac::set_nav(SimTime until) {
   if (until <= nav_until_) return;
   nav_until_ = until;
   on_medium_busy();
-  sim_->schedule_at(until, [this] {
+  sim_->schedule_at(until, "mac", [this] {
     if (sim_->now() >= nav_until_ && !phy_->cca_busy()) on_medium_idle();
   });
 }
@@ -83,6 +96,7 @@ void WifiMac::send_priority(Packet packet, NodeId dest) {
 void WifiMac::enqueue(Packet packet, NodeId dest, bool priority) {
   if (queue_.size() >= params_.queue_limit) {
     ++stats_.dropped_queue_full;
+    obs_drop_ifq_.inc();
     if (log_ != nullptr) {
       log_->record(sim_->now(), netsim::PacketLog::Event::kDrop,
                    netsim::PacketLog::Layer::kMac, address(), packet.uid(),
@@ -130,15 +144,15 @@ void WifiMac::access_attempt() {
       std::max(idle_since_ + params_.difs(), eifs_until_);
   const SimTime now = sim_->now();
   if (now < idle_deadline) {
-    access_timer_ =
-        sim_->schedule(idle_deadline - now, [this] { access_attempt(); });
+    access_timer_ = sim_->schedule(idle_deadline - now, "mac",
+                                   [this] { access_attempt(); });
     return;
   }
   if (backoff_slots_ > 0) {
     in_countdown_ = true;
     countdown_start_ = now;
     access_timer_ =
-        sim_->schedule(params_.slot * backoff_slots_, [this] {
+        sim_->schedule(params_.slot * backoff_slots_, "mac", [this] {
           in_countdown_ = false;
           backoff_slots_ = -1;
           transmit_current();
@@ -172,11 +186,13 @@ void WifiMac::transmit_current() {
     Packet frame(0);
     frame.push(rts);
     ++stats_.rts_sent;
+    obs_rts_tx_.inc();
     wait_cts_ = true;
     phy_->transmit(std::move(frame));
     const SimTime timeout = phy_->frame_duration(rts.size_bytes()) +
                             params_.sifs + cts_duration() + params_.slot * 2;
-    ack_timer_ = sim_->schedule(timeout, [this] { handle_cts_timeout(); });
+    ack_timer_ =
+        sim_->schedule(timeout, "mac", [this] { handle_cts_timeout(); });
     return;
   }
   send_data_now();
@@ -201,6 +217,7 @@ void WifiMac::send_data_now() {
   }
   frame.push(header);
   ++stats_.data_tx_attempts;
+  obs_tx_data_.inc();
   const SimTime tx_time = phy_->frame_duration(frame.size_bytes());
   phy_->transmit(std::move(frame));
 
@@ -208,11 +225,13 @@ void WifiMac::send_data_now() {
     wait_ack_ = true;
     const SimTime timeout =
         tx_time + params_.sifs + ack_duration() + params_.slot * 2;
-    ack_timer_ = sim_->schedule(timeout, [this] { handle_ack_timeout(); });
+    ack_timer_ =
+        sim_->schedule(timeout, "mac", [this] { handle_ack_timeout(); });
   } else {
     ++seq_;
-    sim_->schedule(tx_time, [this] {
+    sim_->schedule(tx_time, "mac", [this] {
       ++stats_.data_tx_success;
+      obs_tx_success_.inc();
       complete_current();
     });
   }
@@ -221,6 +240,7 @@ void WifiMac::send_data_now() {
 void WifiMac::handle_cts_timeout() {
   wait_cts_ = false;
   ++stats_.retries;
+  obs_retries_.inc();
   ++retries_;
   if (retries_ > params_.retry_limit) {
     fail_current();
@@ -232,6 +252,7 @@ void WifiMac::handle_cts_timeout() {
 void WifiMac::handle_ack_timeout() {
   wait_ack_ = false;
   ++stats_.retries;
+  obs_retries_.inc();
   ++retries_;
   if (retries_ > params_.retry_limit) {
     fail_current();
@@ -249,6 +270,7 @@ void WifiMac::retry_backoff() {
 
 void WifiMac::fail_current() {
   ++stats_.data_tx_failed;
+  obs_drop_retry_.inc();
   if (log_ != nullptr) {
     log_->record(sim_->now(), netsim::PacketLog::Event::kDrop,
                  netsim::PacketLog::Layer::kMac, address(),
@@ -302,6 +324,7 @@ void WifiMac::on_phy_receive(Packet packet, double rx_power_w) {
         wait_ack_ = false;
         ack_timer_.cancel();
         ++stats_.data_tx_success;
+        obs_tx_success_.inc();
         ++seq_;
         complete_current();
       }
@@ -312,7 +335,7 @@ void WifiMac::on_phy_receive(Packet packet, double rx_power_w) {
         wait_cts_ = false;
         cts_received_ = true;
         ack_timer_.cancel();
-        sim_->schedule(params_.sifs, [this] {
+        sim_->schedule(params_.sifs, "mac", [this] {
           if (current_) send_data_now();
         });
       } else if (header.dst != address()) {
@@ -325,9 +348,11 @@ void WifiMac::on_phy_receive(Packet packet, double rx_power_w) {
         // Respond with CTS after SIFS; reservation shortened by RTS+SIFS.
         const SimTime remaining =
             header.duration - params_.sifs - cts_duration();
-        sim_->schedule(params_.sifs, [this, src = header.src, remaining] {
+        sim_->schedule(params_.sifs, "mac", [this, src = header.src,
+                                             remaining] {
           if (phy_->transmitting()) return;
           ++stats_.cts_sent;
+          obs_cts_tx_.inc();
           send_control(MacHeader::Type::kCts, src,
                        std::max(remaining, SimTime::zero()));
         });
@@ -345,20 +370,23 @@ void WifiMac::on_phy_receive(Packet packet, double rx_power_w) {
 void WifiMac::handle_data(Packet packet, const MacHeader& header) {
   if (header.dst == address()) {
     // ACK after SIFS, regardless of CCA (the standard mandates it).
-    sim_->schedule(params_.sifs, [this, src = header.src] {
+    sim_->schedule(params_.sifs, "mac", [this, src = header.src] {
       if (phy_->transmitting()) return;  // pathological overlap
       ++stats_.acks_sent;
+      obs_ack_tx_.inc();
       send_control(MacHeader::Type::kAck, src, SimTime::zero());
     });
     // Duplicate filtering (a retransmitted frame whose ACK was lost).
     auto& seen = seen_seqs_[header.src];
     if (std::find(seen.begin(), seen.end(), header.seq) != seen.end()) {
       ++stats_.duplicates_suppressed;
+      obs_dup_.inc();
       return;
     }
     seen.push_back(header.seq);
     if (seen.size() > 16) seen.pop_front();
     ++stats_.delivered_up;
+    obs_rx_up_.inc();
     if (log_ != nullptr) {
       log_->record(sim_->now(), netsim::PacketLog::Event::kReceive,
                    netsim::PacketLog::Layer::kMac, address(), packet.uid(),
@@ -369,6 +397,7 @@ void WifiMac::handle_data(Packet packet, const MacHeader& header) {
   }
   if (netsim::is_broadcast(header.dst)) {
     ++stats_.delivered_up;
+    obs_rx_up_.inc();
     if (log_ != nullptr) {
       log_->record(sim_->now(), netsim::PacketLog::Event::kReceive,
                    netsim::PacketLog::Layer::kMac, address(), packet.uid(),

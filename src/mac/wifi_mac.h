@@ -16,6 +16,7 @@
 #include "netsim/layers.h"
 #include "netsim/packet_log.h"
 #include "netsim/simulator.h"
+#include "obs/stats_registry.h"
 #include "phy/wifi_phy.h"
 #include "util/rng.h"
 
@@ -64,7 +65,7 @@ struct MacHeader final : netsim::HeaderBase<MacHeader> {
     }
     return 28;
   }
-  std::string name() const override {
+  std::string_view name() const override {
     switch (type) {
       case Type::kData: return "80211-data";
       case Type::kAck: return "80211-ack";
@@ -113,6 +114,12 @@ class WifiMac final : public netsim::LinkLayer {
 
   /// Attaches an (optional, non-owning) packet event log.
   void set_packet_log(netsim::PacketLog* log) noexcept { log_ = log; }
+
+  /// Binds this MAC's counters into a stats registry under "mac.*".
+  /// All nodes bound to the same registry aggregate into shared counters;
+  /// unbound MACs pay one discarded add per event.
+  void bind_stats(obs::StatsRegistry& registry);
+
   const MacParams& params() const noexcept { return params_; }
   std::size_t queue_depth() const noexcept {
     return queue_.size() + (current_ ? 1 : 0);
@@ -179,6 +186,19 @@ class WifiMac final : public netsim::LinkLayer {
   TxFailedCallback tx_failed_cb_;
   netsim::PacketLog* log_ = nullptr;
   MacStats stats_;
+
+  // Registry counters; mirror stats_ at the sites that also feed the
+  // packet log, so "mac.*" reconciles exactly with PacketLog counts.
+  obs::Counter obs_tx_data_;        ///< mac.tx.data   == count(kSend, kMac)
+  obs::Counter obs_rx_up_;          ///< mac.rx.up     == count(kReceive, kMac)
+  obs::Counter obs_drop_ifq_;       ///< mac.drop.ifq_full
+  obs::Counter obs_drop_retry_;     ///< mac.drop.retry_limit
+  obs::Counter obs_tx_success_;
+  obs::Counter obs_retries_;
+  obs::Counter obs_ack_tx_;
+  obs::Counter obs_rts_tx_;
+  obs::Counter obs_cts_tx_;
+  obs::Counter obs_dup_;
 };
 
 }  // namespace cavenet::mac

@@ -11,6 +11,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cavenet::netsim {
@@ -22,8 +23,10 @@ class Header {
   virtual std::unique_ptr<Header> clone() const = 0;
   /// Wire size contributed by this header.
   virtual std::size_t size_bytes() const = 0;
-  /// Short name for logs, e.g. "aodv-rreq".
-  virtual std::string name() const = 0;
+  /// Short name for logs, e.g. "aodv-rreq". Implementations return
+  /// string literals, so views stay valid for the process lifetime and
+  /// per-event logging never allocates.
+  virtual std::string_view name() const = 0;
 };
 
 /// CRTP helper providing clone() for copyable header types.
@@ -64,9 +67,10 @@ class Packet {
   T pop() {
     T* top = peek<T>();
     if (top == nullptr) {
-      throw std::logic_error("packet: top header is not " +
-                             (headers_.empty() ? std::string("<empty>")
-                                               : headers_.back()->name()));
+      throw std::logic_error(
+          "packet: top header is not " +
+          (headers_.empty() ? std::string("<empty>")
+                            : std::string(headers_.back()->name())));
     }
     T out = std::move(*top);
     headers_.pop_back();
@@ -97,8 +101,9 @@ class Packet {
   std::size_t header_count() const noexcept { return headers_.size(); }
 
   /// Name of the topmost header, or "raw" for a bare payload.
-  std::string top_name() const {
-    return headers_.empty() ? "raw" : headers_.back()->name();
+  std::string_view top_name() const {
+    return headers_.empty() ? std::string_view("raw")
+                            : headers_.back()->name();
   }
 
  private:

@@ -1,14 +1,37 @@
 #include "netsim/packet_log.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
+
+#include "obs/intern.h"
 
 namespace cavenet::netsim {
 
 void PacketLog::record(SimTime time, Event event, Layer layer, NodeId node,
-                       std::uint64_t uid, std::string type,
+                       std::uint64_t uid, std::string_view type,
                        std::size_t bytes) {
-  entries_.push_back({time, event, layer, node, uid, std::move(type), bytes});
+  const std::string_view interned = obs::intern(type);
+  if (trace_sink_ != nullptr) {
+    obs::TraceEvent e;
+    e.ts = time;
+    e.phase = obs::TraceEvent::Phase::kInstant;
+    e.name = interned;
+    e.category = layer_name(layer);
+    e.tid = node;
+    trace_sink_->emit(e);
+  }
+  if (entries_.size() >= max_entries_) {
+    ++dropped_;
+    return;
+  }
+  if (entries_.capacity() == entries_.size()) {
+    // Geometric growth with a sensible floor, never past the cap; the
+    // vector's own doubling would also be geometric but starts tiny.
+    entries_.reserve(std::min(
+        max_entries_, std::max<std::size_t>(1024, entries_.capacity() * 2)));
+  }
+  entries_.push_back({time, event, layer, node, uid, interned, bytes});
 }
 
 std::size_t PacketLog::count(Event event, Layer layer) const {
@@ -41,11 +64,11 @@ const char* PacketLog::layer_name(Layer layer) noexcept {
 void PacketLog::write_ns2(std::ostream& out) const {
   char buf[160];
   for (const Entry& e : entries_) {
-    std::snprintf(buf, sizeof buf, "%c %.9f _%u_ %s --- %llu %s %zu\n",
+    std::snprintf(buf, sizeof buf, "%c %.9f _%u_ %s --- %llu %.*s %zu\n",
                   event_code(e.event), e.time.sec(), e.node,
                   layer_name(e.layer),
-                  static_cast<unsigned long long>(e.uid), e.type.c_str(),
-                  e.bytes);
+                  static_cast<unsigned long long>(e.uid),
+                  static_cast<int>(e.type.size()), e.type.data(), e.bytes);
     out << buf;
   }
 }

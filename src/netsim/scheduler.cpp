@@ -1,10 +1,14 @@
 #include "netsim/scheduler.h"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/kernel_profiler.h"
 
 namespace cavenet::netsim {
 
-EventId Scheduler::schedule_at(SimTime at, std::function<void()> action) {
+EventId Scheduler::schedule_at(SimTime at, std::function<void()> action,
+                               std::string_view component) {
   if (at < last_dispatched_) {
     throw std::logic_error("scheduling into the past: " + at.to_string() +
                            " < " + last_dispatched_.to_string());
@@ -13,9 +17,25 @@ EventId Scheduler::schedule_at(SimTime at, std::function<void()> action) {
   rec->at = at;
   rec->seq = next_seq_++;
   rec->action = std::move(action);
+  if (!component.empty()) [[unlikely]] {
+    rec->component_id = intern_component(component);
+  }
   EventId id{std::weak_ptr<detail::EventRecord>(rec)};
   queue_.push(std::move(rec));
   return id;
+}
+
+std::uint32_t Scheduler::intern_component(std::string_view component) {
+  // Labels are string literals, so the pointer compare almost always hits;
+  // the content compare merges identical literals from different TUs.
+  for (std::uint32_t i = 1; i < components_.size(); ++i) {
+    if (components_[i].data() == component.data() ||
+        components_[i] == component) {
+      return i;
+    }
+  }
+  components_.push_back(component);
+  return static_cast<std::uint32_t>(components_.size() - 1);
 }
 
 void Scheduler::drop_cancelled() const {
@@ -39,8 +59,24 @@ bool Scheduler::run_one() {
   queue_.pop();
   last_dispatched_ = rec->at;
   ++dispatched_;
-  rec->action();
+  if (profiler_ == nullptr) [[likely]] {
+    rec->action();
+  } else {
+    dispatch_profiled(*rec);
+  }
   return true;
+}
+
+__attribute__((noinline)) void Scheduler::dispatch_profiled(
+    const detail::EventRecord& rec) {
+  const auto start = std::chrono::steady_clock::now();
+  rec.action();
+  const auto end = std::chrono::steady_clock::now();
+  profiler_->record(
+      components_[rec.component_id],
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+              .count()));
 }
 
 }  // namespace cavenet::netsim

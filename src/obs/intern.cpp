@@ -1,0 +1,28 @@
+#include "obs/intern.h"
+
+#include <set>
+#include <string>
+
+namespace cavenet::obs {
+namespace {
+
+// std::set gives node-stable storage: a std::string's buffer never moves
+// once inserted, so handed-out views stay valid as the table grows.
+// Heterogeneous lookup (std::less<>) avoids building a std::string on hits.
+std::set<std::string, std::less<>>& table() {
+  static auto* t = new std::set<std::string, std::less<>>();
+  return *t;
+}
+
+}  // namespace
+
+std::string_view intern(std::string_view s) {
+  auto& t = table();
+  const auto it = t.find(s);
+  if (it != t.end()) return *it;
+  return *t.emplace(s).first;
+}
+
+std::size_t intern_table_size() noexcept { return table().size(); }
+
+}  // namespace cavenet::obs

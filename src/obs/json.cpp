@@ -1,0 +1,325 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cavenet::obs {
+
+void json_escape(std::string_view text, std::string& out) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void JsonWriter::separate() {
+  // The element right after a key belongs to that key: no comma.
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_.push_back(',');
+    has_elements_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_.push_back('{');
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_.push_back('}');
+  has_elements_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_.push_back('[');
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_.push_back(']');
+  has_elements_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+  separate();
+  json_escape(name, out_);
+  out_.push_back(':');
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  separate();
+  json_escape(text, out_);
+}
+
+void JsonWriter::value(double number) {
+  separate();
+  if (!std::isfinite(number)) {
+    out_ += "null";  // JSON has no NaN/Inf
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", number);
+    out_ += buf;
+  }
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  separate();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::int64_t number) {
+  separate();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(bool boolean) {
+  separate();
+  out_ += boolean ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  separate();
+  out_ += "null";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  separate();
+  out_ += json;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("json: " + std::string(what) + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't': {
+        JsonValue v;
+        if (!consume_literal("true")) fail("bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        JsonValue v;
+        if (!consume_literal("false")) fail("bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      }
+      case 'n': {
+        JsonValue v;
+        if (!consume_literal("null")) fail("bad literal");
+        return v;
+      }
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // Our own writer only emits \u for control characters; decode
+            // BMP code points as UTF-8 and leave surrogates unpaired.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace cavenet::obs

@@ -1,0 +1,86 @@
+// Minimal JSON support for the observability layer.
+//
+// The obs library serializes stats snapshots, run manifests and Chrome
+// trace files, and tests/tools parse them back. This is a deliberately
+// small implementation (objects, arrays, strings, numbers, bools, null)
+// — enough for machine-generated documents, not a general-purpose parser
+// for hostile input.
+#ifndef CAVENET_OBS_JSON_H
+#define CAVENET_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cavenet::obs {
+
+/// Appends `text` to `out` as a quoted JSON string with escaping.
+void json_escape(std::string_view text, std::string& out);
+
+/// Streaming JSON writer with automatic comma placement.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("seed"); w.value(std::uint64_t{42});
+///   w.end_object();
+///   w.str();  // {"seed":42}
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view name);
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(std::uint64_t number);
+  void value(std::int64_t number);
+  void value(bool boolean);
+  void null();
+  /// Splices a pre-serialized JSON document in as one value.
+  void raw(std::string_view json);
+
+  /// The document built so far.
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void separate();
+
+  std::string out_;
+  /// One flag per open scope: true once the scope has a first element.
+  std::vector<bool> has_elements_;
+  /// Set by key(): the next value is the key's value, not a new element.
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document (object members keep their textual order).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member named `key`, or nullptr (objects only).
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+};
+
+/// Parses a complete JSON document. Throws std::runtime_error on syntax
+/// errors or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace cavenet::obs
+
+#endif  // CAVENET_OBS_JSON_H

@@ -1,0 +1,58 @@
+#include "obs/kernel_profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "obs/stats_registry.h"
+
+namespace cavenet::obs {
+
+std::uint64_t KernelProfiler::total_dispatches() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [name, c] : components_) total += c.dispatches;
+  return total;
+}
+
+std::uint64_t KernelProfiler::total_wall_ns() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [name, c] : components_) total += c.wall_ns;
+  return total;
+}
+
+void KernelProfiler::publish(StatsRegistry& registry) const {
+  for (const auto& [name, c] : components_) {
+    const std::string prefix = "kernel." + std::string(name);
+    registry.counter(prefix + ".dispatches").inc(c.dispatches);
+    registry.gauge(prefix + ".wall_ms")
+        .set(static_cast<double>(c.wall_ns) / 1e6);
+  }
+}
+
+void KernelProfiler::write_table(std::ostream& out) const {
+  std::vector<std::pair<std::string_view, Component>> rows(components_.begin(),
+                                                           components_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.wall_ns > b.second.wall_ns;
+  });
+  const double total_ns =
+      std::max<double>(1.0, static_cast<double>(total_wall_ns()));
+  out << "kernel profile (wall time per event handler):\n";
+  char buf[160];
+  for (const auto& [name, c] : rows) {
+    const double share = 100.0 * static_cast<double>(c.wall_ns) / total_ns;
+    const double per_event = c.dispatches == 0
+                                 ? 0.0
+                                 : static_cast<double>(c.wall_ns) /
+                                       static_cast<double>(c.dispatches);
+    std::snprintf(buf, sizeof buf,
+                  "  %-16.*s %12llu dispatches %10.3f ms %6.1f%% %8.0f ns/ev\n",
+                  static_cast<int>(name.size()), name.data(),
+                  static_cast<unsigned long long>(c.dispatches),
+                  static_cast<double>(c.wall_ns) / 1e6, share, per_event);
+    out << buf;
+  }
+}
+
+}  // namespace cavenet::obs

@@ -1,0 +1,73 @@
+// RunManifest: a machine-readable record of what a run actually did.
+//
+// Every scenario/bench run can emit one JSON document carrying the seed,
+// the parameters, the build version, wall/sim durations, throughput, and
+// a final stats snapshot. A bench CSV plus its manifest is a reproducible
+// artifact: `tools/stats_diff.py` diffs two manifests and flags counter
+// regressions.
+#ifndef CAVENET_OBS_RUN_MANIFEST_H
+#define CAVENET_OBS_RUN_MANIFEST_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/stats_registry.h"
+
+namespace cavenet::obs {
+
+/// `git describe` of the build, captured at configure time ("unknown"
+/// outside a git checkout).
+std::string_view build_version() noexcept;
+
+/// Current wall-clock time as ISO-8601 UTC ("2026-08-06T12:34:56Z").
+std::string iso8601_utc_now();
+
+struct RunManifest {
+  std::string name;                 ///< e.g. "fig11_pdr"
+  std::uint64_t seed = 0;
+  std::string git_describe{build_version()};
+  std::string created_at{iso8601_utc_now()};
+
+  /// Scenario parameters, insertion-ordered (values pre-rendered).
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Scalar result metrics (PDR, goodput, ...), insertion-ordered.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  double sim_duration_s = 0.0;
+  double wall_duration_s = 0.0;
+  std::uint64_t events_dispatched = 0;
+  double events_per_wall_second = 0.0;
+
+  StatsSnapshot stats;
+
+  void set_param(std::string key, std::string value);
+  void set_param(std::string key, std::string_view value);
+  void set_param(std::string key, const char* value);
+  void set_param(std::string key, double value);
+  void set_param(std::string key, std::uint64_t value);
+  void set_param(std::string key, std::int64_t value);
+  void set_param(std::string key, std::int32_t value);
+  void set_param(std::string key, bool value);
+
+  void set_metric(std::string key, double value);
+
+  /// Value of a param/metric, or fallback when absent.
+  std::string_view param(std::string_view key,
+                         std::string_view fallback = {}) const noexcept;
+  double metric(std::string_view key, double fallback = 0.0) const noexcept;
+
+  std::string to_json() const;
+  /// Throws std::runtime_error on malformed input.
+  static RunManifest from_json(std::string_view json);
+  static RunManifest read_file(const std::string& path);
+
+  /// Returns false (and logs) when the file cannot be written.
+  bool write_file(const std::string& path) const;
+};
+
+}  // namespace cavenet::obs
+
+#endif  // CAVENET_OBS_RUN_MANIFEST_H

@@ -1,0 +1,224 @@
+#include "obs/stats_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace cavenet::obs {
+
+std::uint64_t Counter::discard_ = 0;
+double Gauge::discard_ = 0.0;
+HistogramData Histogram::discard_{};
+
+namespace {
+
+int bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;
+  const int exp = static_cast<int>(std::ceil(std::log2(v)));
+  const int idx = exp + HistogramData::kZeroBucket;
+  if (idx < 0) return 0;
+  if (idx >= HistogramData::kBucketCount) return HistogramData::kBucketCount - 1;
+  return idx;
+}
+
+double bucket_bound(int idx) noexcept {
+  return std::ldexp(1.0, idx - HistogramData::kZeroBucket);
+}
+
+}  // namespace
+
+void HistogramData::observe(double v) noexcept {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+  ++buckets[static_cast<std::size_t>(bucket_index(v))];
+}
+
+double HistogramData::quantile_bound(double q) const noexcept {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= target) return bucket_bound(i);
+  }
+  return max;
+}
+
+Counter StatsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return Counter(&it->second);
+  return Counter(&counters_.emplace(std::string(name), 0).first->second);
+}
+
+Gauge StatsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return Gauge(&it->second);
+  return Gauge(&gauges_.emplace(std::string(name), 0.0).first->second);
+}
+
+Histogram StatsRegistry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return Histogram(&it->second);
+  return Histogram(
+      &histograms_.emplace(std::string(name), HistogramData{}).first->second);
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  StatsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) snap.counters.emplace_back(name, value);
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_) snap.gauges.emplace_back(name, value);
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, data] : histograms_) {
+    StatsSnapshot::HistogramSummary h;
+    h.name = name;
+    h.count = data.count;
+    h.sum = data.sum;
+    h.min = data.min;
+    h.max = data.max;
+    h.p50 = data.quantile_bound(0.50);
+    h.p99 = data.quantile_bound(0.99);
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+std::uint64_t StatsSnapshot::counter(std::string_view name) const noexcept {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double StatsSnapshot::gauge(std::string_view name) const noexcept {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+std::string StatsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : counters) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : gauges) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& h : histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("min");
+    w.value(h.min);
+    w.key("max");
+    w.value(h.max);
+    w.key("p50");
+    w.value(h.p50);
+    w.key("p99");
+    w.value(h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+StatsSnapshot StatsSnapshot::from_json(std::string_view json) {
+  const JsonValue doc = parse_json(json);
+  if (!doc.is_object()) throw std::runtime_error("stats snapshot: not an object");
+  StatsSnapshot snap;
+  if (const JsonValue* counters = doc.find("counters")) {
+    for (const auto& [name, value] : counters->object) {
+      snap.counters.emplace_back(name,
+                                 static_cast<std::uint64_t>(value.number));
+    }
+  }
+  if (const JsonValue* gauges = doc.find("gauges")) {
+    for (const auto& [name, value] : gauges->object) {
+      snap.gauges.emplace_back(name, value.number);
+    }
+  }
+  if (const JsonValue* histograms = doc.find("histograms")) {
+    for (const auto& [name, value] : histograms->object) {
+      HistogramSummary h;
+      h.name = name;
+      if (const JsonValue* v = value.find("count")) {
+        h.count = static_cast<std::uint64_t>(v->number);
+      }
+      if (const JsonValue* v = value.find("sum")) h.sum = v->number;
+      if (const JsonValue* v = value.find("min")) h.min = v->number;
+      if (const JsonValue* v = value.find("max")) h.max = v->number;
+      if (const JsonValue* v = value.find("p50")) h.p50 = v->number;
+      if (const JsonValue* v = value.find("p99")) h.p99 = v->number;
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  return snap;
+}
+
+void StatsSnapshot::write_table(std::ostream& out) const {
+  std::size_t width = 0;
+  for (const auto& [name, value] : counters) width = std::max(width, name.size());
+  for (const auto& [name, value] : gauges) width = std::max(width, name.size());
+  for (const auto& h : histograms) width = std::max(width, h.name.size());
+
+  const auto pad = [&](const std::string& name) {
+    out << "  " << name << std::string(width - name.size() + 2, ' ');
+  };
+  if (!counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : counters) {
+      pad(name);
+      out << value << "\n";
+    }
+  }
+  if (!gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, value] : gauges) {
+      pad(name);
+      out << value << "\n";
+    }
+  }
+  if (!histograms.empty()) {
+    out << "histograms:\n";
+    for (const auto& h : histograms) {
+      pad(h.name);
+      out << "count=" << h.count << " mean="
+          << (h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count))
+          << " min=" << h.min << " max=" << h.max << " p50<=" << h.p50
+          << " p99<=" << h.p99 << "\n";
+    }
+  }
+}
+
+void StatsRegistry::write_table(std::ostream& out) const {
+  snapshot().write_table(out);
+}
+
+}  // namespace cavenet::obs

@@ -1,0 +1,154 @@
+// StatsRegistry: named counters, gauges and histograms for the simulator.
+//
+// Components register once ("mac.tx.data", "aodv.rreq.sent", ...) and get
+// back a lightweight handle; the hot-path increment is a single add
+// through a pointer. Unbound handles point at a shared discard cell, so
+// instrumented code needs no null checks and costs the same one add when
+// observability is not wired up.
+//
+// Names are hierarchical dotted paths. A snapshot is deterministic
+// (lexicographically sorted) and serializes to JSON and to an aligned
+// text table. Single-threaded by design, like the simulator kernel.
+#ifndef CAVENET_OBS_STATS_REGISTRY_H
+#define CAVENET_OBS_STATS_REGISTRY_H
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cavenet::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter() noexcept = default;
+
+  void inc(std::uint64_t n = 1) noexcept { *cell_ += n; }
+  std::uint64_t value() const noexcept { return *cell_; }
+  /// True when bound to a registry (an unbound counter discards).
+  bool bound() const noexcept { return cell_ != &discard_; }
+
+ private:
+  friend class StatsRegistry;
+  explicit Counter(std::uint64_t* cell) noexcept : cell_(cell) {}
+
+  static std::uint64_t discard_;
+  std::uint64_t* cell_ = &discard_;
+};
+
+/// Last-written value (queue depths, utilizations, run aggregates).
+class Gauge {
+ public:
+  Gauge() noexcept = default;
+
+  void set(double v) noexcept { *cell_ = v; }
+  void add(double v) noexcept { *cell_ += v; }
+  double value() const noexcept { return *cell_; }
+  bool bound() const noexcept { return cell_ != &discard_; }
+
+ private:
+  friend class StatsRegistry;
+  explicit Gauge(double* cell) noexcept : cell_(cell) {}
+
+  static double discard_;
+  double* cell_ = &discard_;
+};
+
+/// Power-of-two-bucketed value distribution (delays, sizes, durations).
+struct HistogramData {
+  /// buckets[i] counts observations with value <= 2^(i - kZeroBucket);
+  /// bucket 0 additionally holds everything below the smallest bound.
+  static constexpr int kBucketCount = 64;
+  static constexpr int kZeroBucket = 32;
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kBucketCount> buckets{};
+
+  void observe(double v) noexcept;
+  double mean() const noexcept { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  /// Upper bucket bound containing quantile `q` in [0,1]; 0 when empty.
+  double quantile_bound(double q) const noexcept;
+};
+
+class Histogram {
+ public:
+  Histogram() noexcept = default;
+
+  void observe(double v) noexcept { data_->observe(v); }
+  const HistogramData& data() const noexcept { return *data_; }
+  bool bound() const noexcept { return data_ != &discard_; }
+
+ private:
+  friend class StatsRegistry;
+  explicit Histogram(HistogramData* data) noexcept : data_(data) {}
+
+  static HistogramData discard_;
+  HistogramData* data_ = &discard_;
+};
+
+/// Point-in-time copy of a registry, detached from the live cells.
+struct StatsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< sorted
+  std::vector<std::pair<std::string, double>> gauges;           ///< sorted
+
+  struct HistogramSummary {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;  ///< bucket-bound approximations
+    double p99 = 0.0;
+  };
+  std::vector<HistogramSummary> histograms;  ///< sorted
+
+  std::uint64_t counter(std::string_view name) const noexcept;
+  double gauge(std::string_view name) const noexcept;
+
+  std::string to_json() const;
+  /// Inverse of to_json (histogram buckets are not restored, summaries
+  /// are). Throws std::runtime_error on malformed input.
+  static StatsSnapshot from_json(std::string_view json);
+
+  /// Aligned "name value" table grouped by top-level prefix.
+  void write_table(std::ostream& out) const;
+};
+
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  /// Returns a handle to the named metric, creating it at zero on first
+  /// use. Handles stay valid for the registry's lifetime; the same name
+  /// always maps to the same cell, so components on different nodes
+  /// naturally aggregate by sharing a name.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  StatsSnapshot snapshot() const;
+  void write_table(std::ostream& out) const;
+
+ private:
+  // std::map: node-based, so cell addresses are stable across inserts.
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramData, std::less<>> histograms_;
+};
+
+}  // namespace cavenet::obs
+
+#endif  // CAVENET_OBS_STATS_REGISTRY_H

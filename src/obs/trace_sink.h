@@ -1,0 +1,94 @@
+// Structured event tracing.
+//
+// The simulation kernel and the packet log emit TraceEvents into a
+// TraceSink. Two sinks ship with the library: ChromeTraceWriter renders
+// the Chrome trace_event JSON format (load in chrome://tracing or
+// https://ui.perfetto.dev), and RingBufferSink keeps the last N events in
+// bounded memory so multi-hour runs can trace forever and dump the tail
+// on demand.
+//
+// Event name/category fields are std::string_views and must outlive the
+// sink: pass string literals or obs::intern()ed strings.
+#ifndef CAVENET_OBS_TRACE_SINK_H
+#define CAVENET_OBS_TRACE_SINK_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace cavenet::obs {
+
+struct TraceEvent {
+  /// Chrome trace_event phases: instant, counter, complete (duration).
+  enum class Phase : char { kInstant = 'i', kCounter = 'C', kComplete = 'X' };
+
+  SimTime ts;                       ///< simulation time of the event
+  SimTime dur = SimTime::zero();    ///< kComplete only
+  Phase phase = Phase::kInstant;
+  std::string_view name;            ///< e.g. "cbr", "sim.events_per_sec"
+  std::string_view category;        ///< e.g. "MAC", "kernel"
+  std::uint32_t tid = 0;            ///< rendered as the track id (node id)
+  double value = 0.0;               ///< kCounter payload
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+};
+
+/// Collects events and serializes them as Chrome trace_event JSON:
+/// {"traceEvents":[{"name":...,"ph":"i","ts":...,"pid":0,"tid":...},...]}
+/// with ts/dur in microseconds of simulation time.
+class ChromeTraceWriter final : public TraceSink {
+ public:
+  void emit(const TraceEvent& event) override { events_.push_back(event); }
+
+  std::size_t size() const noexcept { return events_.size(); }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  /// Serializes all collected events.
+  std::string to_json() const;
+  void write(std::ostream& out) const;
+  /// Returns false (and logs) when the file cannot be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Bounded-memory sink: keeps the most recent `capacity` events and
+/// counts how many older ones were overwritten. replay() feeds the
+/// surviving window (oldest first) into another sink, e.g. a
+/// ChromeTraceWriter at the end of a long run.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity);
+
+  void emit(const TraceEvent& event) override;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept;
+  /// Events that were overwritten because the buffer was full.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Oldest-to-newest copy of the surviving window.
+  std::vector<TraceEvent> window() const;
+  void replay(TraceSink& sink) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;      ///< write position once the ring is full
+  bool wrapped_ = false;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cavenet::obs
+
+#endif  // CAVENET_OBS_TRACE_SINK_H

@@ -30,7 +30,7 @@ void Channel::transmit(const WifiPhy& sender, const netsim::Packet& packet,
     if (power < rx->params().profile.cs_threshold_w) continue;
     const double delay_s = distance(tx_pos, rx_pos) / kSpeedOfLight;
     netsim::Packet copy = packet;
-    sim_->schedule(SimTime::from_seconds(delay_s),
+    sim_->schedule(SimTime::from_seconds(delay_s), "chan",
                    [rx, copy = std::move(copy), power, duration]() mutable {
                      rx->begin_receive(std::move(copy), power, duration);
                    });

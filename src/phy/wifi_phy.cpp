@@ -19,6 +19,15 @@ WifiPhy::WifiPhy(netsim::Simulator& sim, netsim::NodeId id,
   }
 }
 
+void WifiPhy::bind_stats(obs::StatsRegistry& registry) {
+  obs_tx_frames_ = registry.counter("phy.tx.frames");
+  obs_rx_frames_ = registry.counter("phy.rx.frames");
+  obs_collisions_ = registry.counter("phy.drop.collision");
+  obs_captures_ = registry.counter("phy.capture");
+  obs_below_thresh_ = registry.counter("phy.drop.below_threshold");
+  obs_missed_busy_ = registry.counter("phy.drop.busy");
+}
+
 SimTime WifiPhy::frame_duration(std::size_t bytes) const noexcept {
   const double payload_s =
       static_cast<double>(bytes) * 8.0 / params_.data_rate_bps;
@@ -68,9 +77,10 @@ void WifiPhy::transmit(netsim::Packet packet) {
   const SimTime duration = frame_duration(packet.size_bytes());
   tx_until_ = sim_->now() + duration;
   ++stats_.frames_sent;
+  obs_tx_frames_.inc();
   stats_.tx_airtime += duration;
   channel_->transmit(*this, packet, duration, params_.profile.tx_power_w);
-  sim_->schedule(duration, [this] { update_cca(); });
+  sim_->schedule(duration, "phy", [this] { update_cca(); });
   update_cca();
 }
 
@@ -81,28 +91,34 @@ void WifiPhy::begin_receive(netsim::Packet packet, double rx_power_w,
   }
   const SimTime end = sim_->now() + duration;
   signals_.push_back({rx_power_w, end});
-  sim_->schedule(duration, [this] { update_cca(); });
+  sim_->schedule(duration, "phy", [this] { update_cca(); });
 
   const bool decodable = rx_power_w >= params_.profile.rx_threshold_w;
   if (transmitting()) {
-    if (decodable) ++stats_.missed_while_busy;
+    if (decodable) {
+      ++stats_.missed_while_busy;
+      obs_missed_busy_.inc();
+    }
   } else if (current_rx_) {
     // Overlap with the frame being received: capture or collision.
     if (current_rx_->power_w >=
         params_.profile.capture_ratio * rx_power_w) {
       ++stats_.captures;  // current frame survives, newcomer is noise
+      obs_captures_.inc();
     } else {
       // Within the capture window (or newcomer stronger): the locked frame
       // is corrupted; the radio stays locked until its end (ns-2 semantics:
       // the newcomer is not received either).
       current_rx_->corrupted = true;
       ++stats_.collisions;
+      obs_collisions_.inc();
     }
   } else if (decodable) {
     current_rx_ = Reception{std::move(packet), rx_power_w, end, false};
-    sim_->schedule(duration, [this] { end_receive(); });
+    sim_->schedule(duration, "phy", [this] { end_receive(); });
   } else {
     ++stats_.below_rx_threshold;
+    obs_below_thresh_.inc();
   }
   update_cca();
 }
@@ -119,6 +135,7 @@ void WifiPhy::end_receive() {
     return;
   }
   ++stats_.frames_received;
+  obs_rx_frames_.inc();
   if (receive_cb_) receive_cb_(std::move(rx.packet), rx.power_w);
 }
 

@@ -12,6 +12,7 @@
 #include "netsim/mobility.h"
 #include "netsim/packet.h"
 #include "netsim/simulator.h"
+#include "obs/stats_registry.h"
 #include "phy/propagation.h"
 #include "util/sim_time.h"
 
@@ -85,6 +86,9 @@ class WifiPhy {
 
   const PhyStats& stats() const noexcept { return stats_; }
 
+  /// Binds this PHY's counters into a stats registry under "phy.*".
+  void bind_stats(obs::StatsRegistry& registry);
+
  private:
   friend class Channel;
   void set_channel(Channel* channel) noexcept { channel_ = channel; }
@@ -120,6 +124,13 @@ class WifiPhy {
   RxErrorCallback rx_error_cb_;
   CcaCallback cca_cb_;
   PhyStats stats_;
+
+  obs::Counter obs_tx_frames_;       ///< phy.tx.frames
+  obs::Counter obs_rx_frames_;       ///< phy.rx.frames
+  obs::Counter obs_collisions_;      ///< phy.drop.collision
+  obs::Counter obs_captures_;        ///< phy.capture
+  obs::Counter obs_below_thresh_;    ///< phy.drop.below_threshold
+  obs::Counter obs_missed_busy_;     ///< phy.drop.busy
 };
 
 }  // namespace cavenet::phy

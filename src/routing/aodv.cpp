@@ -17,7 +17,7 @@ AodvProtocol::AodvProtocol(netsim::Simulator& sim, netsim::LinkLayer& link,
       buffer_(params.buffer_per_destination) {}
 
 void AodvProtocol::start() {
-  sim_->schedule(jitter(), [this] { hello_timer(); });
+  sim_->schedule(jitter(), "aodv", [this] { hello_timer(); });
 }
 
 void AodvProtocol::send(Packet packet, NodeId destination) {
@@ -80,7 +80,7 @@ void AodvProtocol::send_rreq(NodeId dst) {
   send_control(std::move(packet), kBroadcast);
 
   d.timeout.cancel();
-  d.timeout = sim_->schedule(params_.ring_traversal_time(d.ttl),
+  d.timeout = sim_->schedule(params_.ring_traversal_time(d.ttl), "aodv",
                              [this, dst] { discovery_timeout(dst); });
 }
 
@@ -129,7 +129,7 @@ void AodvProtocol::hello_timer() {
   std::erase_if(rreq_seen_,
                 [now = sim_->now()](const auto& kv) { return kv.second <= now; });
 
-  sim_->schedule(params_.hello_interval + jitter(10),
+  sim_->schedule(params_.hello_interval + jitter(10), "aodv",
                  [this] { hello_timer(); });
 }
 

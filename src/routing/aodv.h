@@ -48,7 +48,7 @@ struct RreqHeader final : netsim::HeaderBase<RreqHeader> {
   std::uint8_t ttl = 0;
 
   std::size_t size_bytes() const override { return 24; }
-  std::string name() const override { return "aodv-rreq"; }
+  std::string_view name() const override { return "aodv-rreq"; }
 };
 
 struct RrepHeader final : netsim::HeaderBase<RrepHeader> {
@@ -59,7 +59,7 @@ struct RrepHeader final : netsim::HeaderBase<RrepHeader> {
   SimTime lifetime = SimTime::zero();
 
   std::size_t size_bytes() const override { return 20; }
-  std::string name() const override { return "aodv-rrep"; }
+  std::string_view name() const override { return "aodv-rrep"; }
 };
 
 struct RerrHeader final : netsim::HeaderBase<RerrHeader> {
@@ -72,7 +72,7 @@ struct RerrHeader final : netsim::HeaderBase<RerrHeader> {
   std::size_t size_bytes() const override {
     return 4 + 8 * unreachable.size();
   }
-  std::string name() const override { return "aodv-rerr"; }
+  std::string_view name() const override { return "aodv-rerr"; }
 };
 
 /// Hello: RFC models it as a TTL-1 RREP; a dedicated header keeps parsing
@@ -82,7 +82,7 @@ struct HelloHeader final : netsim::HeaderBase<HelloHeader> {
   std::uint32_t seqno = 0;
 
   std::size_t size_bytes() const override { return 20; }
-  std::string name() const override { return "aodv-hello"; }
+  std::string_view name() const override { return "aodv-hello"; }
 };
 
 class AodvProtocol final : public RoutingProtocol {

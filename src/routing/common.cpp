@@ -1,5 +1,9 @@
 #include "routing/common.h"
 
+#include <algorithm>
+
+#include "obs/intern.h"
+
 namespace cavenet::routing {
 
 const RouteEntry* RoutingTable::lookup(netsim::NodeId dst, SimTime now) const {
@@ -69,10 +73,32 @@ RoutingProtocol::RoutingProtocol(netsim::Simulator& sim,
       });
 }
 
+void RoutingProtocol::bind_stats(obs::StatsRegistry& registry) {
+  registry_ = &registry;
+  obs_ctl_tx_ = registry.counter("rtr.tx.control");
+  obs_fwd_ = registry.counter("rtr.fwd.data");
+  obs_delivered_ = registry.counter("agt.rx.delivered");
+  obs_ctl_by_type_.clear();
+}
+
+obs::Counter& RoutingProtocol::control_type_counter(
+    std::string_view header_name) {
+  const std::string_view key = obs::intern(header_name);
+  const auto it = obs_ctl_by_type_.find(key);
+  if (it != obs_ctl_by_type_.end()) return it->second;
+  // "aodv-rreq" -> "aodv.rreq.sent"
+  std::string metric(key);
+  std::replace(metric.begin(), metric.end(), '-', '.');
+  metric += ".sent";
+  return obs_ctl_by_type_.emplace(key, registry_->counter(metric))
+      .first->second;
+}
+
 void RoutingProtocol::deliver(netsim::Packet packet, netsim::NodeId source,
                               std::uint32_t hops) {
   ++stats_.data_delivered;
   stats_.delivered_hops_sum += hops;
+  obs_delivered_.inc();
   if (log_ != nullptr) {
     log_->record(sim_->now(), netsim::PacketLog::Event::kReceive,
                  netsim::PacketLog::Layer::kAgent, address(), packet.uid(),
@@ -84,6 +110,8 @@ void RoutingProtocol::deliver(netsim::Packet packet, netsim::NodeId source,
 void RoutingProtocol::send_control(netsim::Packet packet, netsim::NodeId dest) {
   ++stats_.control_packets_sent;
   stats_.control_bytes_sent += packet.size_bytes();
+  obs_ctl_tx_.inc();
+  if (registry_ != nullptr) control_type_counter(packet.top_name()).inc();
   if (log_ != nullptr) {
     log_->record(sim_->now(), netsim::PacketLog::Event::kSend,
                  netsim::PacketLog::Layer::kRouter, address(), packet.uid(),
@@ -96,6 +124,7 @@ void RoutingProtocol::send_control(netsim::Packet packet, netsim::NodeId dest) {
 
 void RoutingProtocol::send_data_link(netsim::Packet packet,
                                      netsim::NodeId next_hop) {
+  obs_fwd_.inc();
   if (log_ != nullptr) {
     log_->record(sim_->now(), netsim::PacketLog::Event::kForward,
                  netsim::PacketLog::Layer::kRouter, address(), packet.uid(),

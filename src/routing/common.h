@@ -13,6 +13,7 @@
 #include "netsim/layers.h"
 #include "netsim/packet_log.h"
 #include "netsim/simulator.h"
+#include "obs/stats_registry.h"
 #include "util/rng.h"
 
 namespace cavenet::routing {
@@ -26,7 +27,7 @@ struct DataHeader final : netsim::HeaderBase<DataHeader> {
   std::uint8_t hops = 0;
 
   std::size_t size_bytes() const override { return 20; }
-  std::string name() const override { return "data"; }
+  std::string_view name() const override { return "data"; }
 };
 
 struct RouteEntry {
@@ -122,6 +123,11 @@ class RoutingProtocol : public netsim::NetworkLayer {
   /// Attaches an (optional, non-owning) packet event log.
   void set_packet_log(netsim::PacketLog* log) noexcept { log_ = log; }
 
+  /// Binds routing counters into a registry: "rtr.*" and "agt.rx.delivered"
+  /// shared across protocols, plus per-message-type control counters
+  /// derived from the header name ("aodv-rreq" -> "aodv.rreq.sent").
+  void bind_stats(obs::StatsRegistry& registry);
+
  protected:
   /// Hands a packet to the application layer. `hops` is the traversed
   /// hop count from the popped data header (for path-length statistics).
@@ -146,6 +152,16 @@ class RoutingProtocol : public netsim::NetworkLayer {
   DeliverCallback deliver_cb_;
   netsim::PacketLog* log_ = nullptr;
   RoutingStats stats_;
+
+ private:
+  obs::Counter& control_type_counter(std::string_view header_name);
+
+  obs::StatsRegistry* registry_ = nullptr;
+  obs::Counter obs_ctl_tx_;        ///< rtr.tx.control == count(kSend, kRouter)
+  obs::Counter obs_fwd_;           ///< rtr.fwd.data == count(kForward, kRouter)
+  obs::Counter obs_delivered_;     ///< agt.rx.delivered == count(kReceive, kAgent)
+  /// Per-control-type counters keyed by interned header name.
+  std::map<std::string_view, obs::Counter> obs_ctl_by_type_;
 };
 
 }  // namespace cavenet::routing

@@ -13,7 +13,7 @@ DsdvProtocol::DsdvProtocol(netsim::Simulator& sim, netsim::LinkLayer& link,
     : RoutingProtocol(sim, link, "dsdv", 0x64736476), params_(params) {}
 
 void DsdvProtocol::start() {
-  sim_->schedule(jitter(), [this] { periodic_update(); });
+  sim_->schedule(jitter(), "dsdv", [this] { periodic_update(); });
 }
 
 void DsdvProtocol::send(Packet packet, NodeId destination) {
@@ -110,7 +110,7 @@ void DsdvProtocol::periodic_update() {
   for (const NodeId neighbor : lost) handle_link_failure(neighbor);
 
   broadcast_table(/*full_dump=*/true);
-  sim_->schedule(params_.update_interval + jitter(10),
+  sim_->schedule(params_.update_interval + jitter(10), "dsdv",
                  [this] { periodic_update(); });
 }
 
@@ -148,7 +148,7 @@ void DsdvProtocol::schedule_triggered_update() {
   const SimTime earliest = last_update_sent_ + params_.triggered_update_min_gap;
   const SimTime delay =
       earliest > sim_->now() ? earliest - sim_->now() : SimTime::zero();
-  sim_->schedule(delay, [this] {
+  sim_->schedule(delay, "dsdv", [this] {
     triggered_pending_ = false;
     broadcast_table(/*full_dump=*/false);
   });

@@ -40,7 +40,7 @@ struct UpdateHeader final : netsim::HeaderBase<UpdateHeader> {
   std::vector<Entry> entries;
 
   std::size_t size_bytes() const override { return 8 + 12 * entries.size(); }
-  std::string name() const override { return "dsdv-update"; }
+  std::string_view name() const override { return "dsdv-update"; }
 };
 
 class DsdvProtocol final : public RoutingProtocol {

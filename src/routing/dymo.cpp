@@ -15,7 +15,7 @@ DymoProtocol::DymoProtocol(netsim::Simulator& sim, netsim::LinkLayer& link,
       buffer_(params.buffer_per_destination) {}
 
 void DymoProtocol::start() {
-  sim_->schedule(jitter(), [this] { hello_timer(); });
+  sim_->schedule(jitter(), "dymo", [this] { hello_timer(); });
 }
 
 void DymoProtocol::send(Packet packet, NodeId destination) {
@@ -72,7 +72,8 @@ void DymoProtocol::send_rreq(NodeId dst) {
   const SimTime wait =
       params_.rreq_wait_time * (std::int64_t{1} << d.tries);
   d.timeout.cancel();
-  d.timeout = sim_->schedule(wait, [this, dst] { discovery_timeout(dst); });
+  d.timeout =
+      sim_->schedule(wait, "dymo", [this, dst] { discovery_timeout(dst); });
 }
 
 void DymoProtocol::discovery_timeout(NodeId dst) {
@@ -310,7 +311,7 @@ void DymoProtocol::hello_timer() {
   }
   for (const NodeId neighbor : lost) handle_link_failure(neighbor);
 
-  sim_->schedule(params_.hello_interval + jitter(10),
+  sim_->schedule(params_.hello_interval + jitter(10), "dymo",
                  [this] { hello_timer(); });
 }
 

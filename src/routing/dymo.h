@@ -60,14 +60,14 @@ struct RreqHeader final : RoutingMessageHeader {
   std::unique_ptr<netsim::Header> clone() const override {
     return std::make_unique<RreqHeader>(*this);
   }
-  std::string name() const override { return "dymo-rreq"; }
+  std::string_view name() const override { return "dymo-rreq"; }
 };
 
 struct RrepHeader final : RoutingMessageHeader {
   std::unique_ptr<netsim::Header> clone() const override {
     return std::make_unique<RrepHeader>(*this);
   }
-  std::string name() const override { return "dymo-rrep"; }
+  std::string_view name() const override { return "dymo-rrep"; }
 };
 
 struct RerrHeader final : netsim::HeaderBase<RerrHeader> {
@@ -81,7 +81,7 @@ struct RerrHeader final : netsim::HeaderBase<RerrHeader> {
   std::size_t size_bytes() const override {
     return 4 + 8 * unreachable.size();
   }
-  std::string name() const override { return "dymo-rerr"; }
+  std::string_view name() const override { return "dymo-rerr"; }
 };
 
 struct HelloHeader final : netsim::HeaderBase<HelloHeader> {
@@ -89,7 +89,7 @@ struct HelloHeader final : netsim::HeaderBase<HelloHeader> {
   std::uint32_t seqno = 0;
 
   std::size_t size_bytes() const override { return 12; }
-  std::string name() const override { return "dymo-hello"; }
+  std::string_view name() const override { return "dymo-hello"; }
 };
 
 class DymoProtocol final : public RoutingProtocol {

@@ -15,10 +15,11 @@ OlsrProtocol::OlsrProtocol(netsim::Simulator& sim, netsim::LinkLayer& link,
     : RoutingProtocol(sim, link, "olsr", 0x6f6c7372), params_(params) {}
 
 void OlsrProtocol::start() {
-  sim_->schedule(jitter(), [this] { hello_timer(); });
+  sim_->schedule(jitter(), "olsr", [this] { hello_timer(); });
   sim_->schedule(jitter() + SimTime::nanoseconds(params_.tc_interval.ns() / 2),
-                 [this] { tc_timer(); });
-  sim_->schedule(jitter() + SimTime::seconds(1), [this] { hna_timer(); });
+                 "olsr", [this] { tc_timer(); });
+  sim_->schedule(jitter() + SimTime::seconds(1), "olsr",
+                 [this] { hna_timer(); });
 }
 
 void OlsrProtocol::add_local_network(NodeId network) {
@@ -119,7 +120,7 @@ void OlsrProtocol::hello_timer() {
     etx_window_rollover();
   }
   compute_routes();
-  sim_->schedule(params_.hello_interval + jitter(10),
+  sim_->schedule(params_.hello_interval + jitter(10), "olsr",
                  [this] { hello_timer(); });
 }
 
@@ -154,7 +155,8 @@ void OlsrProtocol::tc_timer() {
     packet.push(tc);
     send_control(std::move(packet), kBroadcast);
   }
-  sim_->schedule(params_.tc_interval + jitter(10), [this] { tc_timer(); });
+  sim_->schedule(params_.tc_interval + jitter(10), "olsr",
+                 [this] { tc_timer(); });
 }
 
 void OlsrProtocol::on_link_receive(Packet packet, NodeId from) {
@@ -301,7 +303,8 @@ void OlsrProtocol::hna_timer() {
     packet.push(hna);
     send_control(std::move(packet), kBroadcast);
   }
-  sim_->schedule(params_.hna_interval + jitter(10), [this] { hna_timer(); });
+  sim_->schedule(params_.hna_interval + jitter(10), "olsr",
+                 [this] { hna_timer(); });
 }
 
 void OlsrProtocol::handle_hna(const HnaHeader& hna, NodeId from) {

@@ -55,7 +55,7 @@ struct HelloHeader final : netsim::HeaderBase<HelloHeader> {
   std::size_t size_bytes() const override {
     return 16 + 8 * neighbors.size();
   }
-  std::string name() const override { return "olsr-hello"; }
+  std::string_view name() const override { return "olsr-hello"; }
 };
 
 /// Host and Network Association message: a gateway advertises reachability
@@ -67,7 +67,7 @@ struct HnaHeader final : netsim::HeaderBase<HnaHeader> {
   std::vector<netsim::NodeId> networks;
 
   std::size_t size_bytes() const override { return 12 + 8 * networks.size(); }
-  std::string name() const override { return "olsr-hna"; }
+  std::string_view name() const override { return "olsr-hna"; }
 };
 
 struct TcHeader final : netsim::HeaderBase<TcHeader> {
@@ -84,7 +84,7 @@ struct TcHeader final : netsim::HeaderBase<TcHeader> {
   std::size_t size_bytes() const override {
     return 16 + 8 * advertised.size();
   }
-  std::string name() const override { return "olsr-tc"; }
+  std::string_view name() const override { return "olsr-tc"; }
 };
 
 class OlsrProtocol final : public RoutingProtocol {

@@ -1,0 +1,26 @@
+// Builds a RunManifest from a Table-I scenario run: config parameters,
+// per-sender result metrics, and (when a registry was wired) the final
+// stats snapshot. Scenario drivers and benches call this once per run and
+// write the manifest next to their CSV output.
+#ifndef CAVENET_SCENARIO_RUN_RECORD_H
+#define CAVENET_SCENARIO_RUN_RECORD_H
+
+#include <string>
+#include <vector>
+
+#include "obs/run_manifest.h"
+#include "scenario/table1.h"
+
+namespace cavenet::scenario {
+
+/// Assembles a manifest named `name` for one run_with_trace() outcome.
+/// `wall_duration_s` is the measured wall clock of the run (0 if unknown).
+/// When config.stats is set, its snapshot is embedded.
+obs::RunManifest make_run_manifest(std::string name,
+                                   const TableIConfig& config,
+                                   const std::vector<SenderRunResult>& results,
+                                   double wall_duration_s = 0.0);
+
+}  // namespace cavenet::scenario
+
+#endif  // CAVENET_SCENARIO_RUN_RECORD_H

@@ -96,6 +96,14 @@ std::vector<SenderRunResult> run_with_trace(
   const std::vector<trace::NodePath> paths = trace::compile_paths(mobility);
 
   netsim::Simulator sim(config.seed);
+  if (config.trace_sink != nullptr) sim.set_trace_sink(config.trace_sink);
+  if (config.profiler != nullptr) sim.set_profiler(config.profiler);
+  if (config.heartbeat_s > 0.0) {
+    sim.enable_heartbeat(SimTime::from_seconds(config.heartbeat_s));
+  }
+  if (config.packet_log != nullptr && config.trace_sink != nullptr) {
+    config.packet_log->set_trace_sink(config.trace_sink);
+  }
   phy::Channel channel(sim, make_propagation(config, sim));
 
   mac::MacParams mac_params;
@@ -120,6 +128,11 @@ std::vector<SenderRunResult> run_with_trace(
       node.mac->set_packet_log(config.packet_log);
       node.routing->set_packet_log(config.packet_log);
     }
+    if (config.stats != nullptr) {
+      node.phy->bind_stats(*config.stats);
+      node.mac->bind_stats(*config.stats);
+      node.routing->bind_stats(*config.stats);
+    }
     node.routing->start();
   }
 
@@ -137,9 +150,11 @@ std::vector<SenderRunResult> run_with_trace(
     metrics.push_back(std::make_unique<app::FlowMetrics>());
     sources.push_back(std::make_unique<app::CbrSource>(
         sim, *nodes[sender].routing, cbr, metrics.back().get()));
+    if (config.stats != nullptr) sources.back()->bind_stats(*config.stats);
     sink.track_source(sender, metrics.back().get());
     sources.back()->start();
   }
+  if (config.stats != nullptr) sink.bind_stats(*config.stats);
 
   sim.run_until(SimTime::from_seconds(config.duration_s));
 
@@ -165,6 +180,28 @@ std::vector<SenderRunResult> run_with_trace(
     aggregate.mac_collisions += node.phy->stats().collisions;
     aggregate.channel_utilization +=
         node.phy->stats().tx_airtime.sec() / config.duration_s;
+  }
+
+  if (config.stats != nullptr) {
+    // Run-level readings that no single layer owns.
+    config.stats->gauge("sim.events.dispatched")
+        .set(static_cast<double>(aggregate.events_dispatched));
+    config.stats->gauge("chan.utilization").set(aggregate.channel_utilization);
+    std::uint64_t no_route = 0, ttl = 0, buffer = 0;
+    for (const NodeStack& node : nodes) {
+      const routing::RoutingStats& rs = node.routing->stats();
+      no_route += rs.drops_no_route;
+      ttl += rs.drops_ttl;
+      buffer += rs.drops_buffer;
+    }
+    config.stats->counter("rtr.drop.no_route").inc(no_route);
+    config.stats->counter("rtr.drop.ttl").inc(ttl);
+    config.stats->counter("rtr.drop.buffer").inc(buffer);
+    if (config.packet_log != nullptr) {
+      config.stats->counter("log.entries").inc(config.packet_log->size());
+      config.stats->counter("log.dropped").inc(config.packet_log->dropped());
+    }
+    if (config.profiler != nullptr) config.profiler->publish(*config.stats);
   }
 
   std::vector<SenderRunResult> results;

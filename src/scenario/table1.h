@@ -14,6 +14,9 @@
 #include "app/flow_metrics.h"
 #include "mac/wifi_mac.h"
 #include "netsim/packet_log.h"
+#include "obs/kernel_profiler.h"
+#include "obs/stats_registry.h"
+#include "obs/trace_sink.h"
 #include "phy/wifi_phy.h"
 #include "routing/common.h"
 #include "scenario/protocol.h"
@@ -68,6 +71,19 @@ struct TableIConfig {
   /// Optional (non-owning) packet event log: every node's MAC and routing
   /// layers record send/receive/forward/drop events into it, ns-2 style.
   netsim::PacketLog* packet_log = nullptr;
+
+  // Observability (all optional, non-owning).
+  /// Stats registry every layer of every node publishes counters into
+  /// ("mac.*", "phy.*", "rtr.*", "agt.*"); the runner adds run-level
+  /// gauges ("sim.events.dispatched", "chan.utilization", ...) post-run.
+  obs::StatsRegistry* stats = nullptr;
+  /// Structured trace sink: the kernel heartbeat and the packet log (when
+  /// both are set) emit into it.
+  obs::TraceSink* trace_sink = nullptr;
+  /// Kernel profiler: per-component dispatch counts and handler wall time.
+  obs::KernelProfiler* profiler = nullptr;
+  /// Progress heartbeat period in sim seconds; 0 disables.
+  double heartbeat_s = 0.0;
 };
 
 /// Outcome of one (protocol, sender) run.

@@ -2,11 +2,24 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include <chrono>
 
 namespace cavenet {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+LogLevel initial_level() noexcept {
+  if (const char* env = std::getenv("CAVENET_LOG_LEVEL")) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+    log_line(LogLevel::kWarn, "logging",
+             std::string("unknown CAVENET_LOG_LEVEL \"") + env + "\"");
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 
 constexpr const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -20,7 +33,26 @@ constexpr const char* level_name(LogLevel level) noexcept {
   return "?";
 }
 
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + 32 : a[i];
+    if (ca != b[i]) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (iequals(name, "trace")) return LogLevel::kTrace;
+  if (iequals(name, "debug")) return LogLevel::kDebug;
+  if (iequals(name, "info")) return LogLevel::kInfo;
+  if (iequals(name, "warn") || iequals(name, "warning")) return LogLevel::kWarn;
+  if (iequals(name, "error")) return LogLevel::kError;
+  if (iequals(name, "off") || iequals(name, "none")) return LogLevel::kOff;
+  return std::nullopt;
+}
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
@@ -34,7 +66,19 @@ bool log_enabled(LogLevel level) noexcept {
 
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char stamp[64];
+  std::snprintf(stamp, sizeof stamp, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  std::fprintf(stderr, "%s [%s] %.*s: %.*s\n", stamp, level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
 }

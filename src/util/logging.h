@@ -6,6 +6,7 @@
 #ifndef CAVENET_UTIL_LOGGING_H
 #define CAVENET_UTIL_LOGGING_H
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -14,14 +15,19 @@ namespace cavenet {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Process-wide log level. Defaults to kWarn.
+/// Process-wide log level. Defaults to kWarn, overridable at startup with
+/// the CAVENET_LOG_LEVEL environment variable ("trace".."error", "off").
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
+
+/// Parses a level name ("info", "WARN", ...); nullopt when unrecognized.
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
 
 /// True if `level` messages are currently emitted.
 bool log_enabled(LogLevel level) noexcept;
 
-/// Emits one line to stderr: "[level] component: message".
+/// Emits one line to stderr:
+/// "2026-08-06T12:34:56.789Z [level] component: message".
 void log_line(LogLevel level, std::string_view component,
               std::string_view message);
 

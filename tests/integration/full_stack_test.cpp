@@ -3,6 +3,11 @@
 // shortened Table-I scenario.
 #include <gtest/gtest.h>
 
+#include "netsim/packet_log.h"
+#include "obs/kernel_profiler.h"
+#include "obs/stats_registry.h"
+#include "obs/trace_sink.h"
+#include "scenario/run_record.h"
 #include "scenario/table1.h"
 
 namespace cavenet::scenario {
@@ -87,6 +92,87 @@ TEST(FullStackTest, MacRetriesOccurUnderMobility) {
   const auto result = run_table1(config);
   // A moving multi-hop path cannot be loss-free at the MAC layer.
   EXPECT_GT(result.mac_retries, 0u);
+}
+
+TEST(FullStackTest, StatsRegistryReconcilesWithPacketLog) {
+  // Registry counters and PacketLog records are fed at the same call
+  // sites, so the two independent observation paths must agree exactly.
+  auto config = base_config();
+  config.protocol = Protocol::kAodv;
+  netsim::PacketLog log;
+  obs::StatsRegistry stats;
+  config.packet_log = &log;
+  config.stats = &stats;
+  const auto result = run_table1(config);
+  ASSERT_GT(result.rx_packets, 0u);
+  ASSERT_EQ(log.dropped(), 0u);  // under the default cap
+
+  using Ev = netsim::PacketLog::Event;
+  using Ly = netsim::PacketLog::Layer;
+  EXPECT_EQ(stats.counter("mac.tx.data").value(),
+            log.count(Ev::kSend, Ly::kMac));
+  EXPECT_EQ(stats.counter("mac.rx.up").value(),
+            log.count(Ev::kReceive, Ly::kMac));
+  EXPECT_EQ(stats.counter("mac.drop.ifq_full").value() +
+                stats.counter("mac.drop.retry_limit").value(),
+            log.count(Ev::kDrop, Ly::kMac));
+  EXPECT_EQ(stats.counter("rtr.tx.control").value(),
+            log.count(Ev::kSend, Ly::kRouter));
+  EXPECT_EQ(stats.counter("rtr.fwd.data").value(),
+            log.count(Ev::kForward, Ly::kRouter));
+  EXPECT_EQ(stats.counter("agt.rx.delivered").value(),
+            log.count(Ev::kReceive, Ly::kAgent));
+
+  // The app layer agrees with the flow metrics...
+  EXPECT_EQ(stats.counter("agt.tx.cbr").value(), result.tx_packets);
+  EXPECT_EQ(stats.counter("agt.rx.sink").value(), result.rx_packets);
+  // ...and per-message-type counters partition the control total.
+  EXPECT_EQ(stats.counter("aodv.hello.sent").value() +
+                stats.counter("aodv.rreq.sent").value() +
+                stats.counter("aodv.rrep.sent").value() +
+                stats.counter("aodv.rerr.sent").value(),
+            stats.counter("rtr.tx.control").value());
+  // The run-level aggregates published post-run match the result struct.
+  EXPECT_EQ(stats.counter("log.entries").value(), log.size());
+  EXPECT_DOUBLE_EQ(stats.gauge("sim.events.dispatched").value(),
+                   static_cast<double>(result.events_dispatched));
+}
+
+TEST(FullStackTest, ObservabilityRunProducesManifestAndTrace) {
+  auto config = base_config();
+  config.protocol = Protocol::kDymo;
+  netsim::PacketLog log;
+  obs::StatsRegistry stats;
+  obs::ChromeTraceWriter trace;
+  obs::KernelProfiler profiler;
+  config.packet_log = &log;
+  config.stats = &stats;
+  config.trace_sink = &trace;
+  config.profiler = &profiler;
+  config.heartbeat_s = 10.0;
+  const auto result = run_table1(config);
+
+  // Profiler saw every dispatched event, attributed to real components.
+  EXPECT_EQ(profiler.total_dispatches(), result.events_dispatched);
+  EXPECT_GT(profiler.components().count("mac"), 0u);
+  EXPECT_GT(profiler.components().count("phy"), 0u);
+  EXPECT_GT(profiler.components().count("dymo"), 0u);
+  EXPECT_GT(profiler.components().count("app.cbr"), 0u);
+
+  // Trace mirrors the packet log (instants) plus heartbeat counters.
+  EXPECT_GE(trace.size(), log.size());
+
+  // The manifest embeds config, results and the stats snapshot.
+  const obs::RunManifest manifest =
+      make_run_manifest("full_stack", config, {result}, 0.5);
+  EXPECT_EQ(manifest.param("protocol"), "DYMO");
+  EXPECT_DOUBLE_EQ(manifest.metric("pdr"), result.pdr);
+  EXPECT_EQ(manifest.stats.counter("mac.tx.data"),
+            stats.counter("mac.tx.data").value());
+  // And round-trips through JSON.
+  const auto parsed = obs::RunManifest::from_json(manifest.to_json());
+  EXPECT_EQ(parsed.stats.counter("mac.tx.data"),
+            stats.counter("mac.tx.data").value());
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include "netsim/packet_log.h"
 
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
+
+#include "obs/trace_sink.h"
 
 namespace cavenet::netsim {
 namespace {
@@ -54,6 +57,50 @@ TEST(PacketLogTest, ClearEmpties) {
   log.record(1_s, PacketLog::Event::kSend, PacketLog::Layer::kMac, 0, 0, "x", 0);
   log.clear();
   EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(PacketLogTest, CapsEntriesAndCountsDropped) {
+  PacketLog log;
+  log.set_max_entries(3);
+  for (int i = 0; i < 5; ++i) {
+    log.record(1_s, PacketLog::Event::kSend, PacketLog::Layer::kMac, 0,
+               static_cast<std::uint64_t>(i), "cbr", 512);
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  // The first three records survive.
+  EXPECT_EQ(log.entries().back().uid, 2u);
+}
+
+TEST(PacketLogTest, InternsTypeNames) {
+  PacketLog log;
+  // Two records with equal content but distinct storage must share the
+  // interned backing string.
+  const std::string first = "aodv-" + std::string("rreq");
+  const std::string second = "aodv-" + std::string("rreq");
+  log.record(1_s, PacketLog::Event::kSend, PacketLog::Layer::kRouter, 0, 1,
+             first, 64);
+  log.record(2_s, PacketLog::Event::kSend, PacketLog::Layer::kRouter, 0, 2,
+             second, 64);
+  EXPECT_EQ(log.entries()[0].type.data(), log.entries()[1].type.data());
+  EXPECT_EQ(log.entries()[0].type, "aodv-rreq");
+}
+
+TEST(PacketLogTest, MirrorsIntoTraceSink) {
+  PacketLog log;
+  obs::ChromeTraceWriter trace;
+  log.set_trace_sink(&trace);
+  log.set_max_entries(1);
+  log.record(1_s, PacketLog::Event::kSend, PacketLog::Layer::kMac, 4, 1,
+             "cbr", 512);
+  // Beyond the cap: dropped from entries() but still traced.
+  log.record(2_s, PacketLog::Event::kSend, PacketLog::Layer::kMac, 4, 2,
+             "cbr", 512);
+  EXPECT_EQ(log.size(), 1u);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0].name, "cbr");
+  EXPECT_EQ(trace.events()[0].category, "MAC");
+  EXPECT_EQ(trace.events()[0].tid, 4u);
 }
 
 }  // namespace

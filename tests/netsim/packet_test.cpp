@@ -10,13 +10,13 @@ namespace {
 struct TestHeaderA final : HeaderBase<TestHeaderA> {
   int value = 0;
   std::size_t size_bytes() const override { return 10; }
-  std::string name() const override { return "test-a"; }
+  std::string_view name() const override { return "test-a"; }
 };
 
 struct TestHeaderB final : HeaderBase<TestHeaderB> {
   double payload = 0.0;
   std::size_t size_bytes() const override { return 4; }
-  std::string name() const override { return "test-b"; }
+  std::string_view name() const override { return "test-b"; }
 };
 
 TEST(PacketTest, PayloadSizeOnly) {

@@ -1,0 +1,85 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/intern.h"
+
+namespace cavenet::obs {
+namespace {
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("x");
+  w.key("list");
+  w.begin_array();
+  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
+  w.end_array();
+  w.key("nested");
+  w.begin_object();
+  w.key("ok");
+  w.value(true);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"name":"x","list":[1,2],"nested":{"ok":true}})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.begin_array();
+  w.value("a\"b\\c\n\t");
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\"a\\\"b\\\\c\\n\\t\"]");
+}
+
+TEST(JsonWriterTest, RawSplicesSubDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("stats");
+  w.raw(R"({"counters":{}})");
+  w.key("after");
+  w.value(std::int64_t{-1});
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"stats":{"counters":{}},"after":-1})");
+}
+
+TEST(JsonParseTest, RoundTripsTypes) {
+  const JsonValue v = parse_json(
+      R"({"s":"hi","n":-2.5,"b":true,"z":null,"a":[1,"x"],"o":{"k":2}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->string, "hi");
+  EXPECT_DOUBLE_EQ(v.find("n")->number, -2.5);
+  EXPECT_TRUE(v.find("b")->boolean);
+  EXPECT_EQ(v.find("z")->kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(v.find("a")->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.find("o")->find("k")->number, 2.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, UnescapesStrings) {
+  const JsonValue v = parse_json(R"(["a\"b\\c\nA"])");
+  ASSERT_EQ(v.array.size(), 1u);
+  EXPECT_EQ(v.array[0].string, "a\"b\\c\nA");
+}
+
+TEST(JsonParseTest, ThrowsOnMalformedInput) {
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse_json("{} trailing"), std::runtime_error);
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+}
+
+TEST(InternTest, SameContentSamePointer) {
+  const std::string_view a = intern("aodv-rreq");
+  const std::string heap = "aodv-" + std::string("rreq");  // distinct storage
+  const std::string_view b = intern(heap);
+  EXPECT_EQ(a.data(), b.data());  // identical backing storage
+  EXPECT_EQ(a, "aodv-rreq");
+  const std::string_view c = intern("aodv-rrep");
+  EXPECT_NE(a.data(), c.data());
+}
+
+}  // namespace
+}  // namespace cavenet::obs

@@ -1,0 +1,101 @@
+#include "obs/trace_sink.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace cavenet::obs {
+namespace {
+
+TraceEvent instant(std::int64_t us, std::string_view name,
+                   std::uint32_t tid = 0) {
+  TraceEvent e;
+  e.ts = SimTime::microseconds(us);
+  e.phase = TraceEvent::Phase::kInstant;
+  e.name = name;
+  e.category = "MAC";
+  e.tid = tid;
+  return e;
+}
+
+TEST(ChromeTraceWriterTest, EmitsValidChromeJson) {
+  ChromeTraceWriter writer;
+  writer.emit(instant(1500, "cbr", 4));
+
+  TraceEvent counter;
+  counter.ts = SimTime::seconds(1);
+  counter.phase = TraceEvent::Phase::kCounter;
+  counter.name = "sim.queue_depth";
+  counter.category = "kernel";
+  counter.value = 12.0;
+  writer.emit(counter);
+
+  TraceEvent complete;
+  complete.ts = SimTime::microseconds(10);
+  complete.dur = SimTime::microseconds(250);
+  complete.phase = TraceEvent::Phase::kComplete;
+  complete.name = "handler";
+  complete.category = "kernel";
+  writer.emit(complete);
+
+  const JsonValue doc = parse_json(writer.to_json());
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 3u);
+
+  const JsonValue& e0 = events->array[0];
+  EXPECT_EQ(e0.find("name")->string, "cbr");
+  EXPECT_EQ(e0.find("ph")->string, "i");
+  EXPECT_DOUBLE_EQ(e0.find("ts")->number, 1500.0);
+  EXPECT_DOUBLE_EQ(e0.find("tid")->number, 4.0);
+
+  const JsonValue& e1 = events->array[1];
+  EXPECT_EQ(e1.find("ph")->string, "C");
+  ASSERT_NE(e1.find("args"), nullptr);
+  EXPECT_DOUBLE_EQ(e1.find("args")->find("value")->number, 12.0);
+
+  const JsonValue& e2 = events->array[2];
+  EXPECT_EQ(e2.find("ph")->string, "X");
+  EXPECT_DOUBLE_EQ(e2.find("dur")->number, 250.0);
+}
+
+TEST(RingBufferSinkTest, KeepsLastNAndCountsDropped) {
+  RingBufferSink ring(3);
+  for (int i = 0; i < 5; ++i) {
+    ring.emit(instant(i, "e"));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const auto window = ring.window();
+  ASSERT_EQ(window.size(), 3u);
+  // Oldest-first: events 2, 3, 4 survive.
+  EXPECT_DOUBLE_EQ(window[0].ts.us(), 2.0);
+  EXPECT_DOUBLE_EQ(window[1].ts.us(), 3.0);
+  EXPECT_DOUBLE_EQ(window[2].ts.us(), 4.0);
+}
+
+TEST(RingBufferSinkTest, ReplayFeedsAnotherSink) {
+  RingBufferSink ring(8);
+  ring.emit(instant(1, "a"));
+  ring.emit(instant(2, "b"));
+  ChromeTraceWriter writer;
+  ring.replay(writer);
+  ASSERT_EQ(writer.size(), 2u);
+  EXPECT_EQ(writer.events()[0].name, "a");
+  EXPECT_EQ(writer.events()[1].name, "b");
+}
+
+TEST(RingBufferSinkTest, ClearResets) {
+  RingBufferSink ring(2);
+  ring.emit(instant(1, "a"));
+  ring.emit(instant(2, "b"));
+  ring.emit(instant(3, "c"));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.window().empty());
+}
+
+}  // namespace
+}  // namespace cavenet::obs

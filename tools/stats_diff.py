@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Diff two CAVENET RunManifest JSON files and flag counter regressions.
+
+Usage:
+    stats_diff.py BASELINE.manifest.json CANDIDATE.manifest.json
+        [--threshold PCT] [--watch PREFIX ...] [--all]
+
+Prints parameter changes, metric deltas, and counter/gauge deltas between
+the two runs. Exits 1 when a *watched* counter regresses by more than
+--threshold percent (default 5%), so the script can gate CI.
+
+"Regression" direction is counter-specific: drop/retry/failure counters
+regress by going *up*, delivery/success counters by going *down*. Anything
+not matched by the heuristics below only changes the report, never the
+exit code, unless listed via --watch.
+"""
+
+import argparse
+import json
+import sys
+
+# Counters where an increase is bad (losses, failures, queue overflow).
+BAD_UP_MARKERS = (".drop.", ".dropped", ".retries", ".rerr.", ".dup")
+# Counters where a decrease is bad (useful work delivered).
+BAD_DOWN_MARKERS = (".rx.delivered", ".rx.sink", ".tx.success")
+
+
+def load_manifest(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"stats_diff: cannot read {path}: {err}")
+    for key in ("name", "stats"):
+        if key not in doc:
+            sys.exit(f"stats_diff: {path} is not a RunManifest (missing '{key}')")
+    return doc
+
+
+def pct_change(old, new):
+    if old == 0:
+        return float("inf") if new != 0 else 0.0
+    return 100.0 * (new - old) / old
+
+
+def fmt_pct(p):
+    if p == float("inf"):
+        return "new"
+    return f"{p:+.1f}%"
+
+
+def diff_maps(old, new):
+    """Yields (key, old_value, new_value) over the union of keys, sorted."""
+    for key in sorted(set(old) | set(new)):
+        yield key, old.get(key, 0), new.get(key, 0)
+
+
+def regression_direction(name):
+    """Returns +1 if an increase regresses, -1 if a decrease does, 0 if
+    the counter carries no quality signal by itself."""
+    if any(m in name for m in BAD_UP_MARKERS):
+        return +1
+    if any(m in name for m in BAD_DOWN_MARKERS):
+        return -1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="regression tolerance in percent (default 5)")
+    parser.add_argument("--watch", action="append", default=[],
+                        metavar="PREFIX",
+                        help="treat any change to counters with this prefix "
+                             "as watched (repeatable)")
+    parser.add_argument("--all", action="store_true",
+                        help="print unchanged entries too")
+    args = parser.parse_args()
+
+    base = load_manifest(args.baseline)
+    cand = load_manifest(args.candidate)
+
+    print(f"baseline : {base['name']}  seed={base.get('seed')}  "
+          f"build={base.get('git_describe', '?')}  {base.get('created_at', '')}")
+    print(f"candidate: {cand['name']}  seed={cand.get('seed')}  "
+          f"build={cand.get('git_describe', '?')}  {cand.get('created_at', '')}")
+
+    changed_params = [(k, o, n)
+                      for k, o, n in diff_maps(base.get("params", {}),
+                                               cand.get("params", {}))
+                      if o != n]
+    if changed_params:
+        print("\nparameter changes (runs are NOT like-for-like):")
+        for key, old, new in changed_params:
+            print(f"  {key:32s} {old!r} -> {new!r}")
+
+    print("\nmetrics:")
+    for key, old, new in diff_maps(base.get("metrics", {}),
+                                   cand.get("metrics", {})):
+        if old == new and not args.all:
+            continue
+        print(f"  {key:32s} {old:>14g} -> {new:<14g} ({fmt_pct(pct_change(old, new))})")
+
+    regressions = []
+    for section in ("counters", "gauges"):
+        old_map = base["stats"].get(section, {})
+        new_map = cand["stats"].get(section, {})
+        rows = [(k, o, n) for k, o, n in diff_maps(old_map, new_map)
+                if args.all or o != n]
+        if rows:
+            print(f"\n{section}:")
+        for key, old, new in rows:
+            change = pct_change(old, new)
+            direction = regression_direction(key)
+            watched = any(key.startswith(p) for p in args.watch)
+            regressed = False
+            if section == "counters":
+                if watched and old != new and abs(change) > args.threshold:
+                    regressed = True
+                elif direction > 0 and change > args.threshold:
+                    regressed = True
+                elif direction < 0 and change < -args.threshold:
+                    regressed = True
+            flag = "  REGRESSION" if regressed else ""
+            print(f"  {key:32s} {old:>14g} -> {new:<14g} "
+                  f"({fmt_pct(change)}){flag}")
+            if regressed:
+                regressions.append((key, old, new, change))
+
+    if regressions:
+        print(f"\n{len(regressions)} counter regression(s) beyond "
+              f"{args.threshold}%:")
+        for key, old, new, change in regressions:
+            print(f"  {key}: {old:g} -> {new:g} ({fmt_pct(change)})")
+        return 1
+    print("\nno counter regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
