@@ -2,15 +2,21 @@
 // vs straight-line lane layout. Same CA dynamics, same traffic; only the
 // geometry mapping changes. On the line, the wrap-around teleports nodes
 // 3000 m, breaking head/tail connectivity and any route crossing the seam.
+//
+// --jobs N fans the per-sender runs across N ensemble workers; the table
+// is byte-identical for every N.
 #include <cstdio>
 #include <iostream>
 
+#include "runner/ensemble.h"
 #include "scenario/table1.h"
 #include "util/table_writer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cavenet;
   using namespace cavenet::scenario;
+
+  const int jobs = cavenet::runner::parse_jobs_flag(argc, argv);
 
   std::cout << "Ablation: circular (improved CAVENET) vs straight-line "
                "(first version) layout, AODV, senders 1..8\n\n";
@@ -20,9 +26,9 @@ int main() {
   config.seed = 3;
 
   config.circular_layout = true;
-  const auto circle = run_all_senders(config, 1, 8);
+  const auto circle = run_all_senders(config, 1, 8, jobs);
   config.circular_layout = false;
-  const auto line = run_all_senders(config, 1, 8);
+  const auto line = run_all_senders(config, 1, 8, jobs);
 
   TableWriter table({"sender", "PDR circle", "PDR line", "delta"});
   double circle_mean = 0.0, line_mean = 0.0;

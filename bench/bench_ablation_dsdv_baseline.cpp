@@ -1,15 +1,21 @@
 // Extension bench: DSDV as a fourth protocol in the Table-I comparison.
 // AODV is "an improvement of DSDV to on-demand scheme" (paper III-B2);
 // this quantifies what the on-demand change buys under VANET mobility.
+//
+// --jobs N fans the per-sender runs across N ensemble workers; the table
+// is byte-identical for every N.
 #include <cstdio>
 #include <iostream>
 
+#include "runner/ensemble.h"
 #include "scenario/table1.h"
 #include "util/table_writer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cavenet;
   using namespace cavenet::scenario;
+
+  const int jobs = cavenet::runner::parse_jobs_flag(argc, argv);
 
   std::cout << "Extension: DSDV baseline vs the paper's three protocols, "
                "Table-I scenario, senders 1..8\n\n";
@@ -22,7 +28,7 @@ int main() {
   for (const Protocol protocol : {Protocol::kAodv, Protocol::kOlsr,
                                   Protocol::kDymo, Protocol::kDsdv}) {
     config.protocol = protocol;
-    const auto results = run_all_senders(config, 1, 8);
+    const auto results = run_all_senders(config, 1, 8, jobs);
     double pdr = 0.0, delay = 0.0;
     std::uint64_t bytes = 0, packets = 0;
     for (const auto& r : results) {

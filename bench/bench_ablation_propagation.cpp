@@ -1,13 +1,17 @@
 // Ablation 5 (DESIGN.md) / paper future work [18, 19]: radio propagation
 // model sensitivity — two-ray ground (Table I) vs free space vs log-normal
 // shadowing.
+//
+// --jobs N fans the (model, protocol) replications across N ensemble
+// workers; the table is byte-identical for every N.
 #include <cstdio>
 #include <iostream>
 
+#include "runner/ensemble.h"
 #include "scenario/table1.h"
 #include "util/table_writer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cavenet;
   using namespace cavenet::scenario;
 
@@ -24,21 +28,30 @@ int main() {
       {"shadowing (beta=2.8, sigma=4dB)", Propagation::kShadowing},
       {"two-ray + Rayleigh fading", Propagation::kRayleigh},
   };
+  const Protocol protocols[] = {Protocol::kAodv, Protocol::kDymo};
+
+  runner::EnsembleOptions options;
+  options.jobs = runner::parse_jobs_flag(argc, argv);
+  runner::EnsembleRunner pool(options);
+  const auto results = pool.map<SenderRunResult>(
+      std::size(cases) * std::size(protocols),
+      [&cases, &protocols](runner::ReplicationContext& ctx) {
+        TableIConfig config;
+        config.protocol = protocols[ctx.index % std::size(protocols)];
+        config.sender = 4;
+        config.seed = 3;
+        config.propagation = cases[ctx.index / std::size(protocols)].propagation;
+        return run_table1(config);
+      });
 
   TableWriter table({"model", "protocol", "PDR", "mean delay [s]",
                      "MAC retries"});
-  for (const Case& c : cases) {
-    for (const Protocol protocol : {Protocol::kAodv, Protocol::kDymo}) {
-      TableIConfig config;
-      config.protocol = protocol;
-      config.sender = 4;
-      config.seed = 3;
-      config.propagation = c.propagation;
-      const auto r = run_table1(config);
-      table.add_row({std::string(c.name), std::string(to_string(protocol)),
-                     r.pdr, r.mean_delay_s,
-                     static_cast<std::int64_t>(r.mac_retries)});
-    }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SenderRunResult& r = results[i];
+    table.add_row({std::string(cases[i / std::size(protocols)].name),
+                   std::string(to_string(protocols[i % std::size(protocols)])),
+                   r.pdr, r.mean_delay_s,
+                   static_cast<std::int64_t>(r.mac_retries)});
   }
   table.print(std::cout);
   std::cout << "\nExpected: free space extends range (gentler d^-2 decay "

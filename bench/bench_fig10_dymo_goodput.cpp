@@ -3,9 +3,14 @@
 // Expected shape: sustained goodput near the CBR rate with quick route
 // acquisition (paper: DYMO's route searching time is almost as low as
 // OLSR's, while its goodput matches AODV's).
+//
+// --jobs N fans the 8 per-sender runs across N ensemble workers; the CSV
+// and manifest are byte-identical for every N.
 #include "goodput_surface.h"
+#include "runner/ensemble.h"
 
-int main() {
+int main(int argc, char** argv) {
   return cavenet::bench::run_goodput_surface(
-      cavenet::scenario::Protocol::kDymo, "Fig. 10");
+      cavenet::scenario::Protocol::kDymo, "Fig. 10",
+      cavenet::runner::parse_jobs_flag(argc, argv));
 }

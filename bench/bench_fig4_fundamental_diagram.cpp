@@ -6,13 +6,17 @@
 // Expected shape: both curves rise linearly in the free-flow regime, peak
 // near the critical density (rho* = 1/6 for p = 0), then decay as jams
 // dominate; the stochastic curve lies strictly below the deterministic one.
+//
+// --jobs N fans the 21 x 20 (density, trial) replications across N
+// ensemble workers; the CSV is byte-identical for every N.
 #include <cstdio>
 #include <iostream>
 
 #include "core/fundamental_diagram.h"
+#include "runner/ensemble.h"
 #include "util/table_writer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cavenet;
   using namespace cavenet::ca;
 
@@ -26,6 +30,7 @@ int main() {
   options.trials = 20;
   options.warmup = 200;
   options.seed = 4;
+  options.jobs = cavenet::runner::parse_jobs_flag(argc, argv);
 
   options.params.slowdown_p = 0.0;
   const auto deterministic = fundamental_diagram(options);

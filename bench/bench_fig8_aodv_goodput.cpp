@@ -3,9 +3,14 @@
 // Expected shape (paper Section IV-C): bursty goodput spikes reaching ~10x
 // the CBR rate — packets accumulate during route discovery back-off and
 // are flushed together when the route appears.
+//
+// --jobs N fans the 8 per-sender runs across N ensemble workers; the CSV
+// and manifest are byte-identical for every N.
 #include "goodput_surface.h"
+#include "runner/ensemble.h"
 
-int main() {
+int main(int argc, char** argv) {
   return cavenet::bench::run_goodput_surface(
-      cavenet::scenario::Protocol::kAodv, "Fig. 8");
+      cavenet::scenario::Protocol::kAodv, "Fig. 8",
+      cavenet::runner::parse_jobs_flag(argc, argv));
 }

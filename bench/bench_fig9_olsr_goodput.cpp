@@ -4,9 +4,14 @@
 // protocols (paper: "reactive protocols (AODV and DYMO) have better
 // goodput than OLSR"), with gaps where the proactive tables lag behind
 // the topology.
+//
+// --jobs N fans the 8 per-sender runs across N ensemble workers; the CSV
+// and manifest are byte-identical for every N.
 #include "goodput_surface.h"
+#include "runner/ensemble.h"
 
-int main() {
+int main(int argc, char** argv) {
   return cavenet::bench::run_goodput_surface(
-      cavenet::scenario::Protocol::kOlsr, "Fig. 9");
+      cavenet::scenario::Protocol::kOlsr, "Fig. 9",
+      cavenet::runner::parse_jobs_flag(argc, argv));
 }

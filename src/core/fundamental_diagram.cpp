@@ -5,39 +5,61 @@
 
 #include "analysis/stats.h"
 #include "core/nas_lane.h"
+#include "runner/ensemble.h"
 
 namespace cavenet::ca {
 
 std::vector<FundamentalDiagramPoint> fundamental_diagram(
     const FundamentalDiagramOptions& options) {
   options.params.validate();
-  std::vector<FundamentalDiagramPoint> out;
-  out.reserve(options.densities.size());
+  const std::size_t densities = options.densities.size();
+  const auto trials = static_cast<std::size_t>(options.trials);
 
-  for (std::size_t d = 0; d < options.densities.size(); ++d) {
-    const double rho = options.densities[d];
-    const auto n = static_cast<std::int64_t>(std::llround(
-        rho * static_cast<double>(options.params.lane_length)));
+  // One replication per (density, trial) pair, fanned out over the
+  // ensemble pool. The per-trial RNG stream is keyed on (seed, density
+  // index, trial) exactly as the serial loop always was, so the sweep is
+  // reproducible and independent of worker count and schedule.
+  struct TrialMeans {
+    double flow = 0.0;
+    double velocity = 0.0;
+  };
+  runner::EnsembleOptions pool_options;
+  pool_options.jobs = options.jobs;
+  pool_options.master_seed = options.seed;
+  runner::EnsembleRunner pool(pool_options);
+  const std::vector<TrialMeans> means = pool.map<TrialMeans>(
+      densities * trials, [&options, trials](runner::ReplicationContext& ctx) {
+        const std::size_t d = ctx.index / trials;
+        const std::size_t trial = ctx.index % trials;
+        const double rho = options.densities[d];
+        const auto n = static_cast<std::int64_t>(std::llround(
+            rho * static_cast<double>(options.params.lane_length)));
+        Rng rng(options.seed, (static_cast<std::uint64_t>(d) << 32) |
+                                  static_cast<std::uint64_t>(trial));
+        NasLane lane(options.params, std::max<std::int64_t>(n, 0),
+                     InitialPlacement::kRandom, std::move(rng));
+        lane.run(options.warmup);
+        analysis::RunningStats flow_over_time;
+        analysis::RunningStats velocity_over_time;
+        for (std::int64_t it = 0; it < options.iterations; ++it) {
+          lane.step();
+          flow_over_time.add(lane.flow());
+          velocity_over_time.add(lane.average_velocity());
+        }
+        return TrialMeans{flow_over_time.mean(), velocity_over_time.mean()};
+      });
+
+  std::vector<FundamentalDiagramPoint> out;
+  out.reserve(densities);
+  for (std::size_t d = 0; d < densities; ++d) {
     analysis::RunningStats flow_over_trials;
     analysis::RunningStats velocity_over_trials;
-    for (std::int64_t trial = 0; trial < options.trials; ++trial) {
-      Rng rng(options.seed, (static_cast<std::uint64_t>(d) << 32) |
-                                static_cast<std::uint64_t>(trial));
-      NasLane lane(options.params, std::max<std::int64_t>(n, 0),
-                   InitialPlacement::kRandom, rng);
-      lane.run(options.warmup);
-      analysis::RunningStats flow_over_time;
-      analysis::RunningStats velocity_over_time;
-      for (std::int64_t it = 0; it < options.iterations; ++it) {
-        lane.step();
-        flow_over_time.add(lane.flow());
-        velocity_over_time.add(lane.average_velocity());
-      }
-      flow_over_trials.add(flow_over_time.mean());
-      velocity_over_trials.add(velocity_over_time.mean());
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      flow_over_trials.add(means[d * trials + trial].flow);
+      velocity_over_trials.add(means[d * trials + trial].velocity);
     }
     FundamentalDiagramPoint point;
-    point.density = rho;
+    point.density = options.densities[d];
     point.flow = flow_over_trials.mean();
     point.flow_stddev = flow_over_trials.stddev();
     point.mean_velocity = velocity_over_trials.mean();

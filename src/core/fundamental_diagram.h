@@ -17,6 +17,11 @@ struct FundamentalDiagramOptions {
   std::int64_t trials = 20;         ///< Monte-Carlo trials per point (paper: 20)
   std::int64_t warmup = 0;          ///< steps discarded before averaging
   std::uint64_t seed = 1;
+  /// Worker threads for the (density x trial) ensemble; <= 0 means one
+  /// per hardware thread. Results are identical for every jobs value:
+  /// each trial's RNG stream is keyed on (seed, density index, trial)
+  /// and trial means are folded in trial order.
+  int jobs = 1;
 };
 
 struct FundamentalDiagramPoint {

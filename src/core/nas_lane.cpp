@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace cavenet::ca {
 
 NasLane::NasLane(NasParams params, std::int64_t n_vehicles,
                  InitialPlacement placement, Rng rng)
-    : params_(params), rng_(rng) {
+    : params_(params), rng_(std::move(rng)) {
   params_.validate();
   if (n_vehicles < 0 || n_vehicles > params_.lane_length) {
     throw std::invalid_argument("vehicle count must be in [0, lane_length]");

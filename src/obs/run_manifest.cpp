@@ -87,6 +87,20 @@ double RunManifest::metric(std::string_view key,
   return fallback;
 }
 
+void RunManifest::strip_volatile() {
+  created_at.clear();
+  wall_duration_s = 0.0;
+  events_per_wall_second = 0.0;
+  // The kernel profiler publishes per-component wall-clock gauges into
+  // the stats snapshot; those are timing noise, not simulation results.
+  // (kernel.*.dispatches counters are deterministic and stay.)
+  std::erase_if(stats.gauges, [](const auto& gauge) {
+    const std::string& name = gauge.first;
+    return name.size() > 8 &&
+           name.compare(name.size() - 8, 8, ".wall_ms") == 0;
+  });
+}
+
 std::string RunManifest::to_json() const {
   JsonWriter w;
   w.begin_object();

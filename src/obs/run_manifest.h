@@ -59,6 +59,15 @@ struct RunManifest {
                          std::string_view fallback = {}) const noexcept;
   double metric(std::string_view key, double fallback = 0.0) const noexcept;
 
+  /// Clears the fields that legitimately vary between two runs of the
+  /// same build and seed (created_at, wall_duration_s,
+  /// events_per_wall_second, and any `*.wall_ms` profiler gauges in the
+  /// stats snapshot), so the serialized manifest is byte-stable.
+  /// Ensemble benches call this before write_file(): determinism checks
+  /// then reduce to a plain file compare, and the measured wall time is
+  /// reported on stdout instead.
+  void strip_volatile();
+
   std::string to_json() const;
   /// Throws std::runtime_error on malformed input.
   static RunManifest from_json(std::string_view json);

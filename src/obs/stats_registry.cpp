@@ -9,9 +9,9 @@
 
 namespace cavenet::obs {
 
-std::uint64_t Counter::discard_ = 0;
-double Gauge::discard_ = 0.0;
-HistogramData Histogram::discard_{};
+thread_local std::uint64_t Counter::discard_ = 0;
+thread_local double Gauge::discard_ = 0.0;
+thread_local HistogramData Histogram::discard_{};
 
 namespace {
 
@@ -43,6 +43,20 @@ void HistogramData::observe(double v) noexcept {
   ++buckets[static_cast<std::size_t>(bucket_index(v))];
 }
 
+void HistogramData::merge(const HistogramData& other) noexcept {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
 double HistogramData::quantile_bound(double q) const noexcept {
   if (count == 0) return 0.0;
   const double target = q * static_cast<double>(count);
@@ -71,6 +85,23 @@ Histogram StatsRegistry::histogram(std::string_view name) {
   if (it != histograms_.end()) return Histogram(&it->second);
   return Histogram(
       &histograms_.emplace(std::string(name), HistogramData{}).first->second);
+}
+
+void StatsRegistry::merge_from(const StatsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counter(name).inc(value);
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauge(name).set(value);
+  }
+  for (const auto& [name, data] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      it->second.merge(data);
+    } else {
+      histograms_.emplace(name, data);
+    }
+  }
 }
 
 StatsSnapshot StatsRegistry::snapshot() const {

@@ -36,7 +36,9 @@ class Counter {
   friend class StatsRegistry;
   explicit Counter(std::uint64_t* cell) noexcept : cell_(cell) {}
 
-  static std::uint64_t discard_;
+  // thread_local: unbound handles on concurrent ensemble workers must not
+  // race on a shared discard cell (each replication runs on one thread).
+  static thread_local std::uint64_t discard_;
   std::uint64_t* cell_ = &discard_;
 };
 
@@ -54,7 +56,7 @@ class Gauge {
   friend class StatsRegistry;
   explicit Gauge(double* cell) noexcept : cell_(cell) {}
 
-  static double discard_;
+  static thread_local double discard_;
   double* cell_ = &discard_;
 };
 
@@ -75,6 +77,8 @@ struct HistogramData {
   double mean() const noexcept { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
   /// Upper bucket bound containing quantile `q` in [0,1]; 0 when empty.
   double quantile_bound(double q) const noexcept;
+  /// Folds `other`'s observations into this distribution (bucket-wise).
+  void merge(const HistogramData& other) noexcept;
 };
 
 class Histogram {
@@ -89,7 +93,7 @@ class Histogram {
   friend class StatsRegistry;
   explicit Histogram(HistogramData* data) noexcept : data_(data) {}
 
-  static HistogramData discard_;
+  static thread_local HistogramData discard_;
   HistogramData* data_ = &discard_;
 };
 
@@ -141,6 +145,15 @@ class StatsRegistry {
 
   StatsSnapshot snapshot() const;
   void write_table(std::ostream& out) const;
+
+  /// Folds `other` into this registry, reproducing what sequential reuse
+  /// of ONE shared registry would have recorded: counters and histogram
+  /// observations accumulate; gauges present in `other` overwrite (the
+  /// simulator only set()s gauges, so the later run wins, exactly as it
+  /// would writing into a shared registry). The ensemble runner merges
+  /// per-replication registries with this, in replication order, so the
+  /// merged result is independent of worker count and scheduling.
+  void merge_from(const StatsRegistry& other);
 
  private:
   // std::map: node-based, so cell addresses are stable across inserts.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <utility>
 
 #include "util/units.h"
 
@@ -54,7 +55,7 @@ ShadowingModel::ShadowingModel(double path_loss_exponent, double sigma_db,
       sigma_db_(sigma_db),
       d0_m_(reference_distance_m),
       pr0_factor_(friis(1.0, reference_distance_m, constants)),
-      rng_(rng) {
+      rng_(std::move(rng)) {
   if (path_loss_exponent <= 0.0) {
     throw std::invalid_argument("path loss exponent must be > 0");
   }
@@ -66,7 +67,7 @@ ShadowingModel::ShadowingModel(double path_loss_exponent, double sigma_db,
 
 RayleighFadingModel::RayleighFadingModel(
     std::unique_ptr<PropagationModel> base, Rng rng)
-    : base_(std::move(base)), rng_(rng) {
+    : base_(std::move(base)), rng_(std::move(rng)) {
   if (!base_) throw std::invalid_argument("fading needs a base model");
 }
 

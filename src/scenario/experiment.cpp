@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "analysis/stats.h"
+#include "runner/ensemble.h"
 
 namespace cavenet::scenario {
 
@@ -20,19 +21,36 @@ Estimate estimate(std::span<const double> samples) {
 }
 
 SeedSweepResult run_seed_sweep(TableIConfig config,
-                               std::span<const std::uint64_t> seeds) {
+                               std::span<const std::uint64_t> seeds,
+                               int jobs) {
+  obs::StatsRegistry* const shared_stats = config.stats;
+  const bool has_serial_sinks = config.packet_log != nullptr ||
+                                config.trace_sink != nullptr ||
+                                config.profiler != nullptr;
+  runner::EnsembleOptions options;
+  options.jobs = has_serial_sinks ? 1 : jobs;
+  options.master_seed = seeds.empty() ? config.seed : seeds.front();
+  runner::EnsembleRunner pool(options);
+
   SeedSweepResult result;
+  result.runs = pool.map<SenderRunResult>(
+      seeds.size(),
+      [&config, shared_stats, seeds](runner::ReplicationContext& ctx) {
+        TableIConfig run = config;
+        run.seed = seeds[ctx.index];
+        run.stats = shared_stats != nullptr ? ctx.stats : nullptr;
+        return run_table1(run);
+      },
+      shared_stats);
+
   std::vector<double> pdrs, delays, bytes, first_deliveries;
-  for (const std::uint64_t seed : seeds) {
-    config.seed = seed;
-    SenderRunResult run = run_table1(config);
+  for (const SenderRunResult& run : result.runs) {
     pdrs.push_back(run.pdr);
     delays.push_back(run.mean_delay_s);
     bytes.push_back(static_cast<double>(run.control_bytes));
     if (run.first_delivery_delay_s >= 0.0) {
       first_deliveries.push_back(run.first_delivery_delay_s);
     }
-    result.runs.push_back(std::move(run));
   }
   result.pdr = estimate(pdrs);
   result.mean_delay_s = estimate(delays);

@@ -33,8 +33,13 @@ struct SeedSweepResult {
 };
 
 /// Runs `config` once per seed (overriding config.seed) and aggregates.
+/// `jobs` fans the replications across an EnsembleRunner pool (<= 0 means
+/// one worker per hardware thread); every aggregate and the `runs` vector
+/// are bitwise-identical for any jobs value. Configs wiring a shared
+/// packet_log / trace_sink / profiler run serially (single-writer sinks).
 SeedSweepResult run_seed_sweep(TableIConfig config,
-                               std::span<const std::uint64_t> seeds);
+                               std::span<const std::uint64_t> seeds,
+                               int jobs = 1);
 
 /// Convenience: seeds 1..n.
 std::vector<std::uint64_t> default_seeds(std::size_t n);

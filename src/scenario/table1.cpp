@@ -11,6 +11,7 @@
 #include "netsim/mobility.h"
 #include "netsim/simulator.h"
 #include "phy/channel.h"
+#include "runner/ensemble.h"
 #include "trace/ns2_format.h"
 #include "trace/trace_generator.h"
 
@@ -234,14 +235,33 @@ std::vector<SenderRunResult> run_table1_concurrent(
 }
 
 std::vector<SenderRunResult> run_all_senders(TableIConfig config,
-                                             NodeId first, NodeId last) {
-  std::vector<SenderRunResult> results;
-  results.reserve(last - first + 1);
-  for (NodeId sender = first; sender <= last; ++sender) {
-    config.sender = sender;
-    results.push_back(run_table1(config));
-  }
-  return results;
+                                             NodeId first, NodeId last,
+                                             int jobs) {
+  const std::size_t n = static_cast<std::size_t>(last - first) + 1;
+  obs::StatsRegistry* const shared_stats = config.stats;
+  // The packet log, trace sink and profiler are single-writer: a config
+  // that wires them runs serially (results are identical either way).
+  const bool has_serial_sinks = config.packet_log != nullptr ||
+                                config.trace_sink != nullptr ||
+                                config.profiler != nullptr;
+
+  runner::EnsembleOptions options;
+  options.jobs = has_serial_sinks ? 1 : jobs;
+  options.master_seed = config.seed;
+  runner::EnsembleRunner pool(options);
+  return pool.map<SenderRunResult>(
+      n,
+      [&config, shared_stats, first](runner::ReplicationContext& ctx) {
+        TableIConfig run = config;
+        run.sender = first + static_cast<NodeId>(ctx.index);
+        // The scenario seeds every component stream from run.seed, so the
+        // runner's ctx.rng is not consumed here; the per-replication
+        // registry stands in for the caller's shared one and is merged
+        // back in sender order.
+        run.stats = shared_stats != nullptr ? ctx.stats : nullptr;
+        return run_table1(run);
+      },
+      shared_stats);
 }
 
 }  // namespace cavenet::scenario

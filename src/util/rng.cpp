@@ -15,6 +15,7 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 Rng::Rng(std::uint64_t seed) noexcept {
   SplitMix64 sm(seed);
   for (auto& word : s_) word = sm.next();
+  stream_key_ = SplitMix64(seed ^ 0x6a09e667f3bcc909ULL).next();
 }
 
 Rng::Rng(std::uint64_t master_seed, std::uint64_t stream_id) noexcept
@@ -25,6 +26,15 @@ Rng::Rng(std::uint64_t master_seed, std::uint64_t stream_id) noexcept
   SplitMix64 sm(stream_id ^ 0xa3ec647659359acdULL);
   for (auto& word : s_) word ^= sm.next();
   jump();
+  stream_key_ ^= SplitMix64(stream_id ^ 0xbb67ae8584caa73bULL).next();
+}
+
+Rng Rng::substream(std::uint64_t child_id) const noexcept {
+  // The child is an ordinary (master, stream) generator keyed on this
+  // stream's construction-time key: independent of the parent's current
+  // state, and the child's own stream_key_ re-mixes (key, child_id), so
+  // grandchildren are distinct from children.
+  return Rng(stream_key_, child_id);
 }
 
 std::uint64_t Rng::next_u64() noexcept {

@@ -36,6 +36,12 @@ class SplitMix64 {
 };
 
 /// xoshiro256** pseudo-random generator with reproducible distributions.
+///
+/// Rng is move-only. Copying a generator would silently give two
+/// components the *same* future draws — a correlated-streams bug that is
+/// invisible until an ensemble's replications stop being independent. Use
+/// substream() to derive an independent child stream instead, or
+/// std::move() to transfer ownership of a stream.
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -46,6 +52,19 @@ class Rng {
   /// Derives an independent stream: same master seed + different stream id
   /// gives a statistically independent generator. Deterministic.
   Rng(std::uint64_t master_seed, std::uint64_t stream_id) noexcept;
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) noexcept = default;
+  Rng& operator=(Rng&&) noexcept = default;
+
+  /// Counter-based child-stream split: substream(i) depends only on the
+  /// seed material this generator was constructed with and on `child_id`,
+  /// never on how many draws have been made since — so replication i of an
+  /// ensemble gets the same stream no matter which worker thread reaches
+  /// it first or in what order. Distinct child ids (and distinct parents)
+  /// give statistically independent streams; splits nest.
+  Rng substream(std::uint64_t child_id) const noexcept;
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~0ULL; }
@@ -86,6 +105,9 @@ class Rng {
 
  private:
   std::array<std::uint64_t, 4> s_{};
+  /// Hash of the construction-time seed material, fixed for the stream's
+  /// lifetime; substream() keys children off it (counter-based split).
+  std::uint64_t stream_key_ = 0;
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };

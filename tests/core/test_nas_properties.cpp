@@ -1,0 +1,160 @@
+// Property-based NaS invariants over 100 randomly drawn scenarios
+// (seed, density, slowdown p, lane length, v_max, placement). The grid
+// tests in nas_properties_test.cpp pin specific parameter corners; this
+// file samples the space the ensemble runner actually explores and
+// asserts the physics that must hold for EVERY draw:
+//
+//   * vehicle count is conserved on the closed ring (paper's improvement);
+//   * no two vehicles ever share a site, and site order stays strict;
+//   * every velocity stays within [0, v_max];
+//   * every cell index stays within [0, L);
+//   * cumulative position (cell + wraps * L) never decreases and advances
+//     by exactly the vehicle's velocity each step.
+#include "core/nas_lane.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cavenet::ca {
+namespace {
+
+struct RandomScenario {
+  std::uint64_t seed = 0;
+  std::int64_t lane_length = 0;
+  std::int64_t n_vehicles = 0;
+  std::int32_t v_max = 0;
+  double slowdown_p = 0.0;
+  InitialPlacement placement = InitialPlacement::kRandom;
+};
+
+RandomScenario draw_scenario(Rng& meta, int index) {
+  RandomScenario s;
+  s.seed = static_cast<std::uint64_t>(index) * 1000003u + meta.next_u64() % 997;
+  s.lane_length = meta.uniform_int(std::int64_t{10}, std::int64_t{500});
+  // Densities from near-empty to completely full.
+  s.n_vehicles = meta.uniform_int(std::int64_t{1}, s.lane_length);
+  s.v_max = static_cast<std::int32_t>(
+      meta.uniform_int(std::int64_t{1}, std::int64_t{7}));
+  s.slowdown_p = meta.uniform();
+  const InitialPlacement placements[] = {
+      InitialPlacement::kRandom, InitialPlacement::kEven,
+      InitialPlacement::kJam};
+  s.placement = placements[meta.uniform_int(3)];
+  return s;
+}
+
+TEST(NasPropertyTest, InvariantsHoldForHundredRandomScenarios) {
+  Rng meta(20260806);  // drives the scenario draws only
+  constexpr int kScenarios = 100;
+  constexpr int kSteps = 60;
+
+  for (int i = 0; i < kScenarios; ++i) {
+    const RandomScenario s = draw_scenario(meta, i);
+    SCOPED_TRACE(::testing::Message()
+                 << "scenario " << i << ": L=" << s.lane_length
+                 << " N=" << s.n_vehicles << " v_max=" << s.v_max
+                 << " p=" << s.slowdown_p << " seed=" << s.seed);
+
+    NasParams params;
+    params.lane_length = s.lane_length;
+    params.v_max = s.v_max;
+    params.slowdown_p = s.slowdown_p;
+    NasLane lane(params, s.n_vehicles, s.placement, Rng(s.seed));
+
+    // Cumulative ring position per vehicle id, to check monotone motion.
+    std::map<std::uint32_t, std::int64_t> last_position;
+    for (const Vehicle& v : lane.vehicles()) {
+      last_position[v.id] = v.cell + v.wraps * s.lane_length;
+    }
+
+    for (int step = 0; step < kSteps; ++step) {
+      lane.step();
+      const auto vehicles = lane.vehicles();
+
+      // Conservation on the closed ring.
+      ASSERT_EQ(lane.vehicle_count(), s.n_vehicles);
+      ASSERT_EQ(vehicles.size(), static_cast<std::size_t>(s.n_vehicles));
+
+      std::int64_t previous_cell = -1;
+      for (const Vehicle& v : vehicles) {
+        // Bounds: cell in [0, L), velocity in [0, v_max].
+        ASSERT_GE(v.cell, 0);
+        ASSERT_LT(v.cell, s.lane_length);
+        ASSERT_GE(v.velocity, 0);
+        ASSERT_LE(v.velocity, s.v_max);
+
+        // No collisions: the site-ordered list is strictly increasing,
+        // so no two vehicles share a cell.
+        ASSERT_GT(v.cell, previous_cell);
+        previous_cell = v.cell;
+
+        // Motion: the cumulative position advances by exactly the
+        // velocity chosen this step — wrap-around must not teleport.
+        const std::int64_t position = v.cell + v.wraps * s.lane_length;
+        ASSERT_EQ(position - last_position.at(v.id), v.velocity);
+        last_position[v.id] = position;
+      }
+    }
+  }
+}
+
+// The open-shift boundary (the first CAVENET version) re-injects instead
+// of wrapping, but conservation and bounds still must hold.
+TEST(NasPropertyTest, OpenShiftBoundaryConservesVehiclesForRandomScenarios) {
+  Rng meta(77);
+  for (int i = 0; i < 25; ++i) {
+    const RandomScenario s = draw_scenario(meta, i);
+    SCOPED_TRACE(::testing::Message() << "scenario " << i);
+
+    NasParams params;
+    params.lane_length = s.lane_length;
+    params.v_max = s.v_max;
+    params.slowdown_p = s.slowdown_p;
+    params.boundary = Boundary::kOpenShift;
+    NasLane lane(params, s.n_vehicles, s.placement, Rng(s.seed));
+
+    for (int step = 0; step < 40; ++step) {
+      lane.step();
+      ASSERT_EQ(lane.vehicle_count(), s.n_vehicles);
+      std::int64_t previous_cell = -1;
+      for (const Vehicle& v : lane.vehicles()) {
+        ASSERT_GE(v.cell, 0);
+        ASSERT_LT(v.cell, s.lane_length);
+        ASSERT_GE(v.velocity, 0);
+        ASSERT_LE(v.velocity, s.v_max);
+        ASSERT_GT(v.cell, previous_cell);
+        previous_cell = v.cell;
+      }
+    }
+  }
+}
+
+// The same scenario replayed from the same seed is bit-for-bit identical
+// — the anchor the parallel ensemble's determinism rests on.
+TEST(NasPropertyTest, RandomScenariosReplayIdentically) {
+  Rng meta(5150);
+  for (int i = 0; i < 10; ++i) {
+    const RandomScenario s = draw_scenario(meta, i);
+    NasParams params;
+    params.lane_length = s.lane_length;
+    params.v_max = s.v_max;
+    params.slowdown_p = s.slowdown_p;
+    NasLane a(params, s.n_vehicles, s.placement, Rng(s.seed));
+    NasLane b(params, s.n_vehicles, s.placement, Rng(s.seed));
+    a.run(50);
+    b.run(50);
+    const auto va = a.vehicles();
+    const auto vb = b.vehicles();
+    ASSERT_EQ(va.size(), vb.size());
+    EXPECT_TRUE(std::equal(va.begin(), va.end(), vb.begin()));
+  }
+}
+
+}  // namespace
+}  // namespace cavenet::ca

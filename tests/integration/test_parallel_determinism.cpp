@@ -1,0 +1,124 @@
+// Seed-invariance of the parallel ensemble runner, end to end: a
+// bench_fig8-style Table-I ensemble (all 8 senders, shared stats
+// registry, run manifest, CSV) executed at --jobs 1 and --jobs 4 must be
+// BYTE-IDENTICAL — same per-sender results, same merged stats snapshot,
+// same manifest JSON, same CSV text. This is the guarantee that lets the
+// figure benches fan out across cores without changing a single output
+// byte.
+//
+// The scenario is shortened (20 s instead of 100 s) to keep the tier-1
+// suite fast; determinism does not depend on duration.
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/run_manifest.h"
+#include "obs/stats_registry.h"
+#include "scenario/experiment.h"
+#include "scenario/run_record.h"
+#include "scenario/table1.h"
+#include "util/table_writer.h"
+
+namespace cavenet::scenario {
+namespace {
+
+TableIConfig short_config() {
+  TableIConfig config;
+  config.protocol = Protocol::kAodv;
+  config.seed = 3;
+  config.traffic_start_s = 2.0;
+  config.duration_s = 20.0;
+  return config;
+}
+
+/// Everything a goodput bench emits, captured as strings.
+struct EnsembleArtifacts {
+  std::vector<SenderRunResult> results;
+  std::string stats_json;
+  std::string manifest_json;
+  std::string csv;
+};
+
+EnsembleArtifacts run_ensemble(int jobs) {
+  TableIConfig config = short_config();
+  obs::StatsRegistry stats;
+  config.stats = &stats;
+
+  EnsembleArtifacts a;
+  a.results = run_all_senders(config, 1, 8, jobs);
+  a.stats_json = stats.snapshot().to_json();
+
+  obs::RunManifest manifest =
+      make_run_manifest("determinism_test", config, a.results, 1.23);
+  manifest.strip_volatile();
+  a.manifest_json = manifest.to_json();
+
+  TableWriter csv({"sender", "second", "goodput_bps"});
+  for (const auto& r : a.results) {
+    for (std::size_t s = 0; s < r.goodput_bps.size(); ++s) {
+      csv.add_row({static_cast<std::int64_t>(r.sender),
+                   static_cast<std::int64_t>(s), r.goodput_bps[s]});
+    }
+  }
+  std::ostringstream out;
+  csv.write_csv(out);
+  a.csv = out.str();
+  return a;
+}
+
+TEST(ParallelDeterminismTest, JobsOneAndJobsFourAreByteIdentical) {
+  const EnsembleArtifacts serial = run_ensemble(1);
+  const EnsembleArtifacts parallel = run_ensemble(4);
+
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "sender " << i + 1);
+    const SenderRunResult& a = serial.results[i];
+    const SenderRunResult& b = parallel.results[i];
+    EXPECT_EQ(a.sender, b.sender);
+    EXPECT_EQ(a.tx_packets, b.tx_packets);
+    EXPECT_EQ(a.rx_packets, b.rx_packets);
+    EXPECT_EQ(a.pdr, b.pdr);                    // exact, not approximate
+    EXPECT_EQ(a.mean_delay_s, b.mean_delay_s);  // bitwise double equality
+    EXPECT_EQ(a.goodput_bps, b.goodput_bps);
+    EXPECT_EQ(a.control_packets, b.control_packets);
+    EXPECT_EQ(a.control_bytes, b.control_bytes);
+    EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+    EXPECT_EQ(a.channel_utilization, b.channel_utilization);
+  }
+  EXPECT_EQ(serial.stats_json, parallel.stats_json);
+  EXPECT_EQ(serial.manifest_json, parallel.manifest_json);
+  EXPECT_EQ(serial.csv, parallel.csv);
+}
+
+TEST(ParallelDeterminismTest, RepeatedParallelRunsAreByteIdentical) {
+  const EnsembleArtifacts first = run_ensemble(4);
+  const EnsembleArtifacts second = run_ensemble(4);
+  EXPECT_EQ(first.stats_json, second.stats_json);
+  EXPECT_EQ(first.manifest_json, second.manifest_json);
+  EXPECT_EQ(first.csv, second.csv);
+}
+
+TEST(ParallelDeterminismTest, SeedSweepIsIndependentOfJobs) {
+  TableIConfig config = short_config();
+  config.sender = 5;
+  const auto seeds = default_seeds(4);
+
+  const SeedSweepResult serial = run_seed_sweep(config, seeds, 1);
+  const SeedSweepResult parallel = run_seed_sweep(config, seeds, 4);
+
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].pdr, parallel.runs[i].pdr);
+    EXPECT_EQ(serial.runs[i].rx_packets, parallel.runs[i].rx_packets);
+  }
+  EXPECT_EQ(serial.pdr.mean, parallel.pdr.mean);
+  EXPECT_EQ(serial.pdr.ci95, parallel.pdr.ci95);
+  EXPECT_EQ(serial.control_bytes.mean, parallel.control_bytes.mean);
+}
+
+}  // namespace
+}  // namespace cavenet::scenario

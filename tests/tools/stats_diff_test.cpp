@@ -1,0 +1,114 @@
+// Golden-manifest regression gate: runs tools/stats_diff.py (the CI
+// gating script) against a committed fixture manifest and a freshly
+// produced run of the same shortened Table-I ensemble.
+//
+//   * fresh run vs golden fixture  -> exit 0 (no counter regressions)
+//   * fresh run with an injected drop-counter spike -> exit 1
+//
+// The fixture is tests/tools/golden_fig8_short.manifest.json. If a PR
+// intentionally changes simulation behaviour enough to move a watched
+// counter (drops, retries, deliveries) by more than 5%, regenerate it by
+// running tools_tests once and copying the "fresh" manifest the test
+// leaves in its temp directory over the fixture.
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#if __has_include(<sys/wait.h>)
+#include <sys/wait.h>
+#endif
+
+#include <gtest/gtest.h>
+
+#include "obs/run_manifest.h"
+#include "obs/stats_registry.h"
+#include "scenario/run_record.h"
+#include "scenario/table1.h"
+
+#ifndef CAVENET_SOURCE_DIR
+#error "CAVENET_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace cavenet::scenario {
+namespace {
+
+const std::string kSourceDir = CAVENET_SOURCE_DIR;
+const std::string kDiffScript = kSourceDir + "/tools/stats_diff.py";
+const std::string kGolden =
+    kSourceDir + "/tests/tools/golden_fig8_short.manifest.json";
+
+/// Runs `cmd` silenced and returns its exit status (-1 if it could not
+/// run at all).
+int run_silenced(const std::string& cmd) {
+  const int raw = std::system((cmd + " >/dev/null 2>&1").c_str());
+  if (raw == -1) return -1;
+#if defined(WIFEXITED)
+  if (WIFEXITED(raw)) return WEXITSTATUS(raw);
+  return -1;
+#else
+  return raw;
+#endif
+}
+
+bool python3_available() { return run_silenced("python3 --version") == 0; }
+
+/// The same shortened ensemble the fixture was generated from. Any
+/// change here must be mirrored by regenerating the fixture.
+obs::RunManifest fresh_manifest(obs::StatsRegistry& stats) {
+  TableIConfig config;
+  config.protocol = Protocol::kAodv;
+  config.seed = 3;
+  config.traffic_start_s = 2.0;
+  config.duration_s = 20.0;
+  config.stats = &stats;
+  const auto results = run_all_senders(config, 1, 8, /*jobs=*/1);
+  obs::RunManifest manifest =
+      make_run_manifest("golden_fig8_short", config, results);
+  manifest.strip_volatile();
+  return manifest;
+}
+
+TEST(StatsDiffGoldenTest, FreshRunMatchesGoldenManifest) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not on PATH";
+  ASSERT_TRUE(std::ifstream(kGolden).good())
+      << "missing fixture " << kGolden;
+
+  obs::StatsRegistry stats;
+  const obs::RunManifest manifest = fresh_manifest(stats);
+  const std::string fresh = ::testing::TempDir() + "fresh.manifest.json";
+  ASSERT_TRUE(manifest.write_file(fresh));
+
+  EXPECT_EQ(run_silenced("python3 " + kDiffScript + " " + kGolden + " " +
+                         fresh),
+            0)
+      << "stats_diff.py flagged a counter regression against the golden "
+         "manifest; if the change is intentional, regenerate the fixture "
+         "(see file header)";
+}
+
+TEST(StatsDiffGoldenTest, InjectedDropRegressionExitsNonZero) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not on PATH";
+
+  obs::StatsRegistry stats;
+  obs::RunManifest good = fresh_manifest(stats);
+  const std::string baseline = ::testing::TempDir() + "baseline.manifest.json";
+  ASSERT_TRUE(good.write_file(baseline));
+
+  // Re-build the candidate from the same registry with a drop-counter
+  // spike injected: stats_diff must flag it and gate (exit 1).
+  stats.counter("mac.drop.injected_regression").inc(1000);
+  TableIConfig config;  // params only label the report; stats drive the gate
+  config.stats = &stats;
+  obs::RunManifest bad =
+      make_run_manifest("golden_fig8_short", config, {});
+  bad.strip_volatile();
+  const std::string tampered = ::testing::TempDir() + "tampered.manifest.json";
+  ASSERT_TRUE(bad.write_file(tampered));
+
+  EXPECT_EQ(run_silenced("python3 " + kDiffScript + " " + baseline + " " +
+                         tampered),
+            1);
+}
+
+}  // namespace
+}  // namespace cavenet::scenario

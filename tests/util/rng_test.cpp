@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
+#include <iterator>
 #include <numeric>
 #include <set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -186,6 +190,92 @@ TEST(RngTest, JumpDecorrelatesStream) {
 TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
   static_assert(std::uniform_random_bit_generator<Rng>);
   SUCCEED();
+}
+
+// A copied Rng would silently replay its source's stream — the classic
+// correlated-replication bug. Copying is deleted; ownership moves.
+TEST(RngTest, CopyIsDeletedMoveIsAllowed) {
+  static_assert(!std::is_copy_constructible_v<Rng>);
+  static_assert(!std::is_copy_assignable_v<Rng>);
+  static_assert(std::is_nothrow_move_constructible_v<Rng>);
+  static_assert(std::is_nothrow_move_assignable_v<Rng>);
+  SUCCEED();
+}
+
+TEST(RngTest, MovePreservesTheStream) {
+  Rng a(21);
+  Rng reference(21);
+  a.next_u64();
+  reference.next_u64();
+  Rng b(std::move(a));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(b.next_u64(), reference.next_u64());
+}
+
+TEST(RngTest, SubstreamIsDeterministic) {
+  const Rng parent(42, 7);
+  Rng a = parent.substream(3);
+  Rng b = parent.substream(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+// Substreams are keyed on the parent's construction-time identity, not
+// its current state: drawing from the parent first must not change what
+// substream(i) yields. This is what makes parallel replication order
+// irrelevant.
+TEST(RngTest, SubstreamIgnoresParentState) {
+  Rng drained(42, 7);
+  for (int i = 0; i < 1000; ++i) drained.next_u64();
+  const Rng fresh(42, 7);
+  Rng a = drained.substream(5);
+  Rng b = fresh.substream(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, SubstreamsOfNestedSubstreamsDiffer) {
+  const Rng parent(1);
+  Rng a = parent.substream(0).substream(1);
+  Rng b = parent.substream(1).substream(0);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// The determinism guarantee of the ensemble runner rests on substreams
+// being non-overlapping in practice: 10^6 draws from each of several
+// sibling substreams (and the parent itself) share no values at all.
+// For full-period xoshiro256** the birthday bound puts the chance of any
+// collision among these 4 x 10^6 64-bit draws below 1e-6, so a single
+// shared value would flag a stream-splitting defect, not bad luck.
+TEST(RngTest, SubstreamsDoNotOverlapInFirstMillionDraws) {
+  constexpr std::size_t kDraws = 1'000'000;
+  const Rng parent(123, 9);
+
+  const auto draw_sorted = [](Rng rng) {
+    std::vector<std::uint64_t> values(kDraws);
+    for (auto& v : values) v = rng.next_u64();
+    std::sort(values.begin(), values.end());
+    return values;
+  };
+
+  std::vector<std::vector<std::uint64_t>> streams;
+  streams.push_back(draw_sorted(Rng(123, 9)));  // the parent's own stream
+  streams.push_back(draw_sorted(parent.substream(0)));
+  streams.push_back(draw_sorted(parent.substream(1)));
+  streams.push_back(draw_sorted(parent.substream(2)));
+
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (std::size_t j = i + 1; j < streams.size(); ++j) {
+      std::vector<std::uint64_t> common;
+      std::set_intersection(streams[i].begin(), streams[i].end(),
+                            streams[j].begin(), streams[j].end(),
+                            std::back_inserter(common));
+      EXPECT_TRUE(common.empty())
+          << "streams " << i << " and " << j << " share " << common.size()
+          << " values in their first " << kDraws << " draws";
+    }
+  }
 }
 
 }  // namespace
