@@ -40,10 +40,10 @@ int run_instrumented_point(cavenet::scenario::TableIConfig config) {
   obs::StatsRegistry stats;
   obs::ChromeTraceWriter trace;
   obs::KernelProfiler profiler;
-  config.packet_log = &log;
-  config.stats = &stats;
-  config.trace_sink = &trace;
-  config.profiler = &profiler;
+  config.obs.packet_log = &log;
+  config.obs.stats = &stats;
+  config.obs.trace_sink = &trace;
+  config.obs.profiler = &profiler;
   config.heartbeat_s = 10.0;
 
   const auto wall_start = std::chrono::steady_clock::now();

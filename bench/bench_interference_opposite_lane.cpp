@@ -30,12 +30,13 @@ Result run(double interferer_offset_m, bool with_interferer) {
 
   std::vector<std::unique_ptr<netsim::StaticMobility>> mobility;
   std::vector<std::unique_ptr<phy::WifiPhy>> phys;
+  std::vector<phy::Channel::Attachment> links;
   std::vector<std::unique_ptr<mac::WifiMac>> macs;
   auto add = [&](Vec2 position) {
     const auto id = static_cast<netsim::NodeId>(macs.size());
     mobility.push_back(std::make_unique<netsim::StaticMobility>(position));
     phys.push_back(std::make_unique<phy::WifiPhy>(sim, id, mobility.back().get()));
-    channel.attach(phys.back().get());
+    links.push_back(channel.attach(phys.back().get()));
     macs.push_back(std::make_unique<mac::WifiMac>(sim, *phys.back(),
                                                   mac::MacParams{}, id));
     return id;

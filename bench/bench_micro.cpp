@@ -134,8 +134,8 @@ void BM_MacUnicastExchange(benchmark::State& state) {
   netsim::StaticMobility mb({150, 0});
   phy::WifiPhy pa(sim, 0, &ma);
   phy::WifiPhy pb(sim, 1, &mb);
-  channel.attach(&pa);
-  channel.attach(&pb);
+  phy::Channel::Attachment la = channel.attach(&pa);
+  phy::Channel::Attachment lb = channel.attach(&pb);
   mac::WifiMac a(sim, pa, {}, 0);
   mac::WifiMac b(sim, pb, {}, 1);
   b.set_receive_callback([](netsim::Packet, netsim::NodeId) {});

@@ -1,0 +1,116 @@
+// Scaling sweep: what does one transmission cost as the fleet grows?
+//
+// Runs the Table-I protocol stack at constant vehicle density (10 veh/km,
+// the paper's 30 vehicles / 3000 m) on proportionally longer circuits for
+// N = 30 / 100 / 300 / 1000 vehicles under AODV and OLSR, and reports per
+// point: events dispatched, channel transmissions, receive-power
+// evaluations performed vs culled by the spatial index (chan.* counters),
+// the cull factor (evaluations a full O(N) fan-out would have cost per
+// one performed), kernel handler wall time, and whole-run wall clock.
+//
+// --jobs N   fan the sweep points across N ensemble workers (results are
+//            bitwise-identical for every N; wall-clock columns vary).
+// --smoke    tiny fleets + short runs; the `bench-smoke` ctest label runs
+//            this mode so the bench itself stays green under the
+//            sanitizer presets.
+// --linear   use the brute-force channel (kLinear) instead of the grid,
+//            for A/B-ing the index's win.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/scale.h"
+#include "util/cli_args.h"
+#include "util/table_writer.h"
+
+int main(int argc, char** argv) {
+  using namespace cavenet;
+  using namespace cavenet::scenario;
+
+  CliArgs args(argc, argv);
+  const int jobs = static_cast<int>(args.get_int("jobs", 1));
+  const bool smoke = args.get_bool("smoke", false);
+  const bool linear = args.get_bool("linear", false);
+  for (const std::string& flag : args.unknown_flags()) {
+    std::cerr << "unknown flag: --" << flag << "\n";
+    return 2;
+  }
+
+  const std::vector<std::int32_t> fleets =
+      smoke ? std::vector<std::int32_t>{10, 20}
+            : std::vector<std::int32_t>{30, 100, 300, 1000};
+  const double duration_s = smoke ? 6.0 : 30.0;
+  const double traffic_start_s = smoke ? 1.0 : 5.0;
+
+  std::vector<ScaleConfig> sweep;
+  for (const Protocol protocol : {Protocol::kAodv, Protocol::kOlsr}) {
+    for (const std::int32_t n : fleets) {
+      ScaleConfig config;
+      config.protocol = protocol;
+      config.vehicles = n;
+      config.duration_s = duration_s;
+      config.traffic_start_s = traffic_start_s;
+      config.channel_index =
+          linear ? phy::ChannelIndex::kLinear : phy::ChannelIndex::kGrid;
+      sweep.push_back(config);
+    }
+  }
+
+  std::cout << "Scaling sweep: Table-I stack at 10 veh/km, N = ";
+  for (std::size_t i = 0; i < fleets.size(); ++i) {
+    std::cout << (i ? "/" : "") << fleets[i];
+  }
+  std::cout << " vehicles, AODV + OLSR, channel index "
+            << (linear ? "linear (brute force)" : "grid") << "\n\n";
+
+  const std::vector<ScaleRunResult> results = run_scale_sweep(sweep, jobs);
+
+  TableWriter table({"protocol", "N", "PDR", "events", "chan tx",
+                     "rx-pow eval", "rx-pow culled", "cull x",
+                     "kernel [ms]", "wall [s]", "ev/s"});
+  for (const ScaleRunResult& r : results) {
+    table.add_row({std::string(to_string(r.protocol)),
+                   static_cast<std::int64_t>(r.vehicles), r.flow.pdr,
+                   static_cast<std::int64_t>(r.flow.events_dispatched),
+                   static_cast<std::int64_t>(r.transmissions),
+                   static_cast<std::int64_t>(r.rx_power_evaluated),
+                   static_cast<std::int64_t>(r.rx_power_culled),
+                   r.cull_factor, r.kernel_wall_ms, r.wall_s,
+                   r.wall_s > 0.0
+                       ? static_cast<double>(r.flow.events_dispatched) /
+                             r.wall_s
+                       : 0.0});
+  }
+  table.print(std::cout);
+  table.write_csv_file("scale.csv");
+  std::cout << "\ncsv: scale.csv\n";
+
+  // Sanity gates so the smoke run fails loudly if the index regresses:
+  // every pair (transmission, other radio) is either evaluated or culled,
+  // and at the largest fleet the index must pay for itself.
+  int failures = 0;
+  for (const ScaleRunResult& r : results) {
+    const auto expected =
+        r.transmissions * static_cast<std::uint64_t>(r.vehicles - 1);
+    if (r.rx_power_evaluated + r.rx_power_culled != expected) {
+      std::printf("FAIL %s N=%d: eval %llu + culled %llu != tx*(N-1) %llu\n",
+                  std::string(to_string(r.protocol)).c_str(), r.vehicles,
+                  static_cast<unsigned long long>(r.rx_power_evaluated),
+                  static_cast<unsigned long long>(r.rx_power_culled),
+                  static_cast<unsigned long long>(expected));
+      ++failures;
+    }
+  }
+  if (!smoke && !linear) {
+    for (const ScaleRunResult& r : results) {
+      if (r.vehicles >= 1000 && r.cull_factor < 5.0) {
+        std::printf("FAIL %s N=%d: cull factor %.2f < 5\n",
+                    std::string(to_string(r.protocol)).c_str(), r.vehicles,
+                    r.cull_factor);
+        ++failures;
+      }
+    }
+  }
+  return failures;
+}

@@ -41,7 +41,7 @@ inline int run_goodput_surface(scenario::Protocol protocol,
   config.protocol = protocol;
   config.seed = 3;
   obs::StatsRegistry stats;  // accumulates across the 8 sender runs
-  config.stats = &stats;
+  config.obs.stats = &stats;
   const auto wall_start = std::chrono::steady_clock::now();
   const auto results = run_all_senders(config, 1, 8, jobs);
   const double wall_s =

@@ -48,6 +48,7 @@ int main() {
   struct Node {
     std::unique_ptr<netsim::MobilityModel> mobility;
     std::unique_ptr<phy::WifiPhy> phy;
+    phy::Channel::Attachment link;  // after phy: detaches before phy dies
     std::unique_ptr<mac::WifiMac> mac;
     std::unique_ptr<routing::olsr::OlsrProtocol> olsr;
   };
@@ -57,7 +58,7 @@ int main() {
     Node node;
     node.mobility = std::move(mobility);
     node.phy = std::make_unique<phy::WifiPhy>(sim, id, node.mobility.get());
-    channel.attach(node.phy.get());
+    node.link = channel.attach(node.phy.get());
     node.mac = std::make_unique<mac::WifiMac>(sim, *node.phy,
                                               mac::MacParams{}, id);
     node.olsr =

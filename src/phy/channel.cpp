@@ -1,40 +1,155 @@
 #include "phy/channel.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/units.h"
 
 namespace cavenet::phy {
 
+Channel::Attachment::Attachment(Attachment&& other) noexcept
+    : channel_(std::exchange(other.channel_, nullptr)), slot_(other.slot_) {}
+
+Channel::Attachment& Channel::Attachment::operator=(
+    Attachment&& other) noexcept {
+  if (this != &other) {
+    detach();
+    channel_ = std::exchange(other.channel_, nullptr);
+    slot_ = other.slot_;
+  }
+  return *this;
+}
+
+void Channel::Attachment::detach() noexcept {
+  if (channel_ == nullptr) return;
+  channel_->detach_slot(slot_);
+  channel_ = nullptr;
+}
+
 Channel::Channel(netsim::Simulator& sim,
-                 std::unique_ptr<PropagationModel> model)
-    : sim_(&sim), model_(std::move(model)) {
+                 std::unique_ptr<PropagationModel> model, ChannelIndex index)
+    : sim_(&sim), model_(std::move(model)), index_(index) {
   if (!model_) throw std::invalid_argument("channel needs a propagation model");
 }
 
-void Channel::attach(WifiPhy* phy) {
+Channel::Attachment Channel::attach(WifiPhy* phy) {
   if (phy == nullptr) throw std::invalid_argument("null radio");
-  radios_.push_back(phy);
-  phy->set_channel(this);
+  if (phy->channel_ != nullptr) {
+    throw std::logic_error("radio is already attached to a channel");
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.push_back(phy);
+  live_.push_back(1);
+  positions_.push_back({});
+  ++live_count_;
+  phy->set_channel(this, slot);
+  if (min_cs_valid_) {
+    min_cs_threshold_w_ =
+        std::min(min_cs_threshold_w_, phy->params().profile.cs_threshold_w);
+  } else {
+    min_cs_threshold_w_ = phy->params().profile.cs_threshold_w;
+    min_cs_valid_ = true;
+  }
+  radius_cache_.reset();
+  snapshot_valid_ = false;
+  return Attachment(this, slot);
+}
+
+void Channel::detach_slot(std::uint32_t slot) noexcept {
+  if (slot >= slots_.size() || !live_[slot]) return;
+  slots_[slot]->set_channel(nullptr, 0);
+  slots_[slot] = nullptr;
+  live_[slot] = 0;
+  --live_count_;
+  // The detached radio may have been the most sensitive one; rescan.
+  min_cs_valid_ = false;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!live_[i]) continue;
+    const double thr = slots_[i]->params().profile.cs_threshold_w;
+    min_cs_threshold_w_ = min_cs_valid_ ? std::min(min_cs_threshold_w_, thr)
+                                        : thr;
+    min_cs_valid_ = true;
+  }
+  radius_cache_.reset();
+  snapshot_valid_ = false;
+}
+
+void Channel::bind_stats(obs::StatsRegistry& registry) {
+  obs_tx_ = registry.counter("chan.tx");
+  obs_evaluated_ = registry.counter("chan.evaluated");
+  obs_culled_ = registry.counter("chan.culled");
+}
+
+std::optional<double> Channel::interaction_radius(double tx_power_w) {
+  if (!min_cs_valid_) return std::nullopt;
+  if (radius_cache_ && radius_cache_->first == tx_power_w) {
+    return radius_cache_->second;
+  }
+  std::optional<double> radius =
+      model_->max_range_m(tx_power_w, min_cs_threshold_w_);
+  radius_cache_ = {tx_power_w, radius};
+  return radius;
+}
+
+void Channel::refresh_snapshot(const std::optional<double>& radius) {
+  const SimTime now = sim_->now();
+  if (!snapshot_valid_ || snapshot_time_ != now) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (live_[i]) positions_[i] = slots_[i]->position();
+    }
+    snapshot_time_ = now;
+    snapshot_valid_ = true;
+    grid_built_ = false;
+  }
+  if (radius && index_ == ChannelIndex::kGrid && !grid_built_) {
+    grid_.rebuild(positions_, live_, *radius);
+    grid_built_ = true;
+  }
 }
 
 void Channel::transmit(const WifiPhy& sender, const netsim::Packet& packet,
                        SimTime duration, double tx_power_w) {
-  const Vec2 tx_pos = sender.position();
-  for (WifiPhy* rx : radios_) {
-    if (rx == &sender) continue;
-    const Vec2 rx_pos = rx->position();
+  obs_tx_.inc();
+  const std::optional<double> radius = interaction_radius(tx_power_w);
+  refresh_snapshot(radius);
+
+  const std::uint32_t sender_slot = sender.channel_slot_;
+  const Vec2 tx_pos = positions_[sender_slot];
+  std::uint64_t evaluated = 0;
+
+  // Shared per-candidate step: exact distance cull (only when the model
+  // bounds range), then the receive-power evaluation and the receiver's
+  // own carrier-sense cull, exactly as the full scan always did.
+  const auto consider = [&](std::uint32_t slot) {
+    const Vec2 rx_pos = positions_[slot];
+    const double d = distance(tx_pos, rx_pos);
+    if (radius && d > *radius) return;
+    ++evaluated;
+    WifiPhy* rx = slots_[slot];
     const double power = model_->rx_power_w(tx_power_w, tx_pos, rx_pos);
-    // Skip links that cannot even move the receiver's carrier sense; this
-    // keeps the event count O(neighbours) instead of O(radios).
-    if (power < rx->params().profile.cs_threshold_w) continue;
-    const double delay_s = distance(tx_pos, rx_pos) / kSpeedOfLight;
+    if (power < rx->params().profile.cs_threshold_w) return;
+    const double delay_s = d / kSpeedOfLight;
     netsim::Packet copy = packet;
     sim_->schedule(SimTime::from_seconds(delay_s), "chan",
                    [rx, copy = std::move(copy), power, duration]() mutable {
                      rx->begin_receive(std::move(copy), power, duration);
                    });
+  };
+
+  if (radius && index_ == ChannelIndex::kGrid) {
+    scratch_.clear();
+    grid_.query(tx_pos, *radius, scratch_);
+    for (const std::uint32_t slot : scratch_) {
+      if (slot != sender_slot) consider(slot);
+    }
+  } else {
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      if (live_[slot] && slot != sender_slot) consider(slot);
+    }
   }
+
+  obs_evaluated_.inc(evaluated);
+  obs_culled_.inc(static_cast<std::uint64_t>(live_count_) - 1 - evaluated);
 }
 
 }  // namespace cavenet::phy

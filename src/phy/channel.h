@@ -1,41 +1,152 @@
-// The shared wireless medium: fans every transmission out to all attached
-// radios with per-link propagation loss and speed-of-light delay.
+// The shared wireless medium: delivers each transmission to the attached
+// radios that can interact with it, with per-link propagation loss and
+// speed-of-light delay.
+//
+// Scaling design (docs/SCALING.md): when the propagation model can bound
+// its interaction range (PropagationModel::max_range_m), the channel
+// keeps a per-timestamp snapshot of every radio's position and a uniform
+// grid over that snapshot, and a transmission only evaluates receive
+// power for radios within the max-interaction radius. Receivers beyond
+// it are provably below every radio's carrier-sense threshold, so the
+// grid path is bitwise-identical to a full scan — only cheaper. Models
+// that cannot bound range (shadowing, fading) fall back to evaluating
+// every attached radio, exactly as before.
 #ifndef CAVENET_PHY_CHANNEL_H
 #define CAVENET_PHY_CHANNEL_H
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "netsim/simulator.h"
+#include "obs/stats_registry.h"
 #include "phy/propagation.h"
+#include "phy/spatial_grid.h"
 #include "phy/wifi_phy.h"
 
 namespace cavenet::phy {
 
+/// How the channel finds candidate receivers for a transmission. kGrid is
+/// the default; kLinear is the brute-force reference (same range cull,
+/// same results, same counters — it only walks every radio to apply it)
+/// kept for equivalence testing and for measuring the index's win.
+enum class ChannelIndex { kGrid, kLinear };
+
 class Channel {
  public:
-  Channel(netsim::Simulator& sim, std::unique_ptr<PropagationModel> model);
+  /// RAII handle for one radio's membership on the medium: detaches on
+  /// destruction (node teardown / churn). Obtained from Channel::attach;
+  /// must not outlive the channel it came from.
+  class [[nodiscard]] Attachment {
+   public:
+    Attachment() noexcept = default;
+    Attachment(Attachment&& other) noexcept;
+    Attachment& operator=(Attachment&& other) noexcept;
+    Attachment(const Attachment&) = delete;
+    Attachment& operator=(const Attachment&) = delete;
+    ~Attachment() { detach(); }
+
+    /// Unregisters the radio from the channel (idempotent). The radio
+    /// stops receiving immediately; frames already in flight to it are
+    /// still delivered (they left the medium while it was attached).
+    void detach() noexcept;
+    bool attached() const noexcept { return channel_ != nullptr; }
+
+   private:
+    friend class Channel;
+    Attachment(Channel* channel, std::uint32_t slot) noexcept
+        : channel_(channel), slot_(slot) {}
+
+    Channel* channel_ = nullptr;
+    std::uint32_t slot_ = 0;
+  };
+
+  Channel(netsim::Simulator& sim, std::unique_ptr<PropagationModel> model,
+          ChannelIndex index = ChannelIndex::kGrid);
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
-  /// Registers a radio on this medium. The radio must outlive the channel's
-  /// last event (in practice: the Scenario owns both).
-  void attach(WifiPhy* phy);
+  /// Registers a radio on this medium and hands back its lifecycle
+  /// handle. The radio and the handle must not outlive the channel;
+  /// dropping the handle detaches the radio.
+  Attachment attach(WifiPhy* phy);
 
-  std::size_t radio_count() const noexcept { return radios_.size(); }
+  /// Radios currently attached (detached slots excluded).
+  std::size_t radio_count() const noexcept { return live_count_; }
 
   /// Called by a transmitting radio; delivers the frame to every other
-  /// attached radio (each gets an independent copy).
+  /// attached radio that can interact with it (each gets an independent
+  /// copy).
+  ///
+  /// Cost per call: with a range-bounded model, O(radios) position
+  /// evaluations once per distinct simulation timestamp (the snapshot)
+  /// plus O(neighbours within the max-interaction radius) receive-power
+  /// evaluations and events; the kLinear fallback and unbounded models
+  /// pay O(radios) per call (every radio distance- or power-evaluated),
+  /// though events stay O(neighbours) either way.
   void transmit(const WifiPhy& sender, const netsim::Packet& packet,
                 SimTime duration, double tx_power_w);
 
+  /// Drops the cached per-timestamp position snapshot. Only needed by
+  /// callers that mutate a mobility model's position out-of-band at the
+  /// current timestamp (test harnesses teleporting nodes mid-event);
+  /// positions that are pure functions of simulation time never need it.
+  void invalidate_positions() noexcept { snapshot_valid_ = false; }
+
   PropagationModel& propagation() noexcept { return *model_; }
+  ChannelIndex index_mode() const noexcept { return index_; }
+
+  /// Binds the channel's culling counters into a registry:
+  /// "chan.tx" transmissions carried, "chan.evaluated" receive-power
+  /// evaluations performed, "chan.culled" receivers skipped without one
+  /// (beyond the max-interaction radius). evaluated + culled counts every
+  /// (transmission, other radio) pair, and both are identical for kGrid
+  /// and kLinear — the index changes how candidates are found, never
+  /// which ones are evaluated.
+  void bind_stats(obs::StatsRegistry& registry);
 
  private:
+  void detach_slot(std::uint32_t slot) noexcept;
+  /// Max-interaction radius for this transmit power against the most
+  /// sensitive attached radio; nullopt when the model can't bound range.
+  std::optional<double> interaction_radius(double tx_power_w);
+  /// Ensures positions_ holds every live radio's position at sim->now(),
+  /// and (when `radius` is set and the grid is active) that the grid is
+  /// built over that snapshot.
+  void refresh_snapshot(const std::optional<double>& radius);
+
   netsim::Simulator* sim_;
   std::unique_ptr<PropagationModel> model_;
-  std::vector<WifiPhy*> radios_;
+  ChannelIndex index_;
+
+  // Slot-addressed radio table: slots keep their index for the lifetime
+  // of the channel (Attachment handles store it), detach tombstones the
+  // slot. Iteration order == attach order, which fixes the event
+  // schedule order and therefore byte-level determinism.
+  std::vector<WifiPhy*> slots_;
+  std::vector<std::uint8_t> live_;
+  std::vector<Vec2> positions_;  ///< snapshot, parallel to slots_
+  std::size_t live_count_ = 0;
+
+  SimTime snapshot_time_ = SimTime::zero();
+  bool snapshot_valid_ = false;
+  bool grid_built_ = false;
+  SpatialGrid grid_;
+  std::vector<std::uint32_t> scratch_;  ///< query results, reused
+
+  /// Smallest carrier-sense threshold over attached radios — the radius
+  /// bound must cover the most sensitive receiver.
+  double min_cs_threshold_w_ = 0.0;
+  bool min_cs_valid_ = false;
+  /// Single-entry cache: tx power -> solved radius (tx power is uniform
+  /// in practice, so the solve runs once per attach/detach epoch).
+  std::optional<std::pair<double, std::optional<double>>> radius_cache_;
+
+  obs::Counter obs_tx_;         ///< chan.tx
+  obs::Counter obs_evaluated_;  ///< chan.evaluated
+  obs::Counter obs_culled_;     ///< chan.culled
 };
 
 }  // namespace cavenet::phy

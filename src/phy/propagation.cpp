@@ -22,6 +22,23 @@ double friis(double tx_power_w, double d, const RadioConstants& c) {
          (denom * denom * c.system_loss);
 }
 
+/// Distance at which friis() drops to exactly `min_power_w` (both models'
+/// max-range solves reduce to inverting a monotone power law).
+double friis_range(double tx_power_w, double min_power_w,
+                   const RadioConstants& c) {
+  const double lambda = c.wavelength_m();
+  return lambda / (4.0 * std::numbers::pi) *
+         std::sqrt(tx_power_w * c.antenna_gain_tx * c.antenna_gain_rx /
+                   (c.system_loss * min_power_w));
+}
+
+/// Safety padding on analytically solved ranges: the cull-by-distance
+/// decision must never disagree with the exact power comparison at the
+/// boundary, so the bound is inflated well past any floating-point wobble
+/// of the closed-form inverse (power at 1.001 d is ~0.4% below threshold
+/// under the d^4 law — orders of magnitude beyond rounding error).
+constexpr double kRangePad = 1.001;
+
 }  // namespace
 
 FreeSpaceModel::FreeSpaceModel(RadioConstants constants)
@@ -31,6 +48,12 @@ double FreeSpaceModel::rx_power_w(double tx_power_w, Vec2 tx, Vec2 rx) {
   const double d = distance(tx, rx);
   if (d <= 0.0) return tx_power_w;
   return friis(tx_power_w, d, constants_);
+}
+
+std::optional<double> FreeSpaceModel::max_range_m(double tx_power_w,
+                                                  double min_power_w) const {
+  if (min_power_w <= 0.0 || tx_power_w <= 0.0) return std::nullopt;
+  return friis_range(tx_power_w, min_power_w, constants_) * kRangePad;
 }
 
 TwoRayGroundModel::TwoRayGroundModel(RadioConstants constants)
@@ -45,6 +68,21 @@ double TwoRayGroundModel::rx_power_w(double tx_power_w, Vec2 tx, Vec2 rx) {
   const double h = constants_.antenna_height_m;
   return tx_power_w * constants_.antenna_gain_tx * constants_.antenna_gain_rx *
          h * h * h * h / (d * d * d * d * constants_.system_loss);
+}
+
+std::optional<double> TwoRayGroundModel::max_range_m(
+    double tx_power_w, double min_power_w) const {
+  if (min_power_w <= 0.0 || tx_power_w <= 0.0) return std::nullopt;
+  // Received power is continuous and monotonically decreasing across the
+  // crossover (the two formulas agree exactly at dc), so invert whichever
+  // law covers the solution.
+  const double h = constants_.antenna_height_m;
+  const double d4 = tx_power_w * constants_.antenna_gain_tx *
+                    constants_.antenna_gain_rx * h * h * h * h /
+                    (constants_.system_loss * min_power_w);
+  const double two_ray_range = std::sqrt(std::sqrt(d4));
+  if (two_ray_range >= crossover_m_) return two_ray_range * kRangePad;
+  return friis_range(tx_power_w, min_power_w, constants_) * kRangePad;
 }
 
 ShadowingModel::ShadowingModel(double path_loss_exponent, double sigma_db,

@@ -12,6 +12,7 @@
 #define CAVENET_PHY_PROPAGATION_H
 
 #include <memory>
+#include <optional>
 
 #include "util/rng.h"
 #include "util/vec2.h"
@@ -36,6 +37,22 @@ class PropagationModel {
   /// Received power in Watts for a transmission of `tx_power_w` from `tx`
   /// to `rx`. Stochastic models draw from their own RNG stream.
   virtual double rx_power_w(double tx_power_w, Vec2 tx, Vec2 rx) = 0;
+
+  /// Conservative upper bound on the distance at which a transmission of
+  /// `tx_power_w` can still arrive with at least `min_power_w`: beyond the
+  /// returned distance, rx_power_w() is guaranteed below `min_power_w`.
+  /// The bound is deliberately padded (a fraction of a percent) so that a
+  /// caller culling receivers by distance never disagrees with the exact
+  /// power comparison at the boundary. Returns nullopt when the model
+  /// cannot bound its range (stochastic models: a lucky shadowing or
+  /// fading draw can carry any distance) — callers must then fall back to
+  /// evaluating every receiver.
+  virtual std::optional<double> max_range_m(double tx_power_w,
+                                            double min_power_w) const {
+    (void)tx_power_w;
+    (void)min_power_w;
+    return std::nullopt;
+  }
 };
 
 /// Friis free-space: Pr = Pt Gt Gr lambda^2 / ((4 pi d)^2 L).
@@ -43,6 +60,8 @@ class FreeSpaceModel final : public PropagationModel {
  public:
   explicit FreeSpaceModel(RadioConstants constants = {});
   double rx_power_w(double tx_power_w, Vec2 tx, Vec2 rx) override;
+  std::optional<double> max_range_m(double tx_power_w,
+                                    double min_power_w) const override;
 
  private:
   RadioConstants constants_;
@@ -54,6 +73,8 @@ class TwoRayGroundModel final : public PropagationModel {
  public:
   explicit TwoRayGroundModel(RadioConstants constants = {});
   double rx_power_w(double tx_power_w, Vec2 tx, Vec2 rx) override;
+  std::optional<double> max_range_m(double tx_power_w,
+                                    double min_power_w) const override;
 
   double crossover_distance_m() const noexcept { return crossover_m_; }
 

@@ -91,7 +91,12 @@ class WifiPhy {
 
  private:
   friend class Channel;
-  void set_channel(Channel* channel) noexcept { channel_ = channel; }
+  /// Channel-maintained: the medium this radio is attached to and its
+  /// slot index there (the channel's position snapshot is slot-addressed).
+  void set_channel(Channel* channel, std::uint32_t slot) noexcept {
+    channel_ = channel;
+    channel_slot_ = slot;
+  }
 
   void end_receive();
   void prune_energy();
@@ -114,6 +119,7 @@ class WifiPhy {
   const netsim::MobilityModel* mobility_;
   PhyParams params_;
   Channel* channel_ = nullptr;
+  std::uint32_t channel_slot_ = 0;
 
   SimTime tx_until_ = SimTime::zero();
   std::optional<Reception> current_rx_;

@@ -23,12 +23,9 @@ Estimate estimate(std::span<const double> samples) {
 SeedSweepResult run_seed_sweep(TableIConfig config,
                                std::span<const std::uint64_t> seeds,
                                int jobs) {
-  obs::StatsRegistry* const shared_stats = config.stats;
-  const bool has_serial_sinks = config.packet_log != nullptr ||
-                                config.trace_sink != nullptr ||
-                                config.profiler != nullptr;
+  obs::StatsRegistry* const shared_stats = config.obs.stats;
   runner::EnsembleOptions options;
-  options.jobs = has_serial_sinks ? 1 : jobs;
+  options.jobs = config.obs.has_serial_sink() ? 1 : jobs;
   options.master_seed = seeds.empty() ? config.seed : seeds.front();
   runner::EnsembleRunner pool(options);
 
@@ -38,7 +35,7 @@ SeedSweepResult run_seed_sweep(TableIConfig config,
       [&config, shared_stats, seeds](runner::ReplicationContext& ctx) {
         TableIConfig run = config;
         run.seed = seeds[ctx.index];
-        run.stats = shared_stats != nullptr ? ctx.stats : nullptr;
+        run.obs.stats = shared_stats != nullptr ? ctx.stats : nullptr;
         return run_table1(run);
       },
       shared_stats);

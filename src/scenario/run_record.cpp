@@ -52,7 +52,7 @@ obs::RunManifest make_run_manifest(std::string name,
     }
   }
 
-  if (config.stats != nullptr) m.stats = config.stats->snapshot();
+  if (config.obs.stats != nullptr) m.stats = config.obs.stats->snapshot();
   return m;
 }
 

@@ -15,7 +15,7 @@ namespace cavenet::scenario {
 
 /// Assembles a manifest named `name` for one run_with_trace() outcome.
 /// `wall_duration_s` is the measured wall clock of the run (0 if unknown).
-/// When config.stats is set, its snapshot is embedded.
+/// When config.obs.stats is set, its snapshot is embedded.
 obs::RunManifest make_run_manifest(std::string name,
                                    const TableIConfig& config,
                                    const std::vector<SenderRunResult>& results,

@@ -69,10 +69,13 @@ std::unique_ptr<phy::PropagationModel> make_propagation(
   throw std::invalid_argument("unknown propagation model");
 }
 
-/// One node's full protocol stack. Declaration order fixes teardown order.
+/// One node's full protocol stack. Declaration order fixes teardown order
+/// (in particular: `link` detaches from the channel while `phy` is still
+/// alive).
 struct NodeStack {
   std::unique_ptr<netsim::MobilityModel> mobility;
   std::unique_ptr<phy::WifiPhy> phy;
+  phy::Channel::Attachment link;
   std::unique_ptr<mac::WifiMac> mac;
   std::unique_ptr<routing::RoutingProtocol> routing;
 };
@@ -96,16 +99,19 @@ std::vector<SenderRunResult> run_with_trace(
 
   const std::vector<trace::NodePath> paths = trace::compile_paths(mobility);
 
+  const ObsHooks& obs = config.obs;
   netsim::Simulator sim(config.seed);
-  if (config.trace_sink != nullptr) sim.set_trace_sink(config.trace_sink);
-  if (config.profiler != nullptr) sim.set_profiler(config.profiler);
+  if (obs.trace_sink != nullptr) sim.set_trace_sink(obs.trace_sink);
+  if (obs.profiler != nullptr) sim.set_profiler(obs.profiler);
   if (config.heartbeat_s > 0.0) {
     sim.enable_heartbeat(SimTime::from_seconds(config.heartbeat_s));
   }
-  if (config.packet_log != nullptr && config.trace_sink != nullptr) {
-    config.packet_log->set_trace_sink(config.trace_sink);
+  if (obs.packet_log != nullptr && obs.trace_sink != nullptr) {
+    obs.packet_log->set_trace_sink(obs.trace_sink);
   }
-  phy::Channel channel(sim, make_propagation(config, sim));
+  phy::Channel channel(sim, make_propagation(config, sim),
+                       config.channel_index);
+  if (obs.stats != nullptr) channel.bind_stats(*obs.stats);
 
   mac::MacParams mac_params;
   mac_params.use_rts_cts = config.use_rts_cts;
@@ -121,18 +127,18 @@ std::vector<SenderRunResult> run_with_trace(
         [path](double t) { return path->velocity(t); });
     node.phy =
         std::make_unique<phy::WifiPhy>(sim, i, node.mobility.get(), phy_params);
-    channel.attach(node.phy.get());
+    node.link = channel.attach(node.phy.get());
     node.mac = std::make_unique<mac::WifiMac>(sim, *node.phy, mac_params, i);
     node.routing = make_protocol(sim, *node.mac, config.protocol,
                                  config.protocol_options);
-    if (config.packet_log != nullptr) {
-      node.mac->set_packet_log(config.packet_log);
-      node.routing->set_packet_log(config.packet_log);
+    if (obs.packet_log != nullptr) {
+      node.mac->set_packet_log(obs.packet_log);
+      node.routing->set_packet_log(obs.packet_log);
     }
-    if (config.stats != nullptr) {
-      node.phy->bind_stats(*config.stats);
-      node.mac->bind_stats(*config.stats);
-      node.routing->bind_stats(*config.stats);
+    if (obs.stats != nullptr) {
+      node.phy->bind_stats(*obs.stats);
+      node.mac->bind_stats(*obs.stats);
+      node.routing->bind_stats(*obs.stats);
     }
     node.routing->start();
   }
@@ -151,11 +157,11 @@ std::vector<SenderRunResult> run_with_trace(
     metrics.push_back(std::make_unique<app::FlowMetrics>());
     sources.push_back(std::make_unique<app::CbrSource>(
         sim, *nodes[sender].routing, cbr, metrics.back().get()));
-    if (config.stats != nullptr) sources.back()->bind_stats(*config.stats);
+    if (obs.stats != nullptr) sources.back()->bind_stats(*obs.stats);
     sink.track_source(sender, metrics.back().get());
     sources.back()->start();
   }
-  if (config.stats != nullptr) sink.bind_stats(*config.stats);
+  if (obs.stats != nullptr) sink.bind_stats(*obs.stats);
 
   sim.run_until(SimTime::from_seconds(config.duration_s));
 
@@ -183,11 +189,11 @@ std::vector<SenderRunResult> run_with_trace(
         node.phy->stats().tx_airtime.sec() / config.duration_s;
   }
 
-  if (config.stats != nullptr) {
+  if (obs.stats != nullptr) {
     // Run-level readings that no single layer owns.
-    config.stats->gauge("sim.events.dispatched")
+    obs.stats->gauge("sim.events.dispatched")
         .set(static_cast<double>(aggregate.events_dispatched));
-    config.stats->gauge("chan.utilization").set(aggregate.channel_utilization);
+    obs.stats->gauge("chan.utilization").set(aggregate.channel_utilization);
     std::uint64_t no_route = 0, ttl = 0, buffer = 0;
     for (const NodeStack& node : nodes) {
       const routing::RoutingStats& rs = node.routing->stats();
@@ -195,14 +201,14 @@ std::vector<SenderRunResult> run_with_trace(
       ttl += rs.drops_ttl;
       buffer += rs.drops_buffer;
     }
-    config.stats->counter("rtr.drop.no_route").inc(no_route);
-    config.stats->counter("rtr.drop.ttl").inc(ttl);
-    config.stats->counter("rtr.drop.buffer").inc(buffer);
-    if (config.packet_log != nullptr) {
-      config.stats->counter("log.entries").inc(config.packet_log->size());
-      config.stats->counter("log.dropped").inc(config.packet_log->dropped());
+    obs.stats->counter("rtr.drop.no_route").inc(no_route);
+    obs.stats->counter("rtr.drop.ttl").inc(ttl);
+    obs.stats->counter("rtr.drop.buffer").inc(buffer);
+    if (obs.packet_log != nullptr) {
+      obs.stats->counter("log.entries").inc(obs.packet_log->size());
+      obs.stats->counter("log.dropped").inc(obs.packet_log->dropped());
     }
-    if (config.profiler != nullptr) config.profiler->publish(*config.stats);
+    if (obs.profiler != nullptr) obs.profiler->publish(*obs.stats);
   }
 
   std::vector<SenderRunResult> results;
@@ -238,15 +244,11 @@ std::vector<SenderRunResult> run_all_senders(TableIConfig config,
                                              NodeId first, NodeId last,
                                              int jobs) {
   const std::size_t n = static_cast<std::size_t>(last - first) + 1;
-  obs::StatsRegistry* const shared_stats = config.stats;
+  obs::StatsRegistry* const shared_stats = config.obs.stats;
   // The packet log, trace sink and profiler are single-writer: a config
   // that wires them runs serially (results are identical either way).
-  const bool has_serial_sinks = config.packet_log != nullptr ||
-                                config.trace_sink != nullptr ||
-                                config.profiler != nullptr;
-
   runner::EnsembleOptions options;
-  options.jobs = has_serial_sinks ? 1 : jobs;
+  options.jobs = config.obs.has_serial_sink() ? 1 : jobs;
   options.master_seed = config.seed;
   runner::EnsembleRunner pool(options);
   return pool.map<SenderRunResult>(
@@ -258,7 +260,7 @@ std::vector<SenderRunResult> run_all_senders(TableIConfig config,
         // runner's ctx.rng is not consumed here; the per-replication
         // registry stands in for the caller's shared one and is merged
         // back in sender order.
-        run.stats = shared_stats != nullptr ? ctx.stats : nullptr;
+        run.obs.stats = shared_stats != nullptr ? ctx.stats : nullptr;
         return run_table1(run);
       },
       shared_stats);

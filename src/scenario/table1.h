@@ -13,12 +13,10 @@
 
 #include "app/flow_metrics.h"
 #include "mac/wifi_mac.h"
-#include "netsim/packet_log.h"
-#include "obs/kernel_profiler.h"
-#include "obs/stats_registry.h"
-#include "obs/trace_sink.h"
+#include "phy/channel.h"
 #include "phy/wifi_phy.h"
 #include "routing/common.h"
+#include "scenario/obs_hooks.h"
 #include "scenario/protocol.h"
 #include "trace/mobility_trace.h"
 
@@ -63,25 +61,17 @@ struct TableIConfig {
   double shadowing_exponent = 2.8;   ///< used when propagation == kShadowing
   double shadowing_sigma_db = 4.0;
   bool use_rts_cts = false;          ///< Table I: RTS/CTS none
+  /// Candidate-receiver lookup on the shared medium. kGrid (default) and
+  /// kLinear produce bitwise-identical runs; kLinear is the brute-force
+  /// reference for equivalence tests and index-win measurements.
+  phy::ChannelIndex channel_index = phy::ChannelIndex::kGrid;
 
   /// When set, the mobility trace is serialized to ns-2 text and parsed
   /// back before use, exercising the paper's two-block file interface.
   bool round_trip_trace_through_ns2_format = false;
 
-  /// Optional (non-owning) packet event log: every node's MAC and routing
-  /// layers record send/receive/forward/drop events into it, ns-2 style.
-  netsim::PacketLog* packet_log = nullptr;
-
-  // Observability (all optional, non-owning).
-  /// Stats registry every layer of every node publishes counters into
-  /// ("mac.*", "phy.*", "rtr.*", "agt.*"); the runner adds run-level
-  /// gauges ("sim.events.dispatched", "chan.utilization", ...) post-run.
-  obs::StatsRegistry* stats = nullptr;
-  /// Structured trace sink: the kernel heartbeat and the packet log (when
-  /// both are set) emit into it.
-  obs::TraceSink* trace_sink = nullptr;
-  /// Kernel profiler: per-component dispatch counts and handler wall time.
-  obs::KernelProfiler* profiler = nullptr;
+  /// Observability sinks (all optional, non-owning; see ObsHooks).
+  ObsHooks obs;
   /// Progress heartbeat period in sim seconds; 0 disables.
   double heartbeat_s = 0.0;
 };
@@ -124,7 +114,7 @@ SenderRunResult run_table1(const TableIConfig& config);
 ///
 /// `jobs` fans the per-sender runs out over an EnsembleRunner worker
 /// pool (<= 0 means one per hardware thread). Results and any stats
-/// published into config.stats are bitwise-identical for every jobs
+/// published into config.obs.stats are bitwise-identical for every jobs
 /// value: each run draws from its own seed-derived streams and the
 /// per-run registries merge in sender order. When config wires a shared
 /// packet_log / trace_sink / profiler, the runs fall back to serial —

@@ -101,8 +101,8 @@ TEST(FullStackTest, StatsRegistryReconcilesWithPacketLog) {
   config.protocol = Protocol::kAodv;
   netsim::PacketLog log;
   obs::StatsRegistry stats;
-  config.packet_log = &log;
-  config.stats = &stats;
+  config.obs.packet_log = &log;
+  config.obs.stats = &stats;
   const auto result = run_table1(config);
   ASSERT_GT(result.rx_packets, 0u);
   ASSERT_EQ(log.dropped(), 0u);  // under the default cap
@@ -145,10 +145,10 @@ TEST(FullStackTest, ObservabilityRunProducesManifestAndTrace) {
   obs::StatsRegistry stats;
   obs::ChromeTraceWriter trace;
   obs::KernelProfiler profiler;
-  config.packet_log = &log;
-  config.stats = &stats;
-  config.trace_sink = &trace;
-  config.profiler = &profiler;
+  config.obs.packet_log = &log;
+  config.obs.stats = &stats;
+  config.obs.trace_sink = &trace;
+  config.obs.profiler = &profiler;
   config.heartbeat_s = 10.0;
   const auto result = run_table1(config);
 

@@ -45,7 +45,7 @@ struct EnsembleArtifacts {
 EnsembleArtifacts run_ensemble(int jobs) {
   TableIConfig config = short_config();
   obs::StatsRegistry stats;
-  config.stats = &stats;
+  config.obs.stats = &stats;
 
   EnsembleArtifacts a;
   a.results = run_all_senders(config, 1, 8, jobs);

@@ -17,6 +17,7 @@ struct MacFixture {
   phy::Channel channel{sim, std::make_unique<phy::TwoRayGroundModel>()};
   std::vector<std::unique_ptr<netsim::StaticMobility>> mobilities;
   std::vector<std::unique_ptr<phy::WifiPhy>> phys;
+  std::vector<phy::Channel::Attachment> links;  // after phys: detaches first
   std::vector<std::unique_ptr<WifiMac>> macs;
 
   WifiMac& add_node(Vec2 position, MacParams params = {}) {
@@ -24,7 +25,7 @@ struct MacFixture {
     mobilities.push_back(std::make_unique<netsim::StaticMobility>(position));
     phys.push_back(
         std::make_unique<phy::WifiPhy>(sim, id, mobilities.back().get()));
-    channel.attach(phys.back().get());
+    links.push_back(channel.attach(phys.back().get()));
     macs.push_back(std::make_unique<WifiMac>(sim, *phys.back(), params, id));
     return *macs.back();
   }

@@ -137,6 +137,74 @@ TEST(RayleighFadingTest, DeepFadesOccur) {
   EXPECT_NEAR(static_cast<double>(deep) / n, 0.095, 0.01);
 }
 
+TEST(MaxRangeTest, TwoRayGroundMatchesWaveLanDesignDistances) {
+  TwoRayGroundModel model;
+  WaveLanProfile profile;
+  // The WaveLAN thresholds are defined as the two-ray power at exactly
+  // 250 m (rx) and ~550 m (carrier sense); the inverse must land there,
+  // padded upward by a fraction of a percent, never downward.
+  const auto rx_range =
+      model.max_range_m(profile.tx_power_w, profile.rx_threshold_w);
+  const auto cs_range =
+      model.max_range_m(profile.tx_power_w, profile.cs_threshold_w);
+  ASSERT_TRUE(rx_range.has_value());
+  ASSERT_TRUE(cs_range.has_value());
+  EXPECT_NEAR(*rx_range, 250.0, 1.0);
+  EXPECT_NEAR(*cs_range, 550.0, 2.0);
+}
+
+TEST(MaxRangeTest, BoundIsConservative) {
+  // Power at the returned range must already be below the threshold, and
+  // power anywhere inside must never be culled: sample distances up to
+  // the bound and check the model is above-threshold only inside it.
+  TwoRayGroundModel two_ray;
+  FreeSpaceModel free_space;
+  WaveLanProfile profile;
+  for (PropagationModel* model :
+       {static_cast<PropagationModel*>(&two_ray),
+        static_cast<PropagationModel*>(&free_space)}) {
+    const auto range =
+        model->max_range_m(profile.tx_power_w, profile.cs_threshold_w);
+    ASSERT_TRUE(range.has_value());
+    for (double d = *range; d < *range * 3.0; d *= 1.1) {
+      EXPECT_LT(model->rx_power_w(profile.tx_power_w, {0, 0}, {d, 0}),
+                profile.cs_threshold_w)
+          << "model still above threshold at " << d << " m (bound " << *range
+          << ")";
+    }
+  }
+}
+
+TEST(MaxRangeTest, FreeSpaceBelowCrossoverUsesFriis) {
+  // A generous threshold keeps the range below the two-ray crossover
+  // (~86 m at WaveLAN constants): the bound must follow the Friis branch
+  // there, not the d^-4 branch.
+  TwoRayGroundModel model;
+  const double d = 50.0;
+  ASSERT_LT(d, model.crossover_distance_m());
+  const double power_at_d = model.rx_power_w(1.0, {0, 0}, {d, 0});
+  const auto range = model.max_range_m(1.0, power_at_d);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_NEAR(*range, d, d * 0.01);
+}
+
+TEST(MaxRangeTest, StochasticModelsCannotBoundRange) {
+  ShadowingModel shadowing(2.7, 4.0, Rng(1));
+  RayleighFadingModel fading(std::make_unique<TwoRayGroundModel>(), Rng(2));
+  WaveLanProfile profile;
+  EXPECT_FALSE(shadowing.max_range_m(profile.tx_power_w, profile.cs_threshold_w)
+                   .has_value());
+  EXPECT_FALSE(
+      fading.max_range_m(profile.tx_power_w, profile.cs_threshold_w)
+          .has_value());
+}
+
+TEST(MaxRangeTest, DegenerateThresholdsUnbounded) {
+  TwoRayGroundModel model;
+  EXPECT_FALSE(model.max_range_m(1.0, 0.0).has_value());
+  EXPECT_FALSE(model.max_range_m(0.0, 1e-10).has_value());
+}
+
 TEST(UnitsTest, DbmWattRoundTrip) {
   EXPECT_NEAR(dbm_to_watt(30.0), 1.0, 1e-12);
   EXPECT_NEAR(watt_to_dbm(1.0), 30.0, 1e-12);

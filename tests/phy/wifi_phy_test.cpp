@@ -17,13 +17,14 @@ struct RadioFixture {
   Channel channel{sim, std::make_unique<TwoRayGroundModel>()};
   std::vector<std::unique_ptr<netsim::StaticMobility>> mobilities;
   std::vector<std::unique_ptr<WifiPhy>> radios;
+  std::vector<Channel::Attachment> links;  // after radios: detaches first
 
   WifiPhy& add_radio(Vec2 position) {
     mobilities.push_back(std::make_unique<netsim::StaticMobility>(position));
     radios.push_back(std::make_unique<WifiPhy>(
         sim, static_cast<netsim::NodeId>(radios.size()),
         mobilities.back().get()));
-    channel.attach(radios.back().get());
+    links.push_back(channel.attach(radios.back().get()));
     return *radios.back();
   }
 };

@@ -10,9 +10,10 @@ netsim::NodeId Testbed::add_node(Vec2 position,
                                  const ProtocolFactory& factory) {
   const auto id = static_cast<netsim::NodeId>(routers_.size());
   mobilities_.push_back(std::make_unique<MovableMobility>(position));
+  mobilities_.back()->set_on_move([this] { channel.invalidate_positions(); });
   phys_.push_back(
       std::make_unique<phy::WifiPhy>(sim, id, mobilities_.back().get()));
-  channel.attach(phys_.back().get());
+  links_.push_back(channel.attach(phys_.back().get()));
   macs_.push_back(
       std::make_unique<mac::WifiMac>(sim, *phys_.back(), mac::MacParams{}, id));
   routers_.push_back(factory(sim, *macs_.back()));

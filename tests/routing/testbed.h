@@ -16,15 +16,25 @@
 namespace cavenet::routing::test {
 
 /// Mobility whose position tests can change mid-run (to break links).
+/// Because moves happen outside the mobility model's time-indexed view,
+/// the testbed wires on_move to Channel::invalidate_positions() so the
+/// channel's per-tick position snapshot never serves a stale location.
 class MovableMobility final : public netsim::MobilityModel {
  public:
   explicit MovableMobility(Vec2 position) : position_(position) {}
   Vec2 position(SimTime) const override { return position_; }
   Vec2 velocity(SimTime) const override { return {}; }
-  void move_to(Vec2 position) { position_ = position; }
+  void move_to(Vec2 position) {
+    position_ = position;
+    if (on_move_) on_move_();
+  }
+  void set_on_move(std::function<void()> on_move) {
+    on_move_ = std::move(on_move);
+  }
 
  private:
   Vec2 position_;
+  std::function<void()> on_move_;
 };
 
 struct Delivered {
@@ -68,6 +78,7 @@ class Testbed {
  private:
   std::vector<std::unique_ptr<MovableMobility>> mobilities_;
   std::vector<std::unique_ptr<phy::WifiPhy>> phys_;
+  std::vector<phy::Channel::Attachment> links_;  // after phys_: detach first
   std::vector<std::unique_ptr<mac::WifiMac>> macs_;
   std::vector<std::unique_ptr<RoutingProtocol>> routers_;
   std::vector<Delivered> delivered_;

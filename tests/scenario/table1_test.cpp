@@ -129,7 +129,7 @@ TEST(Table1Test, Ns2RoundTripTraceGivesSameResult) {
 TEST(Table1Test, PacketLogCapturesAllLayers) {
   netsim::PacketLog log;
   auto config = quick_config(Protocol::kAodv);
-  config.packet_log = &log;
+  config.obs.packet_log = &log;
   const auto result = run_table1(config);
   ASSERT_GT(result.rx_packets, 0u);
   using E = netsim::PacketLog::Event;

@@ -60,7 +60,7 @@ obs::RunManifest fresh_manifest(obs::StatsRegistry& stats) {
   config.seed = 3;
   config.traffic_start_s = 2.0;
   config.duration_s = 20.0;
-  config.stats = &stats;
+  config.obs.stats = &stats;
   const auto results = run_all_senders(config, 1, 8, /*jobs=*/1);
   obs::RunManifest manifest =
       make_run_manifest("golden_fig8_short", config, results);
@@ -98,7 +98,7 @@ TEST(StatsDiffGoldenTest, InjectedDropRegressionExitsNonZero) {
   // spike injected: stats_diff must flag it and gate (exit 1).
   stats.counter("mac.drop.injected_regression").inc(1000);
   TableIConfig config;  // params only label the report; stats drive the gate
-  config.stats = &stats;
+  config.obs.stats = &stats;
   obs::RunManifest bad =
       make_run_manifest("golden_fig8_short", config, {});
   bad.strip_volatile();
