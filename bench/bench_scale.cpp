@@ -12,17 +12,110 @@
 //            bitwise-identical for every N; wall-clock columns vary).
 // --smoke    tiny fleets + short runs; the `bench-smoke` ctest label runs
 //            this mode so the bench itself stays green under the
-//            sanitizer presets.
+//            sanitizer presets. Smoke runs also record kernel-ms and
+//            events/s per sweep point into BENCH_scale.json (keyed by
+//            --json-label, default "current"), extending the checked-in
+//            perf trajectory.
 // --linear   use the brute-force channel (kLinear) instead of the grid,
 //            for A/B-ing the index's win.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "scenario/scale.h"
 #include "util/cli_args.h"
 #include "util/table_writer.h"
+
+namespace {
+
+/// Rewrites BENCH_scale.json with this run's kernel-ms / events-per-s
+/// per sweep point under `label`, keeping entries with other labels.
+/// Shape: {"entries": [{"label": "...", "points": [{...}, ...]}, ...]}
+void write_scale_json(
+    const std::string& path, const std::string& label,
+    const std::vector<cavenet::scenario::ScaleRunResult>& results) {
+  using cavenet::obs::JsonValue;
+  std::vector<std::string> kept;  // raw pre-serialized entries
+  if (std::ifstream in(path); in.is_open()) {
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const JsonValue doc = cavenet::obs::parse_json(buf.str());
+    if (const JsonValue* entries = doc.find("entries");
+        entries != nullptr && entries->is_array()) {
+      for (const JsonValue& entry : entries->array) {
+        const JsonValue* entry_label = entry.find("label");
+        const JsonValue* points = entry.find("points");
+        if (entry_label == nullptr || !entry_label->is_string() ||
+            entry_label->string == label || points == nullptr ||
+            !points->is_array()) {
+          continue;
+        }
+        cavenet::obs::JsonWriter raw;
+        raw.begin_object();
+        raw.key("label");
+        raw.value(entry_label->string);
+        raw.key("points");
+        raw.begin_array();
+        for (const JsonValue& point : points->array) {
+          raw.begin_object();
+          for (const auto& [name, value] : point.object) {
+            raw.key(name);
+            if (value.is_string()) {
+              raw.value(value.string);
+            } else {
+              raw.value(value.number);
+            }
+          }
+          raw.end_object();
+        }
+        raw.end_array();
+        raw.end_object();
+        kept.push_back(raw.str());
+      }
+    }
+  }
+
+  cavenet::obs::JsonWriter w;
+  w.begin_object();
+  w.key("entries");
+  w.begin_array();
+  for (const std::string& entry : kept) w.raw(entry);
+  w.begin_object();
+  w.key("label");
+  w.value(label);
+  w.key("points");
+  w.begin_array();
+  for (const cavenet::scenario::ScaleRunResult& r : results) {
+    w.begin_object();
+    w.key("protocol");
+    w.value(to_string(r.protocol));
+    w.key("vehicles");
+    w.value(static_cast<std::int64_t>(r.vehicles));
+    w.key("events");
+    w.value(static_cast<std::uint64_t>(r.flow.events_dispatched));
+    w.key("kernel_ms");
+    w.value(r.kernel_wall_ms);
+    w.key("events_per_s");
+    w.value(r.wall_s > 0.0
+                ? static_cast<double>(r.flow.events_dispatched) / r.wall_s
+                : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(path, std::ios::trunc);
+  out << w.str() << '\n';
+  std::cout << "json: " << path << " (label \"" << label << "\")\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cavenet;
@@ -32,6 +125,7 @@ int main(int argc, char** argv) {
   const int jobs = static_cast<int>(args.get_int("jobs", 1));
   const bool smoke = args.get_bool("smoke", false);
   const bool linear = args.get_bool("linear", false);
+  const std::string json_label = args.get_string("json-label", "current");
   for (const std::string& flag : args.unknown_flags()) {
     std::cerr << "unknown flag: --" << flag << "\n";
     return 2;
@@ -85,6 +179,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   table.write_csv_file("scale.csv");
   std::cout << "\ncsv: scale.csv\n";
+  if (smoke) write_scale_json("BENCH_scale.json", json_label, results);
 
   // Sanity gates so the smoke run fails loudly if the index regresses:
   // every pair (transmission, other radio) is either evaluated or culled,

@@ -1,6 +1,7 @@
 #include "app/cbr.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace cavenet::app {
 
@@ -54,7 +55,7 @@ void PacketSink::track_source(netsim::NodeId source, FlowMetrics* metrics) {
 }
 
 void PacketSink::on_deliver(netsim::Packet packet, netsim::NodeId source) {
-  const UdpHeader* header = packet.peek<UdpHeader>();
+  const UdpHeader* header = std::as_const(packet).peek<UdpHeader>();
   if (header == nullptr || header->dst_port != port_) return;
   ++received_;
   obs_rx_.inc();

@@ -1,6 +1,7 @@
 #include "mac/wifi_mac.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -314,7 +315,9 @@ void WifiMac::send_control(MacHeader::Type type, NodeId dst,
 void WifiMac::on_phy_receive(Packet packet, double rx_power_w) {
   (void)rx_power_w;
   eifs_until_ = SimTime::zero();  // a correct reception ends the EIFS rule
-  const MacHeader* peek = packet.peek<MacHeader>();
+  // Const peek: the frame may share its header stack with every other
+  // receiver of the broadcast, and classifying it must not detach.
+  const MacHeader* peek = std::as_const(packet).peek<MacHeader>();
   if (peek == nullptr) return;  // not an 802.11 frame
   const MacHeader header = packet.pop<MacHeader>();
 

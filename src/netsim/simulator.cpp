@@ -8,30 +8,6 @@
 
 namespace cavenet::netsim {
 
-EventId Simulator::schedule(SimTime delay, std::function<void()> action) {
-  return schedule(delay, {}, std::move(action));
-}
-
-EventId Simulator::schedule(SimTime delay, std::string_view component,
-                            std::function<void()> action) {
-  if (delay < SimTime::zero()) {
-    throw std::invalid_argument("negative delay: " + delay.to_string());
-  }
-  return scheduler_.schedule_at(now_ + delay, std::move(action), component);
-}
-
-EventId Simulator::schedule_at(SimTime at, std::function<void()> action) {
-  return schedule_at(at, {}, std::move(action));
-}
-
-EventId Simulator::schedule_at(SimTime at, std::string_view component,
-                               std::function<void()> action) {
-  if (at < now_) {
-    throw std::invalid_argument("scheduling into the past: " + at.to_string());
-  }
-  return scheduler_.schedule_at(at, std::move(action), component);
-}
-
 void Simulator::run() {
   stopped_ = false;
   while (!stopped_ && !scheduler_.empty()) {

@@ -11,8 +11,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <functional>
+#include <stdexcept>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 
 #include "netsim/scheduler.h"
 #include "util/rng.h"
@@ -20,6 +22,7 @@
 
 namespace cavenet::obs {
 class KernelProfiler;
+class StatsRegistry;
 class TraceSink;
 }  // namespace cavenet::obs
 
@@ -37,13 +40,37 @@ class Simulator {
   /// Schedules `action` after `delay` (>= 0) from now. The labeled
   /// overloads attribute the handler to `component` in kernel profiles;
   /// the label must point at static storage (pass a string literal).
-  EventId schedule(SimTime delay, std::function<void()> action);
-  EventId schedule(SimTime delay, std::string_view component,
-                   std::function<void()> action);
+  /// Templated so the callable lands directly in the scheduler pool's
+  /// inline buffer — no std::function box on the way in.
+  template <typename F>
+    requires std::is_invocable_v<std::decay_t<F>&>
+  EventId schedule(SimTime delay, F&& action) {
+    return schedule(delay, {}, std::forward<F>(action));
+  }
+  template <typename F>
+    requires std::is_invocable_v<std::decay_t<F>&>
+  EventId schedule(SimTime delay, std::string_view component, F&& action) {
+    if (delay < SimTime::zero()) {
+      throw std::invalid_argument("negative delay: " + delay.to_string());
+    }
+    return scheduler_.schedule_at(now_ + delay, std::forward<F>(action),
+                                  component);
+  }
   /// Schedules at an absolute time (>= now).
-  EventId schedule_at(SimTime at, std::function<void()> action);
-  EventId schedule_at(SimTime at, std::string_view component,
-                      std::function<void()> action);
+  template <typename F>
+    requires std::is_invocable_v<std::decay_t<F>&>
+  EventId schedule_at(SimTime at, F&& action) {
+    return schedule_at(at, {}, std::forward<F>(action));
+  }
+  template <typename F>
+    requires std::is_invocable_v<std::decay_t<F>&>
+  EventId schedule_at(SimTime at, std::string_view component, F&& action) {
+    if (at < now_) {
+      throw std::invalid_argument("scheduling into the past: " +
+                                  at.to_string());
+    }
+    return scheduler_.schedule_at(at, std::forward<F>(action), component);
+  }
 
   /// Runs until the event queue drains or stop() is called.
   void run();
@@ -66,6 +93,11 @@ class Simulator {
   /// Attaches (nullptr detaches) a kernel profiler; see Scheduler.
   void set_profiler(obs::KernelProfiler* profiler) noexcept {
     scheduler_.set_profiler(profiler);
+  }
+
+  /// Binds the scheduler pool's sched.pool.* counters; see Scheduler.
+  void bind_kernel_stats(obs::StatsRegistry& registry) {
+    scheduler_.bind_stats(registry);
   }
 
   /// Attaches (nullptr detaches) a sink for kernel-emitted trace events

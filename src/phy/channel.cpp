@@ -129,11 +129,18 @@ void Channel::transmit(const WifiPhy& sender, const netsim::Packet& packet,
     const double power = model_->rx_power_w(tx_power_w, tx_pos, rx_pos);
     if (power < rx->params().profile.cs_threshold_w) return;
     const double delay_s = d / kSpeedOfLight;
+    // The per-receiver copy shares the header stack (COW), so this is a
+    // refcount bump, and the whole delivery closure fits the scheduler's
+    // inline action buffer: the hottest path in the kernel allocates
+    // nothing per receiver.
     netsim::Packet copy = packet;
+    auto deliver = [rx, copy = std::move(copy), power, duration]() mutable {
+      rx->begin_receive(std::move(copy), power, duration);
+    };
+    static_assert(sizeof(deliver) <= netsim::detail::InlineAction::kCapacity,
+                  "broadcast delivery must stay allocation-free");
     sim_->schedule(SimTime::from_seconds(delay_s), "chan",
-                   [rx, copy = std::move(copy), power, duration]() mutable {
-                     rx->begin_receive(std::move(copy), power, duration);
-                   });
+                   std::move(deliver));
   };
 
   if (radius && index_ == ChannelIndex::kGrid) {

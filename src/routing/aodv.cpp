@@ -1,6 +1,7 @@
 #include "routing/aodv.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -31,7 +32,7 @@ void AodvProtocol::send(Packet packet, NodeId destination) {
 }
 
 void AodvProtocol::route_output(Packet packet) {
-  const DataHeader* header = packet.peek<DataHeader>();
+  const DataHeader* header = std::as_const(packet).peek<DataHeader>();
   const NodeId dst = header->dst;
   if (const RouteEntry* route = table_.lookup(dst, sim_->now())) {
     const NodeId next_hop = route->next_hop;
@@ -180,22 +181,25 @@ void AodvProtocol::flush_buffer(NodeId dst) {
 }
 
 void AodvProtocol::on_link_receive(Packet packet, NodeId from) {
-  if (packet.peek<RreqHeader>() != nullptr) {
+  // Const peeks: reading a broadcast copy must not detach its shared
+  // header stack.
+  if (std::as_const(packet).peek<RreqHeader>() != nullptr) {
     handle_rreq(std::move(packet), from);
-  } else if (packet.peek<RrepHeader>() != nullptr) {
+  } else if (std::as_const(packet).peek<RrepHeader>() != nullptr) {
     handle_rrep(std::move(packet), from);
-  } else if (packet.peek<RerrHeader>() != nullptr) {
+  } else if (std::as_const(packet).peek<RerrHeader>() != nullptr) {
     handle_rerr(std::move(packet), from);
-  } else if (const HelloHeader* hello = packet.peek<HelloHeader>()) {
+  } else if (const HelloHeader* hello =
+                 std::as_const(packet).peek<HelloHeader>()) {
     handle_hello(*hello, from);
-  } else if (packet.peek<DataHeader>() != nullptr) {
+  } else if (std::as_const(packet).peek<DataHeader>() != nullptr) {
     forward_data(std::move(packet), from);
   }
 }
 
 void AodvProtocol::forward_data(Packet packet, NodeId from) {
   refresh_neighbor(from);
-  DataHeader* header = packet.peek<DataHeader>();
+  const DataHeader* header = std::as_const(packet).peek<DataHeader>();
   if (header->dst == address()) {
     const DataHeader popped = packet.pop<DataHeader>();
     deliver(std::move(packet), popped.src, popped.hops);
@@ -205,10 +209,13 @@ void AodvProtocol::forward_data(Packet packet, NodeId from) {
     ++stats_.drops_ttl;
     return;
   }
-  --header->ttl;
-  ++header->hops;
   const NodeId dst = header->dst;
   const NodeId src = header->src;
+  // Forwarding rewrites ttl/hops: only now take a writable header
+  // (detaching a stack shared with the other broadcast receivers).
+  DataHeader* fwd = packet.peek<DataHeader>();
+  --fwd->ttl;
+  ++fwd->hops;
   if (const RouteEntry* route = table_.lookup(dst, sim_->now())) {
     ++stats_.data_forwarded;
     const NodeId next_hop = route->next_hop;

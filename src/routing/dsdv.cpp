@@ -1,6 +1,7 @@
 #include "routing/dsdv.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace cavenet::routing::dsdv {
 
@@ -32,16 +33,19 @@ void DsdvProtocol::send(Packet packet, NodeId destination) {
 }
 
 void DsdvProtocol::on_link_receive(Packet packet, NodeId from) {
-  if (const UpdateHeader* update = packet.peek<UpdateHeader>()) {
+  // Const peeks: reading a broadcast copy must not detach its shared
+  // header stack.
+  if (const UpdateHeader* update =
+          std::as_const(packet).peek<UpdateHeader>()) {
     handle_update(*update, from);
-  } else if (packet.peek<DataHeader>() != nullptr) {
+  } else if (std::as_const(packet).peek<DataHeader>() != nullptr) {
     forward_data(std::move(packet), from);
   }
 }
 
 void DsdvProtocol::forward_data(Packet packet, NodeId from) {
   (void)from;
-  DataHeader* header = packet.peek<DataHeader>();
+  const DataHeader* header = std::as_const(packet).peek<DataHeader>();
   if (header->dst == address()) {
     const DataHeader popped = packet.pop<DataHeader>();
     deliver(std::move(packet), popped.src, popped.hops);
@@ -51,9 +55,13 @@ void DsdvProtocol::forward_data(Packet packet, NodeId from) {
     ++stats_.drops_ttl;
     return;
   }
-  --header->ttl;
-  ++header->hops;
-  if (const RouteEntry* route = table_.lookup(header->dst, sim_->now())) {
+  const NodeId dst = header->dst;
+  // Forwarding rewrites ttl/hops: only now take a writable header
+  // (detaching a stack shared with the other broadcast receivers).
+  DataHeader* fwd = packet.peek<DataHeader>();
+  --fwd->ttl;
+  ++fwd->hops;
+  if (const RouteEntry* route = table_.lookup(dst, sim_->now())) {
     ++stats_.data_forwarded;
     send_data_link(std::move(packet), route->next_hop);
     return;

@@ -1,6 +1,7 @@
 #include "routing/dymo.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace cavenet::routing::dymo {
 
@@ -29,7 +30,7 @@ void DymoProtocol::send(Packet packet, NodeId destination) {
 }
 
 void DymoProtocol::route_output(Packet packet) {
-  const NodeId dst = packet.peek<DataHeader>()->dst;
+  const NodeId dst = std::as_const(packet).peek<DataHeader>()->dst;
   if (const RouteEntry* route = table_.lookup(dst, sim_->now())) {
     const NodeId next_hop = route->next_hop;
     // ROUTE_USED: refresh the lifetime of routes carrying traffic.
@@ -139,23 +140,26 @@ void DymoProtocol::append_self(RoutingMessageHeader& message) {
 }
 
 void DymoProtocol::on_link_receive(Packet packet, NodeId from) {
-  if (packet.peek<RreqHeader>() != nullptr) {
+  // Const peeks: reading a broadcast copy must not detach its shared
+  // header stack.
+  if (std::as_const(packet).peek<RreqHeader>() != nullptr) {
     handle_rreq(std::move(packet), from);
-  } else if (packet.peek<RrepHeader>() != nullptr) {
+  } else if (std::as_const(packet).peek<RrepHeader>() != nullptr) {
     handle_rrep(std::move(packet), from);
-  } else if (packet.peek<RerrHeader>() != nullptr) {
+  } else if (std::as_const(packet).peek<RerrHeader>() != nullptr) {
     handle_rerr(std::move(packet), from);
-  } else if (const HelloHeader* hello = packet.peek<HelloHeader>()) {
+  } else if (const HelloHeader* hello =
+                 std::as_const(packet).peek<HelloHeader>()) {
     refresh_neighbor(from);
     update_route(hello->origin, from, 1, hello->seqno, true);
-  } else if (packet.peek<DataHeader>() != nullptr) {
+  } else if (std::as_const(packet).peek<DataHeader>() != nullptr) {
     forward_data(std::move(packet), from);
   }
 }
 
 void DymoProtocol::forward_data(Packet packet, NodeId from) {
   refresh_neighbor(from);
-  DataHeader* header = packet.peek<DataHeader>();
+  const DataHeader* header = std::as_const(packet).peek<DataHeader>();
   if (header->dst == address()) {
     const DataHeader popped = packet.pop<DataHeader>();
     deliver(std::move(packet), popped.src, popped.hops);
@@ -165,9 +169,12 @@ void DymoProtocol::forward_data(Packet packet, NodeId from) {
     ++stats_.drops_ttl;
     return;
   }
-  --header->ttl;
-  ++header->hops;
   const NodeId dst = header->dst;
+  // Forwarding rewrites ttl/hops: only now take a writable header
+  // (detaching a stack shared with the other broadcast receivers).
+  DataHeader* fwd = packet.peek<DataHeader>();
+  --fwd->ttl;
+  ++fwd->hops;
   if (const RouteEntry* route = table_.lookup(dst, sim_->now())) {
     ++stats_.data_forwarded;
     if (RouteEntry* e = table_.find(dst)) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <utility>
 
 namespace cavenet::routing::olsr {
 
@@ -160,14 +161,16 @@ void OlsrProtocol::tc_timer() {
 }
 
 void OlsrProtocol::on_link_receive(Packet packet, NodeId from) {
-  if (const HelloHeader* hello = packet.peek<HelloHeader>()) {
+  // Const peeks: the packet may share its header stack with every other
+  // receiver of the broadcast, and reading must not detach it.
+  if (const HelloHeader* hello = std::as_const(packet).peek<HelloHeader>()) {
     handle_hello(*hello, from);
-  } else if (packet.peek<TcHeader>() != nullptr) {
-    const TcHeader tc = *packet.peek<TcHeader>();
+  } else if (std::as_const(packet).peek<TcHeader>() != nullptr) {
+    const TcHeader tc = *std::as_const(packet).peek<TcHeader>();
     handle_tc(std::move(packet), tc, from);
-  } else if (const HnaHeader* hna = packet.peek<HnaHeader>()) {
+  } else if (const HnaHeader* hna = std::as_const(packet).peek<HnaHeader>()) {
     handle_hna(*hna, from);
-  } else if (packet.peek<DataHeader>() != nullptr) {
+  } else if (std::as_const(packet).peek<DataHeader>() != nullptr) {
     forward_data(std::move(packet), from);
   }
 }
@@ -262,7 +265,7 @@ void OlsrProtocol::handle_tc(Packet packet, const TcHeader& tc, NodeId from) {
 
 void OlsrProtocol::forward_data(Packet packet, NodeId from) {
   (void)from;
-  DataHeader* header = packet.peek<DataHeader>();
+  const DataHeader* header = std::as_const(packet).peek<DataHeader>();
   // A gateway terminates traffic for its associated networks (the packet
   // would leave the MANET through the uplink here).
   if (std::find(local_networks_.begin(), local_networks_.end(),
@@ -280,9 +283,13 @@ void OlsrProtocol::forward_data(Packet packet, NodeId from) {
     ++stats_.drops_ttl;
     return;
   }
-  --header->ttl;
-  ++header->hops;
-  if (const RouteEntry* route = resolve(header->dst)) {
+  const NodeId dst = header->dst;
+  // Forwarding rewrites ttl/hops: only now take a writable header
+  // (detaching a stack shared with the other broadcast receivers).
+  DataHeader* fwd = packet.peek<DataHeader>();
+  --fwd->ttl;
+  ++fwd->hops;
+  if (const RouteEntry* route = resolve(dst)) {
     ++stats_.data_forwarded;
     send_data_link(std::move(packet), route->next_hop);
     return;

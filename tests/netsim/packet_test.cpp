@@ -1,6 +1,7 @@
 #include "netsim/packet.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -116,6 +117,9 @@ TEST(PacketTest, SelfAssignmentIsSafe) {
   p = alias;
   EXPECT_EQ(p.payload_bytes(), 10u);
   EXPECT_EQ(p.header_count(), 1u);
+  // The header must still be reachable: self-assignment must not drop
+  // (or leak) the shared stack through the alias.
+  EXPECT_NE(std::as_const(p).peek<TestHeaderA>(), nullptr);
 }
 
 TEST(PacketTest, MovePreservesEverything) {
@@ -128,6 +132,115 @@ TEST(PacketTest, MovePreservesEverything) {
   EXPECT_EQ(moved.uid(), uid);
   EXPECT_EQ(moved.payload_bytes(), 33u);
   EXPECT_EQ(moved.peek<TestHeaderA>()->value, 5);
+}
+
+TEST(PacketTest, CopiesShareStorageUntilMutation) {
+  Packet p(10);
+  TestHeaderA a;
+  a.value = 7;
+  p.push(a);
+  Packet copy = p;
+  // Shared: const peeks on both resolve to the same header object.
+  EXPECT_EQ(std::as_const(p).peek<TestHeaderA>(),
+            std::as_const(copy).peek<TestHeaderA>());
+
+  // A mutable peek detaches the copy; the original keeps its storage.
+  const TestHeaderA* original_header = std::as_const(p).peek<TestHeaderA>();
+  TestHeaderA* writable = copy.peek<TestHeaderA>();
+  EXPECT_NE(writable, original_header);
+  writable->value = 99;
+  EXPECT_EQ(std::as_const(p).peek<TestHeaderA>()->value, 7);
+  EXPECT_EQ(std::as_const(p).peek<TestHeaderA>(), original_header);
+}
+
+TEST(PacketTest, PopFromSharedCopyLeavesOriginalIntact) {
+  Packet p(10);
+  p.push(TestHeaderA{});
+  TestHeaderB b;
+  b.payload = 2.5;
+  p.push(b);
+
+  Packet copy = p;
+  const TestHeaderB popped = copy.pop<TestHeaderB>();
+  EXPECT_EQ(popped.payload, 2.5);
+  EXPECT_EQ(copy.header_count(), 1u);
+  EXPECT_EQ(copy.top_name(), "test-a");
+  // The original still sees both headers: the pop only shrank the
+  // copy's view of the shared stack.
+  EXPECT_EQ(p.header_count(), 2u);
+  EXPECT_EQ(p.top_name(), "test-b");
+  EXPECT_EQ(std::as_const(p).peek<TestHeaderB>()->payload, 2.5);
+}
+
+TEST(PacketTest, PushAfterSharedPopDoesNotResurrectHiddenHeaders) {
+  Packet p(10);
+  p.push(TestHeaderA{});
+  p.push(TestHeaderB{});
+  Packet copy = p;
+  (void)copy.pop<TestHeaderB>();
+
+  // Pushing onto the truncated view must build on [TestHeaderA] only.
+  TestHeaderA replacement;
+  replacement.value = 3;
+  copy.push(replacement);
+  EXPECT_EQ(copy.header_count(), 2u);
+  EXPECT_EQ(copy.top_name(), "test-a");
+  EXPECT_EQ(std::as_const(copy).peek<TestHeaderA>()->value, 3);
+  // Original unaffected.
+  EXPECT_EQ(p.header_count(), 2u);
+  EXPECT_EQ(p.top_name(), "test-b");
+}
+
+TEST(PacketTest, UniqueOwnerPopsDestructively) {
+  // When nothing shares the stack, pop must not copy-detach: after the
+  // last copy dies, the survivor mutates its storage in place again.
+  Packet p(10);
+  p.push(TestHeaderA{});
+  p.push(TestHeaderB{});
+  {
+    Packet transient = p;
+    (void)transient;
+  }
+  const std::uint64_t detaches_before = Packet::cow_detach_count();
+  (void)p.pop<TestHeaderB>();
+  p.peek<TestHeaderA>()->value = 11;
+  EXPECT_EQ(Packet::cow_detach_count(), detaches_before)
+      << "sole owner must never pay a copy-on-write detach";
+  EXPECT_EQ(p.header_count(), 1u);
+}
+
+TEST(PacketTest, SizeBytesFollowsTheVisibleView) {
+  Packet p(100);
+  p.push(TestHeaderA{});  // 10 bytes
+  p.push(TestHeaderB{});  // 4 bytes
+  Packet copy = p;
+  (void)copy.pop<TestHeaderB>();
+  EXPECT_EQ(copy.size_bytes(), 110u);
+  EXPECT_EQ(p.size_bytes(), 114u);
+}
+
+TEST(PacketTest, FindSearchesOnlyTheVisibleView) {
+  Packet p(10);
+  TestHeaderB hidden;
+  hidden.payload = 1.0;
+  p.push(TestHeaderA{});
+  p.push(hidden);
+  Packet copy = p;
+  (void)copy.pop<TestHeaderB>();
+  EXPECT_EQ(copy.find<TestHeaderB>(), nullptr)
+      << "a popped header must be invisible to find()";
+  EXPECT_NE(p.find<TestHeaderB>(), nullptr);
+}
+
+TEST(PacketTest, CowDetachCountTracksDetaches) {
+  Packet p(10);
+  p.push(TestHeaderA{});
+  const std::uint64_t before = Packet::cow_detach_count();
+  p.peek<TestHeaderA>()->value = 1;  // unique: no detach
+  EXPECT_EQ(Packet::cow_detach_count(), before);
+  Packet copy = p;
+  copy.peek<TestHeaderA>()->value = 2;  // shared: detach
+  EXPECT_EQ(Packet::cow_detach_count(), before + 1);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "netsim/scheduler.h"
 
+#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -104,6 +106,97 @@ TEST(SchedulerTest, NextTimeSkipsCancelled) {
   s.schedule_at(2_s, [] {});
   first.cancel();
   EXPECT_EQ(s.next_time(), 2_s);
+}
+
+TEST(SchedulerTest, CancelReleasesCapturedResourcesEagerly) {
+  Scheduler s;
+  auto resource = std::make_shared<int>(42);
+  EventId id = s.schedule_at(1_s, [resource] { (void)*resource; });
+  EXPECT_EQ(resource.use_count(), 2);
+  // The tombstone stays queued, but the capture must die at cancel()
+  // time — pinned packets/buffers must not wait for the heap top.
+  id.cancel();
+  EXPECT_EQ(resource.use_count(), 1);
+  EXPECT_EQ(s.size(), 1u) << "lazy heap entry remains until dropped";
+  EXPECT_TRUE(s.empty()) << "but no live event is pending";
+}
+
+TEST(SchedulerTest, StaleHandleToRecycledSlotStaysInert) {
+  // ABA gate: a handle must reference exactly one incarnation of its
+  // pool slot. Cancelling once frees the slot; the next schedule reuses
+  // it under a new generation, and the old handle must not touch it.
+  Scheduler s;
+  EventId old_id = s.schedule_at(1_s, [] {});
+  old_id.cancel();
+
+  bool fired = false;
+  EventId fresh = s.schedule_at(2_s, [&fired] { fired = true; });
+  EXPECT_FALSE(old_id.pending()) << "stale handle must not see the reuse";
+  EXPECT_TRUE(fresh.pending());
+
+  old_id.cancel();  // must be a no-op on the recycled slot
+  EXPECT_TRUE(fresh.pending());
+  while (s.run_one()) {
+  }
+  EXPECT_TRUE(fired) << "stale cancel must not kill the recycled event";
+}
+
+TEST(SchedulerTest, StaleHandleSurvivesManyRecycles) {
+  Scheduler s;
+  EventId stale = s.schedule_at(1_s, [] {});
+  stale.cancel();
+  // Drive the slot through many schedule/dispatch reuses, checking the
+  // stale handle never resurrects.
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    s.schedule_at(SimTime::from_seconds(2.0 + i), [&fired] { ++fired; });
+    stale.cancel();
+    EXPECT_FALSE(stale.pending());
+    while (s.run_one()) {
+    }
+  }
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(SchedulerTest, SelfCancelDuringDispatchIsSafe) {
+  Scheduler s;
+  EventId self;
+  bool pending_during_dispatch = false;
+  self = s.schedule_at(1_s, [&] {
+    pending_during_dispatch = self.pending();
+    self.cancel();
+    EXPECT_FALSE(self.pending());
+  });
+  while (s.run_one()) {
+  }
+  // Matches the old shared_ptr kernel: the running event is pending
+  // until its handler returns.
+  EXPECT_TRUE(pending_during_dispatch);
+  // The slot must be recyclable afterwards.
+  bool fired = false;
+  s.schedule_at(2_s, [&fired] { fired = true; });
+  while (s.run_one()) {
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerTest, MassCancellationCompactsTombstones) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1024; ++i) {
+    ids.push_back(s.schedule_at(SimTime::from_seconds(1.0 + i), [] {}));
+  }
+  s.schedule_at(2000_s, [] {});
+  for (EventId& id : ids) id.cancel();
+  // >50 % of the queue is tombstones, so compaction must have rebuilt
+  // the heap instead of carrying 1024 dead entries.
+  EXPECT_LT(s.size(), 64u);
+  EXPECT_EQ(s.next_time(), 2000_s);
+  int fired = 0;
+  while (s.run_one()) {
+    ++fired;
+  }
+  EXPECT_EQ(fired, 1);
 }
 
 }  // namespace
