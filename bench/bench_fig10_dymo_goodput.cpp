@@ -4,13 +4,13 @@
 // acquisition (paper: DYMO's route searching time is almost as low as
 // OLSR's, while its goodput matches AODV's).
 //
+// Thin wrapper over the spec engine (examples/specs/fig10_dymo.json).
+//
 // --jobs N fans the 8 per-sender runs across N ensemble workers; the CSV
 // and manifest are byte-identical for every N.
-#include "goodput_surface.h"
-#include "runner/ensemble.h"
+#include "spec/engine.h"
 
 int main(int argc, char** argv) {
-  return cavenet::bench::run_goodput_surface(
-      cavenet::scenario::Protocol::kDymo, "Fig. 10",
-      cavenet::runner::parse_jobs_flag(argc, argv));
+  return cavenet::spec::bench_spec_main(CAVENET_SPEC_DIR "/fig10_dymo.json",
+                                        argc, argv);
 }

@@ -7,63 +7,15 @@
 // near the critical density (rho* = 1/6 for p = 0), then decay as jams
 // dominate; the stochastic curve lies strictly below the deterministic one.
 //
+// Thin wrapper over the spec engine: the sweep is declared in
+// examples/specs/fig4_fundamental_diagram.json, and the golden-equivalence
+// tests pin the spec path to the historical hardcoded CSV byte-for-byte.
+//
 // --jobs N fans the 21 x 20 (density, trial) replications across N
 // ensemble workers; the CSV is byte-identical for every N.
-#include <cstdio>
-#include <iostream>
-
-#include "core/fundamental_diagram.h"
-#include "runner/ensemble.h"
-#include "util/table_writer.h"
+#include "spec/engine.h"
 
 int main(int argc, char** argv) {
-  using namespace cavenet;
-  using namespace cavenet::ca;
-
-  std::cout << "Fig. 4: fundamental diagram, L = 400, 20 trials x 500 "
-               "iterations per point\n\n";
-
-  FundamentalDiagramOptions options;
-  options.params.lane_length = 400;
-  options.densities = density_ladder(400, 0.5, 21);
-  options.iterations = 500;
-  options.trials = 20;
-  options.warmup = 200;
-  options.seed = 4;
-  options.jobs = cavenet::runner::parse_jobs_flag(argc, argv);
-
-  options.params.slowdown_p = 0.0;
-  const auto deterministic = fundamental_diagram(options);
-  options.params.slowdown_p = 0.5;
-  const auto stochastic = fundamental_diagram(options);
-
-  TableWriter table({"rho", "J (p=0)", "sd", "J (p=0.5)", "sd",
-                     "J theory (p=0)"});
-  for (std::size_t i = 0; i < deterministic.size(); ++i) {
-    table.add_row({deterministic[i].density, deterministic[i].flow,
-                   deterministic[i].flow_stddev, stochastic[i].flow,
-                   stochastic[i].flow_stddev,
-                   deterministic_flow(deterministic[i].density, 5)});
-  }
-  table.print(std::cout);
-  table.write_csv_file("fig4_fundamental_diagram.csv");
-
-  // Shape checks the paper narrates.
-  double det_peak = 0.0, sto_peak = 0.0;
-  double det_peak_rho = 0.0;
-  int stochastic_below = 0;
-  for (std::size_t i = 0; i < deterministic.size(); ++i) {
-    if (deterministic[i].flow > det_peak) {
-      det_peak = deterministic[i].flow;
-      det_peak_rho = deterministic[i].density;
-    }
-    sto_peak = std::max(sto_peak, stochastic[i].flow);
-    if (stochastic[i].flow <= deterministic[i].flow + 1e-9) ++stochastic_below;
-  }
-  std::printf(
-      "\npeak J(p=0) = %.3f at rho = %.3f (theory: 0.833 at 0.167) | "
-      "peak J(p=0.5) = %.3f | stochastic <= deterministic at %d/%zu points\n",
-      det_peak, det_peak_rho, sto_peak, stochastic_below,
-      deterministic.size());
-  return 0;
+  return cavenet::spec::bench_spec_main(
+      CAVENET_SPEC_DIR "/fig4_fundamental_diagram.json", argc, argv);
 }

@@ -4,13 +4,15 @@
 // the CBR rate — packets accumulate during route discovery back-off and
 // are flushed together when the route appears.
 //
+// Thin wrapper over the spec engine: the whole workload is declared in
+// examples/specs/fig8_aodv.json, and the golden-equivalence tests pin the
+// spec path to the historical hardcoded output byte-for-byte.
+//
 // --jobs N fans the 8 per-sender runs across N ensemble workers; the CSV
 // and manifest are byte-identical for every N.
-#include "goodput_surface.h"
-#include "runner/ensemble.h"
+#include "spec/engine.h"
 
 int main(int argc, char** argv) {
-  return cavenet::bench::run_goodput_surface(
-      cavenet::scenario::Protocol::kAodv, "Fig. 8",
-      cavenet::runner::parse_jobs_flag(argc, argv));
+  return cavenet::spec::bench_spec_main(CAVENET_SPEC_DIR "/fig8_aodv.json",
+                                        argc, argv);
 }

@@ -5,13 +5,13 @@
 // goodput than OLSR"), with gaps where the proactive tables lag behind
 // the topology.
 //
+// Thin wrapper over the spec engine (examples/specs/fig9_olsr.json).
+//
 // --jobs N fans the 8 per-sender runs across N ensemble workers; the CSV
 // and manifest are byte-identical for every N.
-#include "goodput_surface.h"
-#include "runner/ensemble.h"
+#include "spec/engine.h"
 
 int main(int argc, char** argv) {
-  return cavenet::bench::run_goodput_surface(
-      cavenet::scenario::Protocol::kOlsr, "Fig. 9",
-      cavenet::runner::parse_jobs_flag(argc, argv));
+  return cavenet::spec::bench_spec_main(CAVENET_SPEC_DIR "/fig9_olsr.json",
+                                        argc, argv);
 }

@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
   const bool linear = args.get_bool("linear", false);
   const std::string json_label = args.get_string("json-label", "current");
   for (const std::string& flag : args.unknown_flags()) {
-    std::cerr << "unknown flag: --" << flag << "\n";
+    std::cerr << args.describe_unknown(flag) << "\n";
     return 2;
   }
 

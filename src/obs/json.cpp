@@ -115,7 +115,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, std::string_view source_name)
+      : text_(text), source_name_(source_name) {}
 
   JsonValue parse_document() {
     JsonValue v = parse_value();
@@ -126,8 +127,23 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const char* what) const {
-    throw std::runtime_error("json: " + std::string(what) + " at offset " +
-                             std::to_string(pos_));
+    // 1-based line/column of pos_, counting '\n' only (a '\r' before it
+    // stays part of the preceding line's column count, which is what an
+    // editor shows for CRLF files anyway).
+    std::size_t line = 1, column = 1;
+    const std::size_t stop = pos_ < text_.size() ? pos_ : text_.size();
+    for (std::size_t i = 0; i < stop; ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    std::string message = std::string(source_name_) + ":" +
+                          std::to_string(line) + ":" + std::to_string(column) +
+                          ": " + what;
+    throw JsonParseError(std::move(message), line, column);
   }
 
   void skip_ws() {
@@ -306,6 +322,7 @@ class Parser {
   }
 
   std::string_view text_;
+  std::string_view source_name_;
   std::size_t pos_ = 0;
 };
 
@@ -318,8 +335,36 @@ const JsonValue* JsonValue::find(std::string_view key) const noexcept {
   return nullptr;
 }
 
-JsonValue parse_json(std::string_view text) {
-  return Parser(text).parse_document();
+JsonValue parse_json(std::string_view text, std::string_view source_name) {
+  return Parser(text, source_name).parse_document();
+}
+
+void write_json(const JsonValue& value, JsonWriter& w) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull: w.null(); break;
+    case JsonValue::Kind::kBool: w.value(value.boolean); break;
+    case JsonValue::Kind::kNumber: w.value(value.number); break;
+    case JsonValue::Kind::kString: w.value(value.string); break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& element : value.array) write_json(element, w);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, member] : value.object) {
+        w.key(key);
+        write_json(member, w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+std::string to_json(const JsonValue& value) {
+  JsonWriter w;
+  write_json(value, w);
+  return w.str();
 }
 
 }  // namespace cavenet::obs

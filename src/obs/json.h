@@ -8,7 +8,9 @@
 #ifndef CAVENET_OBS_JSON_H
 #define CAVENET_OBS_JSON_H
 
+#include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -77,9 +79,35 @@ struct JsonValue {
   bool is_string() const noexcept { return kind == Kind::kString; }
 };
 
-/// Parses a complete JSON document. Throws std::runtime_error on syntax
-/// errors or trailing garbage.
-JsonValue parse_json(std::string_view text);
+/// Syntax error thrown by parse_json(). The message pinpoints the fault
+/// ("specs/fig8.json:3:17: expected ',' or '}'"); line and column are
+/// 1-based and also carried as fields for programmatic use.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::string message, std::size_t line, std::size_t column)
+      : std::runtime_error(std::move(message)), line_(line), column_(column) {}
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Parses a complete JSON document. Throws JsonParseError (a
+/// std::runtime_error) on syntax errors or trailing garbage, reporting
+/// the 1-based line and column of the fault. `source_name` prefixes the
+/// error message (a file name, or "json" by default).
+JsonValue parse_json(std::string_view text, std::string_view source_name = "json");
+
+/// Serializes a parsed (or hand-built) JsonValue back to compact JSON.
+/// Object members keep their stored order; numbers are rendered with
+/// %.17g, so parse -> write -> parse round-trips values exactly. This is
+/// also the canonical form the spec engine fingerprints.
+std::string to_json(const JsonValue& value);
+/// Appends `value` to an open writer (for splicing into larger documents).
+void write_json(const JsonValue& value, JsonWriter& writer);
 
 }  // namespace cavenet::obs
 

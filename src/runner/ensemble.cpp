@@ -21,11 +21,7 @@ int resolve_jobs(int requested) noexcept {
 int parse_jobs_flag(int argc, const char* const* argv) {
   const CliArgs args(argc, argv);
   const auto jobs = static_cast<int>(args.get_int("jobs", 1));
-  const auto unknown = args.unknown_flags();
-  if (!unknown.empty()) {
-    throw std::invalid_argument("unknown flag --" + unknown.front() +
-                                " (supported: --jobs N)");
-  }
+  args.reject_unknown_flags();
   return resolve_jobs(jobs);
 }
 

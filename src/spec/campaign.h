@@ -1,0 +1,74 @@
+// The campaign runner: expands a spec's sweep grid into deterministic,
+// checkpointed points and executes them over an ensemble worker pool.
+//
+// Expansion is the cartesian product of the sweep axes (first axis
+// slowest) times `replications`. Each point patches the base scenario
+// JSON with its axis values, re-parses (so every point is validated with
+// the same diagnostics as the base), and draws its seed from a
+// counter-based substream keyed on (cell, replication) — never on
+// execution order, so any --jobs value and any resume pattern produce
+// identical artifacts.
+//
+// Checkpointing: every completed point writes one stripped RunManifest
+// (embedding the spec fingerprint) as soon as it finishes. A --resume
+// run re-expands the spec, keeps every on-disk point manifest whose
+// fingerprint matches, and only executes the rest. The campaign CSV is
+// always rebuilt from the on-disk manifests in point order, which makes
+// "interrupted + resumed" byte-identical to "uninterrupted" by
+// construction.
+#ifndef CAVENET_SPEC_CAMPAIGN_H
+#define CAVENET_SPEC_CAMPAIGN_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spec/spec.h"
+
+namespace cavenet::spec {
+
+/// One expanded sweep point, ready to run.
+struct CampaignPoint {
+  std::size_t index = 0;        ///< global point id, 0..total-1
+  std::size_t cell = 0;         ///< sweep-grid cell (axis combination)
+  std::size_t replication = 0;  ///< replication within the cell
+  /// Axis assignments of this cell, rendered for manifests/CSV
+  /// ("mobility.vehicles" -> "40").
+  std::vector<std::pair<std::string, std::string>> axis_values;
+  /// Patched, re-validated scenario; config.seed is already the derived
+  /// per-point substream seed.
+  ScenarioSpec scenario;
+};
+
+/// Expands the sweep grid. Throws SpecError when a patched point fails
+/// validation (the diagnostic names the point, e.g.
+/// "...: $.scenario.mobility.vehicles [point 4]: ...").
+std::vector<CampaignPoint> expand_points(const CampaignSpec& spec);
+
+/// Relative path of point `index`'s checkpoint manifest,
+/// "<name>.point_0007.manifest.json".
+std::string point_manifest_path(const CampaignSpec& spec, std::size_t index);
+
+struct CampaignOptions {
+  int jobs = 1;
+  bool resume = false;      ///< trust matching on-disk point manifests
+  std::string output_dir;   ///< prefix for every artifact ("" = cwd)
+};
+
+struct CampaignOutcome {
+  std::size_t points_total = 0;
+  std::size_t points_run = 0;
+  std::size_t points_resumed = 0;  ///< skipped via matching checkpoints
+};
+
+/// Runs (or resumes) the campaign: executes pending points across
+/// options.jobs workers, writes one point manifest per point, rebuilds
+/// outputs.csv from the manifests, and writes the campaign summary
+/// manifest to outputs.manifest.
+CampaignOutcome run_campaign(const CampaignSpec& spec,
+                             const CampaignOptions& options);
+
+}  // namespace cavenet::spec
+
+#endif  // CAVENET_SPEC_CAMPAIGN_H

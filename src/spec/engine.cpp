@@ -1,0 +1,50 @@
+#include "spec/engine.h"
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+
+#include "runner/ensemble.h"
+#include "spec/campaign.h"
+#include "spec/figures.h"
+
+namespace cavenet::spec {
+
+int run_spec(const CampaignSpec& spec, const RunOptions& options) {
+  if (!options.output_dir.empty()) {
+    std::filesystem::create_directories(options.output_dir);
+  }
+  switch (spec.kind) {
+    case SpecKind::kGoodputSurface:
+      return run_goodput_surface(spec, options.jobs, options.output_dir);
+    case SpecKind::kFundamentalDiagram:
+      return run_fundamental_diagram(spec, options.jobs, options.output_dir);
+    case SpecKind::kCampaign: {
+      CampaignOptions campaign_options;
+      campaign_options.jobs = options.jobs;
+      campaign_options.resume = options.resume;
+      campaign_options.output_dir = options.output_dir;
+      run_campaign(spec, campaign_options);
+      return 0;
+    }
+  }
+  return 2;
+}
+
+int run_spec_file(const std::string& path, const RunOptions& options) {
+  return run_spec(load_campaign_file(path), options);
+}
+
+int bench_spec_main(const std::string& path, int argc,
+                    const char* const* argv) {
+  try {
+    RunOptions options;
+    options.jobs = runner::parse_jobs_flag(argc, argv);
+    return run_spec_file(path, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace cavenet::spec

@@ -1,0 +1,24 @@
+#include "spec/fingerprint.h"
+
+#include <cstdio>
+
+namespace cavenet::spec {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string fingerprint_hex(const obs::JsonValue& document) {
+  const std::uint64_t hash = fnv1a64(obs::to_json(document));
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace cavenet::spec

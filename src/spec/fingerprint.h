@@ -1,0 +1,29 @@
+// Content fingerprint of a spec document.
+//
+// Resume only trusts a checkpointed point manifest when it was produced
+// by the *same* spec: every point manifest embeds the 64-bit FNV-1a hash
+// of the canonically re-serialized document (obs::to_json — compact, key
+// order preserved, doubles %.17g), rendered as 16 lowercase hex digits.
+// Any edit that changes the document's canonical form — even whitespace
+// stays out, but a value change always shows — invalidates the
+// checkpoint.
+#ifndef CAVENET_SPEC_FINGERPRINT_H
+#define CAVENET_SPEC_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace cavenet::spec {
+
+/// 64-bit FNV-1a over `bytes`.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// FNV-1a of the document's canonical serialization, as 16 hex digits.
+std::string fingerprint_hex(const obs::JsonValue& document);
+
+}  // namespace cavenet::spec
+
+#endif  // CAVENET_SPEC_FINGERPRINT_H

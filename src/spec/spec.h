@@ -1,0 +1,154 @@
+// cavenet::spec — the declarative scenario & campaign description
+// language (docs/SCENARIOS.md).
+//
+// A spec is one JSON document describing either a single figure-style
+// workload ("goodput_surface", "fundamental_diagram") or a "campaign": a
+// base scenario plus a sweep grid whose cartesian expansion the campaign
+// runner executes as deterministic, checkpointed points. Until this
+// layer, every workload was a hardcoded C++ bench binary; a spec opens a
+// new workload without writing or building any C++.
+//
+// Parsing is schema-validated: unknown keys are rejected (with a
+// did-you-mean suggestion), values are type- and range-checked, and every
+// diagnostic names the offending spec path ("fig8.json: $.scenario
+// .mobility.vehicles: ..."). Syntax errors carry line:column via
+// obs::JsonParseError.
+#ifndef CAVENET_SPEC_SPEC_H
+#define CAVENET_SPEC_SPEC_H
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/grid_road.h"
+#include "obs/json.h"
+#include "scenario/table1.h"
+
+namespace cavenet::spec {
+
+/// Validation error: malformed value, unknown key, inconsistent spec.
+/// (Syntax errors surface as obs::JsonParseError instead.)
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class SpecKind { kCampaign, kGoodputSurface, kFundamentalDiagram };
+
+std::string_view to_string(SpecKind kind) noexcept;
+
+/// Which mobility generator feeds the protocol stack.
+enum class MobilityModel {
+  kNas,   ///< single NaS lane, circular or open boundary (Table-I shape)
+  kGrid,  ///< signalized Manhattan grid (core/grid_road.h)
+};
+
+/// Optional rigid placement transform applied to a generated NaS trace —
+/// the paper's Section III-D lane transforms, driven from JSON. Applied
+/// as translate * rotate * mirror (mirror first).
+struct TransformSpec {
+  double rotate_deg = 0.0;
+  double translate_x = 0.0;
+  double translate_y = 0.0;
+  bool mirror_x = false;
+};
+
+/// One fully-resolved scenario: a Table-I-style protocol run over a
+/// declaratively chosen mobility pattern. `config` carries everything
+/// TableIConfig already models (seed, protocol, NaS lane, radio,
+/// traffic); the extras select alternative mobility and the sender range
+/// for surface workloads.
+struct ScenarioSpec {
+  scenario::TableIConfig config;
+
+  MobilityModel mobility_model = MobilityModel::kNas;
+  ca::GridRoadConfig grid;           ///< used when mobility_model == kGrid
+  std::int64_t grid_trace_steps = 100;
+  std::optional<TransformSpec> transform;  ///< NaS-only placement transform
+
+  /// Sender range for kGoodputSurface (one run per sender, paper Fig. 8).
+  netsim::NodeId first_sender = 1;
+  netsim::NodeId last_sender = 8;
+
+  /// Publish stats into the per-point RunManifest (campaign kind).
+  bool collect_stats = true;
+};
+
+/// One sweep axis: a dotted path into the scenario object plus the values
+/// the campaign substitutes there, e.g. {"param": "mobility.vehicles",
+/// "values": [20, 30, 40]}.
+struct SweepAxis {
+  std::string param;
+  std::vector<obs::JsonValue> values;
+};
+
+struct SweepSpec {
+  std::int64_t replications = 1;
+  std::vector<SweepAxis> axes;  ///< first axis varies slowest (row-major)
+};
+
+/// Parameters of the "fundamental_diagram" kind (paper Fig. 4): a
+/// density ladder per slowdown probability, no protocol stack involved.
+struct FundamentalDiagramSpec {
+  std::int64_t lane_cells = 400;
+  std::int32_t v_max = 5;
+  double max_density = 0.5;
+  std::int64_t points = 21;
+  std::int64_t iterations = 500;
+  std::int64_t trials = 20;
+  std::int64_t warmup = 200;
+  std::uint64_t seed = 4;
+  std::vector<double> slowdown_ps{0.0, 0.5};
+};
+
+struct OutputSpec {
+  std::string csv;       ///< default "<name>.csv"
+  std::string manifest;  ///< default "<name>.manifest.json"
+};
+
+/// A parsed, validated spec document.
+struct CampaignSpec {
+  std::string name;
+  std::string title;  ///< stdout banner; defaults to `name`
+  SpecKind kind = SpecKind::kCampaign;
+
+  ScenarioSpec scenario;       ///< kCampaign / kGoodputSurface
+  FundamentalDiagramSpec fd;   ///< kFundamentalDiagram
+  SweepSpec sweep;             ///< kCampaign only
+  OutputSpec outputs;
+
+  /// 16-hex-digit content hash of the canonicalized document. Embedded
+  /// in every point manifest; checkpointed resume only trusts manifests
+  /// whose fingerprint matches the spec being run.
+  std::string fingerprint;
+
+  /// The raw scenario object, kept for sweep patching: each campaign
+  /// point clones this, substitutes its axis values, and re-parses.
+  obs::JsonValue scenario_json;
+
+  /// Where the spec came from ("<memory>" for string parses) — used in
+  /// diagnostics.
+  std::string source;
+};
+
+/// Parses and validates a spec document. `source_name` labels
+/// diagnostics. Throws SpecError / obs::JsonParseError.
+CampaignSpec parse_campaign(std::string_view json_text,
+                            std::string source_name = "<memory>");
+
+/// Reads, parses and validates a spec file. Throws std::runtime_error
+/// when the file cannot be read.
+CampaignSpec load_campaign_file(const std::string& path);
+
+/// Parses one scenario object (used for the base scenario and for every
+/// sweep-patched point). `path` prefixes diagnostics, e.g.
+/// "fig8.json: $.scenario".
+ScenarioSpec parse_scenario(const obs::JsonValue& value,
+                            const std::string& path);
+
+}  // namespace cavenet::spec
+
+#endif  // CAVENET_SPEC_SPEC_H

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/suggest.h"
+
 namespace cavenet {
 namespace {
 
@@ -13,15 +15,20 @@ bool is_flag(const std::string& token) {
 
 }  // namespace
 
-CliArgs::CliArgs(int argc, const char* const* argv) {
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::set<std::string>& switches) {
   std::vector<std::string> tokens;
   for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
-  parse(tokens);
+  parse(tokens, switches);
 }
 
-CliArgs::CliArgs(const std::vector<std::string>& tokens) { parse(tokens); }
+CliArgs::CliArgs(const std::vector<std::string>& tokens,
+                 const std::set<std::string>& switches) {
+  parse(tokens, switches);
+}
 
-void CliArgs::parse(const std::vector<std::string>& tokens) {
+void CliArgs::parse(const std::vector<std::string>& tokens,
+                    const std::set<std::string>& switches) {
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const std::string& token = tokens[i];
     if (!is_flag(token)) {
@@ -37,8 +44,10 @@ void CliArgs::parse(const std::vector<std::string>& tokens) {
       flags_[body.substr(0, eq)] = body.substr(eq + 1);
       continue;
     }
-    // "--flag value" unless the next token is itself a flag (then boolean).
-    if (i + 1 < tokens.size() && !is_flag(tokens[i + 1])) {
+    // "--flag value" unless the next token is itself a flag or the flag
+    // is a declared switch (then boolean).
+    if (!switches.contains(body) && i + 1 < tokens.size() &&
+        !is_flag(tokens[i + 1])) {
       flags_[body] = tokens[i + 1];
       ++i;
     } else {
@@ -104,6 +113,22 @@ std::vector<std::string> CliArgs::unknown_flags() const {
     if (!queried_.contains(flag)) out.push_back(flag);
   }
   return out;
+}
+
+std::string CliArgs::describe_unknown(const std::string& flag) const {
+  std::vector<std::string> supported;
+  supported.reserve(queried_.size());
+  for (const auto& [name, was_queried] : queried_) {
+    if (name != flag) supported.push_back("--" + name);
+  }
+  return "unknown flag --" + flag + did_you_mean("--" + flag, supported);
+}
+
+void CliArgs::reject_unknown_flags() const {
+  const auto unknown = unknown_flags();
+  if (!unknown.empty()) {
+    throw std::invalid_argument(describe_unknown(unknown.front()));
+  }
 }
 
 }  // namespace cavenet

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -17,10 +18,14 @@ namespace cavenet {
 class CliArgs {
  public:
   /// Parses argv[1..argc). Throws std::invalid_argument on malformed input
-  /// (e.g. "---x").
-  CliArgs(int argc, const char* const* argv);
+  /// (e.g. "---x"). `switches` declares flags that never take a separate
+  /// value token ("--validate spec.json" keeps spec.json positional);
+  /// "--switch=value" still works for explicit overrides.
+  CliArgs(int argc, const char* const* argv,
+          const std::set<std::string>& switches = {});
   /// Parses a pre-split token list (for tests).
-  explicit CliArgs(const std::vector<std::string>& tokens);
+  explicit CliArgs(const std::vector<std::string>& tokens,
+                   const std::set<std::string>& switches = {});
 
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const noexcept {
@@ -43,8 +48,21 @@ class CliArgs {
   /// expected flags to reject typos.
   std::vector<std::string> unknown_flags() const;
 
+  /// "unknown flag --typo (did you mean "--jobs"?)" — the suggestion is
+  /// drawn from the flags queried so far (i.e. the ones the tool
+  /// supports). Used by reject_unknown_flags() and by front ends that
+  /// format their own errors.
+  std::string describe_unknown(const std::string& flag) const;
+
+  /// Throws std::invalid_argument naming the first unqueried flag, with a
+  /// did-you-mean suggestion. Call after querying every supported flag;
+  /// every bench/tool front end funnels through this so typos fail
+  /// loudly instead of silently running with defaults.
+  void reject_unknown_flags() const;
+
  private:
-  void parse(const std::vector<std::string>& tokens);
+  void parse(const std::vector<std::string>& tokens,
+             const std::set<std::string>& switches);
   std::map<std::string, std::string> flags_;
   mutable std::map<std::string, bool> queried_;
   std::vector<std::string> positional_;

@@ -1,0 +1,50 @@
+#include "util/suggest.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cavenet {
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Single-row dynamic program; rows are positions in `b`.
+  std::vector<std::size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), std::size_t{0});
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];  // row[j-1] of the previous row
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string closest_match(std::string_view name,
+                          const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_distance = 0;
+  for (const std::string& candidate : candidates) {
+    if (candidate == name) continue;
+    const std::size_t distance = edit_distance(name, candidate);
+    const std::size_t budget =
+        std::max(name.size(), candidate.size()) / 3 + 1;
+    if (distance > budget) continue;
+    if (best.empty() || distance < best_distance) {
+      best = candidate;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+std::string did_you_mean(std::string_view name,
+                         const std::vector<std::string>& candidates) {
+  const std::string match = closest_match(name, candidates);
+  if (match.empty()) return "";
+  return " (did you mean \"" + match + "\"?)";
+}
+
+}  // namespace cavenet

@@ -1,0 +1,30 @@
+// "Did you mean ...?" suggestions for user-facing name lookups (CLI
+// flags, spec keys). Shared so every front end rejects typos the same way.
+#ifndef CAVENET_UTIL_SUGGEST_H
+#define CAVENET_UTIL_SUGGEST_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cavenet {
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `name`, or "" when nothing is plausibly a
+/// typo. A candidate qualifies when its edit distance is at most
+/// max(name.size(), candidate.size()) / 3 + 1 — "jbos" suggests "jobs",
+/// but "frobnicate" suggests nothing. Ties go to the earliest candidate.
+std::string closest_match(std::string_view name,
+                          const std::vector<std::string>& candidates);
+
+/// " (did you mean \"X\"?)" for the closest candidate, or "" when there
+/// is none — ready to append to an error message.
+std::string did_you_mean(std::string_view name,
+                         const std::vector<std::string>& candidates);
+
+}  // namespace cavenet
+
+#endif  // CAVENET_UTIL_SUGGEST_H

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <string>
+
 #include "obs/intern.h"
 
 namespace cavenet::obs {
@@ -69,6 +72,92 @@ TEST(JsonParseTest, ThrowsOnMalformedInput) {
   EXPECT_THROW(parse_json("[1,]"), std::runtime_error);
   EXPECT_THROW(parse_json("{} trailing"), std::runtime_error);
   EXPECT_THROW(parse_json(""), std::runtime_error);
+}
+
+TEST(JsonParseTest, ErrorsCarryLineAndColumn) {
+  // The stray token sits on line 3, after four leading spaces.
+  const std::string text = "{\n  \"a\": 1,\n    oops\n}";
+  try {
+    parse_json(text, "bad.json");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 5u);
+    EXPECT_NE(std::string(e.what()).find("bad.json:3:5"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParseTest, TrailingGarbageReportsItsPosition) {
+  try {
+    parse_json("[1, 2]\nxx");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 1u);
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+  }
+}
+
+TEST(JsonParseTest, UnterminatedStringReportsEndOfInput) {
+  try {
+    parse_json("{\"key\": \"never closed");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_GT(e.column(), 1u);
+  }
+}
+
+// Writer -> parser round trips (the spec engine reads documents the obs
+// writer produced, so every escape form must survive the cycle).
+
+TEST(JsonRoundTripTest, ControlCharacterEscapes) {
+  std::string raw;
+  for (int c = 1; c < 0x20; ++c) raw.push_back(static_cast<char>(c));
+  JsonWriter w;
+  w.begin_array();
+  w.value(raw);
+  w.end_array();
+  const JsonValue v = parse_json(w.str());
+  ASSERT_EQ(v.array.size(), 1u);
+  EXPECT_EQ(v.array[0].string, raw);
+}
+
+TEST(JsonRoundTripTest, Utf8PassesThroughUnchanged) {
+  const std::string utf8 = "naïve — 車載ネット ✓";
+  JsonWriter w;
+  w.begin_object();
+  w.key(utf8);
+  w.value(utf8);
+  w.end_object();
+  const JsonValue v = parse_json(w.str());
+  ASSERT_EQ(v.object.size(), 1u);
+  EXPECT_EQ(v.object[0].first, utf8);
+  EXPECT_EQ(v.object[0].second.string, utf8);
+}
+
+TEST(JsonRoundTripTest, NestedArraysAndObjects) {
+  const std::string text =
+      R"({"a":[[1,[2,{"b":[true,null,"x"]}]],{}],"c":{"d":{"e":[]}}})";
+  // parse -> to_json is the canonical form; a second cycle must be stable.
+  const std::string once = to_json(parse_json(text));
+  EXPECT_EQ(to_json(parse_json(once)), once);
+  EXPECT_EQ(once, text);
+}
+
+TEST(JsonRoundTripTest, NumberPrecisionSurvives) {
+  const double values[] = {0.7, 1.0 / 3.0, 2e6, -1.25e-17, 5.0,
+                           123456789012345.0};
+  JsonWriter w;
+  w.begin_array();
+  for (const double d : values) w.value(d);
+  w.end_array();
+  const JsonValue v = parse_json(w.str());
+  ASSERT_EQ(v.array.size(), std::size(values));
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    EXPECT_EQ(v.array[i].number, values[i]) << "index " << i;  // bit-exact
+  }
 }
 
 TEST(InternTest, SameContentSamePointer) {

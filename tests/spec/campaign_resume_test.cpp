@@ -1,0 +1,169 @@
+// Resume correctness: an interrupted campaign that is resumed must write
+// byte-identical artifacts to an uninterrupted run, and checkpoints from
+// an edited spec (different fingerprint) must be discarded as stale.
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spec/campaign.h"
+#include "spec/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::spec {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small-but-real campaign: 3 cells x 2 replications = 6 points over a
+// shortened Table-I scenario so the 12 total simulation runs stay cheap.
+const char kCampaignJson[] = R"({
+  "name": "resume_probe", "kind": "campaign",
+  "scenario": {
+    "seed": 11, "duration_s": 20,
+    "mobility": {"lane_cells": 150, "vehicles": 12},
+    "traffic": {"start_s": 5, "stop_s": 15, "sender": 3}
+  },
+  "sweep": {
+    "replications": 2,
+    "axes": [{"param": "mobility.slowdown_p", "values": [0.3, 0.5, 0.7]}]
+  }
+})";
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing artifact " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::string> artifact_names(const CampaignSpec& spec,
+                                        std::size_t points) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < points; ++i) {
+    names.push_back(point_manifest_path(spec, i));
+  }
+  names.push_back(spec.outputs.csv);
+  names.push_back(spec.outputs.manifest);
+  return names;
+}
+
+TEST(CampaignResumeTest, InterruptedPlusResumedIsByteIdentical) {
+  const CampaignSpec spec = parse_campaign(kCampaignJson, "resume.json");
+  const std::size_t total = expand_points(spec).size();
+  ASSERT_EQ(total, 6u);
+
+  // Reference: one uninterrupted run.
+  const fs::path full_dir = fresh_dir("campaign_full");
+  CampaignOptions full_options;
+  full_options.jobs = 2;
+  full_options.output_dir = full_dir.string();
+  const CampaignOutcome full = run_campaign(spec, full_options);
+  EXPECT_EQ(full.points_total, total);
+  EXPECT_EQ(full.points_run, total);
+  EXPECT_EQ(full.points_resumed, 0u);
+
+  // "Interrupt after 3": seed a fresh directory with only the first three
+  // point checkpoints, exactly what a killed run leaves behind.
+  const fs::path resumed_dir = fresh_dir("campaign_resumed");
+  for (std::size_t i = 0; i < 3; ++i) {
+    fs::copy_file(full_dir / point_manifest_path(spec, i),
+                  resumed_dir / point_manifest_path(spec, i));
+  }
+
+  CampaignOptions resume_options;
+  resume_options.jobs = 4;  // different worker count than the full run
+  resume_options.resume = true;
+  resume_options.output_dir = resumed_dir.string();
+  const CampaignOutcome resumed = run_campaign(spec, resume_options);
+  EXPECT_EQ(resumed.points_total, total);
+  EXPECT_EQ(resumed.points_resumed, 3u);
+  EXPECT_EQ(resumed.points_run, 3u);
+
+  for (const std::string& name : artifact_names(spec, total)) {
+    EXPECT_EQ(slurp(resumed_dir / name), slurp(full_dir / name))
+        << name << " differs between interrupted+resumed and uninterrupted";
+  }
+
+  // The CSV seed column must carry the exact 64-bit substream seed (a
+  // round-trip through the manifest's JSON double would truncate it).
+  const std::string csv = slurp(full_dir / spec.outputs.csv);
+  for (const CampaignPoint& point : expand_points(spec)) {
+    EXPECT_NE(csv.find(std::to_string(point.scenario.config.seed)),
+              std::string::npos)
+        << "exact seed of point " << point.index << " missing from CSV";
+  }
+}
+
+TEST(CampaignResumeTest, WithoutResumeFlagCheckpointsAreIgnored) {
+  const CampaignSpec spec = parse_campaign(kCampaignJson, "resume.json");
+  const fs::path dir = fresh_dir("campaign_noresume");
+  CampaignOptions options;
+  options.jobs = 2;
+  options.output_dir = dir.string();
+  ASSERT_EQ(run_campaign(spec, options).points_run, 6u);
+
+  // Same directory, still no --resume: everything re-runs.
+  const CampaignOutcome again = run_campaign(spec, options);
+  EXPECT_EQ(again.points_resumed, 0u);
+  EXPECT_EQ(again.points_run, 6u);
+}
+
+TEST(CampaignResumeTest, StaleFingerprintCheckpointsAreRerun) {
+  const CampaignSpec spec = parse_campaign(kCampaignJson, "resume.json");
+  const fs::path dir = fresh_dir("campaign_stale");
+  CampaignOptions options;
+  options.jobs = 2;
+  options.resume = true;
+  options.output_dir = dir.string();
+  ASSERT_EQ(run_campaign(spec, options).points_run, 6u);
+
+  // Edit the spec (base seed 11 -> 12): same shape, new fingerprint, so
+  // every existing checkpoint is stale and must be re-executed.
+  std::string edited_json = kCampaignJson;
+  const std::size_t at = edited_json.find("\"seed\": 11");
+  ASSERT_NE(at, std::string::npos);
+  edited_json.replace(at, 10, "\"seed\": 12");
+  const CampaignSpec edited = parse_campaign(edited_json, "resume.json");
+  ASSERT_NE(edited.fingerprint, spec.fingerprint);
+
+  const CampaignOutcome outcome = run_campaign(edited, options);
+  EXPECT_EQ(outcome.points_resumed, 0u);
+  EXPECT_EQ(outcome.points_run, 6u);
+
+  // And a repeat resume of the *edited* spec now trusts its own
+  // checkpoints wholesale.
+  const CampaignOutcome trusted = run_campaign(edited, options);
+  EXPECT_EQ(trusted.points_resumed, 6u);
+  EXPECT_EQ(trusted.points_run, 0u);
+}
+
+TEST(CampaignResumeTest, FullyCheckpointedResumeRunsNothing) {
+  const CampaignSpec spec = parse_campaign(kCampaignJson, "resume.json");
+  const fs::path dir = fresh_dir("campaign_complete");
+  CampaignOptions options;
+  options.jobs = 2;
+  options.resume = true;
+  options.output_dir = dir.string();
+  ASSERT_EQ(run_campaign(spec, options).points_run, 6u);
+
+  const std::string csv_before = slurp(dir / spec.outputs.csv);
+  const CampaignOutcome outcome = run_campaign(spec, options);
+  EXPECT_EQ(outcome.points_resumed, 6u);
+  EXPECT_EQ(outcome.points_run, 0u);
+  EXPECT_EQ(slurp(dir / spec.outputs.csv), csv_before);
+}
+
+}  // namespace
+}  // namespace cavenet::spec

@@ -1,0 +1,69 @@
+#include "spec/fingerprint.h"
+
+#include <string>
+
+#include "obs/json.h"
+#include "spec/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::spec {
+namespace {
+
+TEST(FingerprintTest, Fnv1a64KnownVectors) {
+  // Reference vectors for 64-bit FNV-1a.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(FingerprintTest, HexIs16LowercaseDigits) {
+  const obs::JsonValue doc = obs::parse_json(R"({"a": 1})");
+  const std::string hex = fingerprint_hex(doc);
+  ASSERT_EQ(hex.size(), 16u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(FingerprintTest, WhitespaceAndFormattingDoNotChangeIt) {
+  const std::string compact = R"({"name":"t","kind":"campaign","seed":3})";
+  const std::string spaced =
+      "{\n  \"name\": \"t\",\n  \"kind\": \"campaign\",\n  \"seed\": 3\n}\n";
+  EXPECT_EQ(fingerprint_hex(obs::parse_json(compact)),
+            fingerprint_hex(obs::parse_json(spaced)));
+}
+
+TEST(FingerprintTest, ValueChangesChangeIt) {
+  const auto base = obs::parse_json(R"({"seed": 3})");
+  const auto other = obs::parse_json(R"({"seed": 4})");
+  EXPECT_NE(fingerprint_hex(base), fingerprint_hex(other));
+}
+
+TEST(FingerprintTest, KeyOrderIsSignificant) {
+  // Canonical form preserves author key order, so reordering is a
+  // different document (and a different checkpoint lineage).
+  const auto ab = obs::parse_json(R"({"a": 1, "b": 2})");
+  const auto ba = obs::parse_json(R"({"b": 2, "a": 1})");
+  EXPECT_NE(fingerprint_hex(ab), fingerprint_hex(ba));
+}
+
+TEST(FingerprintTest, ParseCampaignStampsTheDocumentFingerprint) {
+  const std::string text =
+      R"({"name": "t", "kind": "campaign", "scenario": {"seed": 5}})";
+  const CampaignSpec spec = parse_campaign(text, "test.json");
+  EXPECT_EQ(spec.fingerprint, fingerprint_hex(obs::parse_json(text)));
+
+  const CampaignSpec reformatted = parse_campaign(
+      "{\"name\":\"t\",\"kind\":\"campaign\",\"scenario\":{\"seed\":5}}",
+      "test.json");
+  EXPECT_EQ(spec.fingerprint, reformatted.fingerprint);
+
+  const CampaignSpec edited = parse_campaign(
+      R"({"name": "t", "kind": "campaign", "scenario": {"seed": 6}})",
+      "test.json");
+  EXPECT_NE(spec.fingerprint, edited.fingerprint);
+}
+
+}  // namespace
+}  // namespace cavenet::spec

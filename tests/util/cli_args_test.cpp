@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/suggest.h"
+
 #include <gtest/gtest.h>
 
 namespace cavenet {
@@ -82,6 +84,72 @@ TEST(CliArgsTest, ArgcArgvConstructorSkipsProgramName) {
 TEST(CliArgsTest, NegativeNumbersAsValues) {
   const CliArgs args({"--offset", "-5"});
   EXPECT_EQ(args.get_int("offset"), -5);
+}
+
+TEST(CliArgsTest, RejectUnknownSuggestsClosestQueriedFlag) {
+  const CliArgs args({"--jbos", "4"});
+  args.get_int("jobs", 1);
+  args.get_bool("smoke", false);
+  try {
+    args.reject_unknown_flags();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown flag --jbos"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean \"--jobs\"?"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CliArgsTest, RejectUnknownWithoutPlausibleMatchGivesNoSuggestion) {
+  const CliArgs args({"--frobnicate"});
+  args.get_int("jobs", 1);
+  try {
+    args.reject_unknown_flags();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown flag --frobnicate"), std::string::npos);
+    EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+  }
+}
+
+TEST(CliArgsTest, RejectUnknownPassesWhenAllFlagsQueried) {
+  const CliArgs args({"--jobs", "2"});
+  args.get_int("jobs", 1);
+  EXPECT_NO_THROW(args.reject_unknown_flags());
+}
+
+TEST(CliArgsTest, DeclaredSwitchesDoNotBindTheNextToken) {
+  const CliArgs args({"--validate", "spec.json", "--jobs", "4", "more.json"},
+                     {"validate", "resume"});
+  EXPECT_TRUE(args.get_bool("validate", false));
+  EXPECT_FALSE(args.get_bool("resume", false));
+  EXPECT_EQ(args.get_int("jobs", 1), 4);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "spec.json");
+  EXPECT_EQ(args.positional()[1], "more.json");
+}
+
+TEST(CliArgsTest, SwitchStillAcceptsExplicitEqualsValue) {
+  const CliArgs args({"--resume=false", "spec.json"}, {"resume"});
+  EXPECT_FALSE(args.get_bool("resume", true));
+  ASSERT_EQ(args.positional().size(), 1u);
+}
+
+TEST(SuggestTest, EditDistanceBasics) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("jbos", "jobs"), 2u);  // transposition = 2 edits
+}
+
+TEST(SuggestTest, ClosestMatchRespectsDistanceBudget) {
+  const std::vector<std::string> candidates{"jobs", "smoke", "linear"};
+  EXPECT_EQ(closest_match("jbos", candidates), "jobs");
+  EXPECT_EQ(closest_match("smok", candidates), "smoke");
+  EXPECT_EQ(closest_match("zzzzzz", candidates), "");
 }
 
 }  // namespace

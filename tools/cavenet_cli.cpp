@@ -50,7 +50,7 @@ int reject_unknown(const CliArgs& args) {
   const auto unknown = args.unknown_flags();
   if (unknown.empty()) return 0;
   for (const auto& flag : unknown) {
-    std::fprintf(stderr, "unknown flag: --%s\n", flag.c_str());
+    std::fprintf(stderr, "%s\n", args.describe_unknown(flag).c_str());
   }
   return 2;
 }
