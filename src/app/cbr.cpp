@@ -37,6 +37,11 @@ void CbrSource::send_one() {
     metrics_->on_sent(sim_->now(), params_.payload_bytes);
   }
   obs_tx_.inc();
+  if (log_ != nullptr) {
+    log_->record(sim_->now(), netsim::PacketLog::Event::kSend,
+                 netsim::PacketLog::Layer::kAgent, network_->address(),
+                 packet.uid(), "cbr", packet.size_bytes());
+  }
   network_->send(std::move(packet), params_.destination);
   sim_->schedule(interval_, "app.cbr", [this] { send_one(); });
 }
@@ -60,6 +65,18 @@ void PacketSink::on_deliver(netsim::Packet packet, netsim::NodeId source) {
   ++received_;
   obs_rx_.inc();
   const UdpHeader udp = packet.pop<UdpHeader>();
+  const double delay_s = (sim_->now() - udp.sent_at).sec();
+  obs_delay_.observe(delay_s);
+  if (registry_ != nullptr) {
+    auto it = flow_delay_.find(source);
+    if (it == flow_delay_.end()) {
+      it = flow_delay_
+               .emplace(source, registry_->quantile(
+                                    "agt.delay.e2e.s" + std::to_string(source)))
+               .first;
+    }
+    it->second.observe(delay_s);
+  }
   if (const auto it = flows_.find(source);
       it != flows_.end() && it->second != nullptr) {
     it->second->on_received(sim_->now(), udp.sent_at, packet.payload_bytes());

@@ -10,6 +10,7 @@
 #include "app/flow_metrics.h"
 #include "app/udp.h"
 #include "netsim/layers.h"
+#include "netsim/packet_log.h"
 #include "netsim/simulator.h"
 #include "obs/stats_registry.h"
 
@@ -45,6 +46,10 @@ class CbrSource {
     obs_tx_ = registry.counter("agt.tx.cbr");
   }
 
+  /// Records an AGT-layer send entry per packet (nullptr detaches). This
+  /// is the reference the e2e delay quantiles reconcile against.
+  void set_packet_log(netsim::PacketLog* log) noexcept { log_ = log; }
+
  private:
   void send_one();
 
@@ -52,6 +57,7 @@ class CbrSource {
   netsim::NetworkLayer* network_;
   CbrParams params_;
   FlowMetrics* metrics_;
+  netsim::PacketLog* log_ = nullptr;
   std::uint32_t seq_ = 0;
   SimTime interval_;
   obs::Counter obs_tx_;
@@ -78,9 +84,14 @@ class PacketSink {
 
   std::uint64_t packets_received() const noexcept { return received_; }
 
-  /// Binds the sink's receive counter ("agt.rx.sink") into a registry.
+  /// Binds the sink's receive counter ("agt.rx.sink") plus end-to-end
+  /// delay quantile histograms: "agt.delay.e2e" aggregates across all
+  /// tracked flows, and each delivering source gets a per-flow
+  /// "agt.delay.e2e.s<id>" lazily on first delivery.
   void bind_stats(obs::StatsRegistry& registry) {
+    registry_ = &registry;
     obs_rx_ = registry.counter("agt.rx.sink");
+    obs_delay_ = registry.quantile("agt.delay.e2e");
   }
 
  private:
@@ -91,7 +102,10 @@ class PacketSink {
   std::map<netsim::NodeId, FlowMetrics*> flows_;
   PacketHook hook_;
   std::uint64_t received_ = 0;
+  obs::StatsRegistry* registry_ = nullptr;
   obs::Counter obs_rx_;
+  obs::Quantile obs_delay_;
+  std::map<netsim::NodeId, obs::Quantile> flow_delay_;
 };
 
 }  // namespace cavenet::app

@@ -37,6 +37,7 @@ void WifiMac::bind_stats(obs::StatsRegistry& registry) {
   obs_rts_tx_ = registry.counter("mac.rts.sent");
   obs_cts_tx_ = registry.counter("mac.cts.sent");
   obs_dup_ = registry.counter("mac.dup.suppressed");
+  obs_delay_access_ = registry.quantile("mac.delay.access");
 }
 
 SimTime WifiMac::ack_duration() const noexcept {
@@ -107,9 +108,9 @@ void WifiMac::enqueue(Packet packet, NodeId dest, bool priority) {
   }
   ++stats_.enqueued;
   if (priority) {
-    queue_.push_front(OutFrame{std::move(packet), dest});
+    queue_.push_front(OutFrame{std::move(packet), dest, sim_->now()});
   } else {
-    queue_.push_back(OutFrame{std::move(packet), dest});
+    queue_.push_back(OutFrame{std::move(packet), dest, sim_->now()});
   }
   consume_idle_backoff();
   try_dequeue();
@@ -289,6 +290,9 @@ void WifiMac::fail_current() {
 }
 
 void WifiMac::complete_current() {
+  // Failed frames (retry limit) are excluded: the access delay quantile
+  // describes frames the MAC actually got onto the air.
+  obs_delay_access_.observe((sim_->now() - current_->queued_at).sec());
   current_.reset();
   cw_ = params_.cw_min;
   retries_ = 0;

@@ -129,6 +129,9 @@ class WifiMac final : public netsim::LinkLayer {
   struct OutFrame {
     netsim::Packet payload;
     netsim::NodeId dest;
+    /// Enqueue time; successful completion observes now - queued_at as
+    /// the per-hop MAC access delay (queueing + contention + retries).
+    SimTime queued_at = SimTime::zero();
   };
 
   bool medium_busy() const noexcept;
@@ -199,6 +202,7 @@ class WifiMac final : public netsim::LinkLayer {
   obs::Counter obs_rts_tx_;
   obs::Counter obs_cts_tx_;
   obs::Counter obs_dup_;
+  obs::Quantile obs_delay_access_;  ///< mac.delay.access (seconds)
 };
 
 }  // namespace cavenet::mac

@@ -1,0 +1,105 @@
+#include "obs/quantile_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cavenet::obs {
+
+thread_local QuantileHistogramData Quantile::discard_{};
+
+int QuantileHistogramData::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // zero, negatives and NaN underflow
+  if (std::isinf(v)) return kBucketCount - 1;  // frexp(inf) exp is garbage
+  int exp = 0;
+  const double mantissa = std::frexp(v, &exp);  // v = mantissa * 2^exp,
+                                                // mantissa in [0.5, 1)
+  const int decade = exp - 1 - kMinExp;         // v in [2^(exp-1), 2^exp)
+  if (decade < 0) return 0;
+  if (decade >= kDecades) return kBucketCount - 1;
+  // 2 * mantissa - 1 in [0, 1): linear position inside the decade.
+  const int sub = static_cast<int>((mantissa * 2.0 - 1.0) * kSubBuckets);
+  return 1 + decade * kSubBuckets + std::min(sub, kSubBuckets - 1);
+}
+
+double QuantileHistogramData::bucket_lower_bound(int index) noexcept {
+  if (index <= 0) return 0.0;
+  if (index >= kBucketCount - 1) return std::ldexp(1.0, kMaxExp);
+  const int decade = (index - 1) / kSubBuckets;
+  const int sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                    kMinExp + decade);
+}
+
+double QuantileHistogramData::bucket_upper_bound(int index) noexcept {
+  if (index <= 0) return std::ldexp(1.0, kMinExp);
+  if (index >= kBucketCount - 1) {
+    return std::numeric_limits<double>::max();
+  }
+  const int decade = (index - 1) / kSubBuckets;
+  const int sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets,
+                    kMinExp + decade);
+}
+
+void QuantileHistogramData::observe(double v) noexcept {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+  ++buckets[static_cast<std::size_t>(bucket_index(v))];
+}
+
+double QuantileHistogramData::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      return std::clamp(bucket_upper_bound(i), min, max);
+    }
+  }
+  return max;
+}
+
+void QuantileHistogramData::merge(const QuantileHistogramData& other) noexcept {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+std::vector<std::pair<double, std::uint64_t>> QuantileHistogramData::cdf()
+    const {
+  std::vector<std::pair<double, std::uint64_t>> points;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    cumulative += n;
+    points.emplace_back(std::clamp(bucket_upper_bound(i), min, max),
+                        cumulative);
+  }
+  return points;
+}
+
+}  // namespace cavenet::obs

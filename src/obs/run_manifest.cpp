@@ -91,13 +91,23 @@ void RunManifest::strip_volatile() {
   created_at.clear();
   wall_duration_s = 0.0;
   events_per_wall_second = 0.0;
-  // The kernel profiler publishes per-component wall-clock gauges into
-  // the stats snapshot; those are timing noise, not simulation results.
+  // Wall-clock and wall-throughput gauges are timing noise, not
+  // simulation results: the kernel profiler's per-component ".wall_ms",
+  // plus any ".wall_s" / ".per_wall_s" gauges the progress/telemetry
+  // layer publishes. Everything keyed on sim time stays.
   // (kernel.*.dispatches counters are deterministic and stay.)
+  static constexpr std::string_view kVolatileSuffixes[] = {
+      ".wall_ms", ".wall_s", ".per_wall_s"};
   std::erase_if(stats.gauges, [](const auto& gauge) {
     const std::string& name = gauge.first;
-    return name.size() > 8 &&
-           name.compare(name.size() - 8, 8, ".wall_ms") == 0;
+    for (const std::string_view suffix : kVolatileSuffixes) {
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        return true;
+      }
+    }
+    return false;
   });
 }
 
@@ -197,6 +207,30 @@ RunManifest RunManifest::from_json(std::string_view json) {
           if (const JsonValue* f = value.find("p50")) h.p50 = f->number;
           if (const JsonValue* f = value.find("p99")) h.p99 = f->number;
           snap.histograms.push_back(std::move(h));
+        }
+      } else if (section == "quantiles") {
+        for (const auto& [name, value] : entries.object) {
+          StatsSnapshot::QuantileSummary q;
+          q.name = name;
+          if (const JsonValue* f = value.find("count")) {
+            q.count = static_cast<std::uint64_t>(f->number);
+          }
+          if (const JsonValue* f = value.find("sum")) q.sum = f->number;
+          if (const JsonValue* f = value.find("min")) q.min = f->number;
+          if (const JsonValue* f = value.find("max")) q.max = f->number;
+          if (const JsonValue* f = value.find("p50")) q.p50 = f->number;
+          if (const JsonValue* f = value.find("p90")) q.p90 = f->number;
+          if (const JsonValue* f = value.find("p95")) q.p95 = f->number;
+          if (const JsonValue* f = value.find("p99")) q.p99 = f->number;
+          if (const JsonValue* f = value.find("cdf")) {
+            for (const auto& point : f->array) {
+              if (point.array.size() != 2) continue;
+              q.cdf.emplace_back(
+                  point.array[0].number,
+                  static_cast<std::uint64_t>(point.array[1].number));
+            }
+          }
+          snap.quantiles.push_back(std::move(q));
         }
       }
     }

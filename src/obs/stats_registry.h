@@ -18,7 +18,10 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "obs/quantile_histogram.h"
 
 namespace cavenet::obs {
 
@@ -113,10 +116,35 @@ struct StatsSnapshot {
   };
   std::vector<HistogramSummary> histograms;  ///< sorted
 
+  /// Fine-grained quantile histogram (see quantile_histogram.h): the
+  /// standard percentiles plus the full CDF over non-empty buckets.
+  struct QuantileSummary {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    /// (bucket upper bound, observations <= bound), in value order.
+    std::vector<std::pair<double, std::uint64_t>> cdf;
+  };
+  std::vector<QuantileSummary> quantiles;  ///< sorted
+
   std::uint64_t counter(std::string_view name) const noexcept;
   double gauge(std::string_view name) const noexcept;
+  /// Quantile summary by name, or nullptr when absent.
+  const QuantileSummary* quantile(std::string_view name) const noexcept;
 
   std::string to_json() const;
+  /// Same sectioned shape as to_json but holding only the entries that
+  /// differ from `baseline` (values stay absolute, not differences). New
+  /// entries count as changed; entries that vanished are not reported —
+  /// registries only grow, so that never happens between two snapshots
+  /// of one run.
+  std::string to_json_delta(const StatsSnapshot& baseline) const;
   /// Inverse of to_json (histogram buckets are not restored, summaries
   /// are). Throws std::runtime_error on malformed input.
   static StatsSnapshot from_json(std::string_view json);
@@ -138,9 +166,11 @@ class StatsRegistry {
   Counter counter(std::string_view name);
   Gauge gauge(std::string_view name);
   Histogram histogram(std::string_view name);
+  Quantile quantile(std::string_view name);
 
   std::size_t size() const noexcept {
-    return counters_.size() + gauges_.size() + histograms_.size();
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           quantiles_.size();
   }
 
   StatsSnapshot snapshot() const;
@@ -160,6 +190,7 @@ class StatsRegistry {
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, HistogramData, std::less<>> histograms_;
+  std::map<std::string, QuantileHistogramData, std::less<>> quantiles_;
 };
 
 }  // namespace cavenet::obs

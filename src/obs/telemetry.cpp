@@ -1,0 +1,38 @@
+#include "obs/telemetry.h"
+
+#include <fstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace cavenet::obs {
+
+void TelemetryRecorder::sample(double t_s) {
+  StatsSnapshot snap = registry_->snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("seq");
+  w.value(seq_);
+  w.key("t_s");
+  w.value(t_s);
+  w.key("stats");
+  if (options_.delta && seq_ > 0) {
+    w.raw(snap.to_json_delta(last_));
+  } else {
+    w.raw(snap.to_json());
+  }
+  w.end_object();
+  out_ += w.str();
+  out_ += '\n';
+  if (options_.delta) last_ = std::move(snap);
+  ++seq_;
+}
+
+bool TelemetryRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << out_;
+  return static_cast<bool>(out.flush());
+}
+
+}  // namespace cavenet::obs

@@ -1,6 +1,7 @@
 #include "scenario/table1.h"
 
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -99,7 +100,14 @@ std::vector<SenderRunResult> run_with_trace(
 
   const std::vector<trace::NodePath> paths = trace::compile_paths(mobility);
 
-  const ObsHooks& obs = config.obs;
+  // Telemetry samples a StatsRegistry; when the caller enabled telemetry
+  // without wiring one, a run-local registry stands in so the stream is
+  // populated either way. The copy keeps config.obs untouched.
+  ObsHooks obs = config.obs;
+  obs::StatsRegistry local_stats;
+  if (config.telemetry.enabled() && obs.stats == nullptr) {
+    obs.stats = &local_stats;
+  }
   netsim::Simulator sim(config.seed);
   if (obs.trace_sink != nullptr) sim.set_trace_sink(obs.trace_sink);
   if (obs.profiler != nullptr) sim.set_profiler(obs.profiler);
@@ -158,10 +166,19 @@ std::vector<SenderRunResult> run_with_trace(
     sources.push_back(std::make_unique<app::CbrSource>(
         sim, *nodes[sender].routing, cbr, metrics.back().get()));
     if (obs.stats != nullptr) sources.back()->bind_stats(*obs.stats);
+    if (obs.packet_log != nullptr) {
+      sources.back()->set_packet_log(obs.packet_log);
+    }
     sink.track_source(sender, metrics.back().get());
     sources.back()->start();
   }
   if (obs.stats != nullptr) sink.bind_stats(*obs.stats);
+
+  std::optional<obs::TelemetryRecorder> telemetry;
+  if (config.telemetry.enabled()) {
+    telemetry.emplace(*obs.stats, config.telemetry);
+    telemetry->attach(sim);
+  }
 
   sim.run_until(SimTime::from_seconds(config.duration_s));
 
@@ -211,6 +228,10 @@ std::vector<SenderRunResult> run_with_trace(
     if (obs.profiler != nullptr) obs.profiler->publish(*obs.stats);
   }
 
+  // Final sample after the post-run gauges, so the stream's last line is
+  // the complete end-of-run state (what the manifest embeds).
+  if (telemetry) telemetry->sample(config.duration_s);
+
   std::vector<SenderRunResult> results;
   results.reserve(senders.size());
   for (std::size_t i = 0; i < senders.size(); ++i) {
@@ -225,6 +246,7 @@ std::vector<SenderRunResult> run_with_trace(
     result.first_delivery_delay_s = m.first_delivery_delay_s();
     result.goodput_bps =
         m.goodput_bps(SimTime::from_seconds(config.duration_s));
+    if (telemetry) result.telemetry_jsonl = telemetry->jsonl();
     results.push_back(std::move(result));
   }
   return results;

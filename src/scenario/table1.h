@@ -11,8 +11,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "app/flow_metrics.h"
 #include "mac/wifi_mac.h"
+#include "obs/telemetry.h"
 #include "phy/channel.h"
 #include "phy/wifi_phy.h"
 #include "routing/common.h"
@@ -74,6 +77,11 @@ struct TableIConfig {
   ObsHooks obs;
   /// Progress heartbeat period in sim seconds; 0 disables.
   double heartbeat_s = 0.0;
+  /// In-run stats snapshots at a fixed sim-time period (see
+  /// obs/telemetry.h); the JSONL stream lands in
+  /// SenderRunResult::telemetry_jsonl. Works without obs.stats wired —
+  /// the run then samples a private registry.
+  obs::TelemetryOptions telemetry;
 };
 
 /// Outcome of one (protocol, sender) run.
@@ -104,6 +112,11 @@ struct SenderRunResult {
   /// (sum of per-node TX airtime / duration; can exceed 1 with spatial
   /// reuse or simultaneous/colliding transmitters).
   double channel_utilization = 0.0;
+
+  /// Telemetry snapshot stream (one JSON object per line) when
+  /// TableIConfig::telemetry is enabled; empty otherwise. Shared across
+  /// the per-sender entries of one simulation, like the aggregates.
+  std::string telemetry_jsonl;
 };
 
 /// Runs the Table-I scenario for config.sender.

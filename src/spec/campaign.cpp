@@ -6,9 +6,12 @@
 #include <iostream>
 #include <mutex>
 
+#include <fstream>
+
 #include "obs/run_manifest.h"
 #include "obs/stats_registry.h"
 #include "runner/ensemble.h"
+#include "runner/progress.h"
 #include "scenario/run_record.h"
 #include "spec/build.h"
 #include "spec/figures.h"
@@ -132,6 +135,12 @@ std::string point_manifest_path(const CampaignSpec& spec, std::size_t index) {
   return spec.name + suffix;
 }
 
+std::string point_telemetry_path(const CampaignSpec& spec, std::size_t index) {
+  char suffix[40];
+  std::snprintf(suffix, sizeof suffix, ".point_%04zu.telemetry.jsonl", index);
+  return spec.name + suffix;
+}
+
 CampaignOutcome run_campaign(const CampaignSpec& spec,
                              const CampaignOptions& options) {
   const std::vector<CampaignPoint> points = expand_points(spec);
@@ -163,6 +172,11 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
             manifest.param("point_index") == std::to_string(point.index)) {
           done[point.index] = true;
           ++outcome.points_resumed;
+          if (options.progress != nullptr) {
+            options.progress->point_resumed(
+                point.index, spec.name + "[" + std::to_string(point.index) +
+                                 "]");
+          }
         } else {
           std::cout << "  stale checkpoint " << path << " (fingerprint "
                     << manifest.param("spec_fingerprint", "<none>")
@@ -189,15 +203,19 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   std::mutex stdout_mutex;
   pool.for_each(pending.size(), [&](runner::ReplicationContext& ctx) {
     const CampaignPoint& point = points[pending[ctx.index]];
+    const std::string point_name =
+        spec.name + "[" + std::to_string(point.index) + "]";
+    if (options.progress != nullptr) {
+      options.progress->point_started(point.index, point_name);
+    }
     obs::StatsRegistry stats;
     const scenario::SenderRunResult result = run_point(point.scenario, &stats);
 
     scenario::TableIConfig manifest_config = point.scenario.config;
     manifest_config.obs.stats =
         point.scenario.collect_stats ? &stats : nullptr;
-    obs::RunManifest manifest = make_run_manifest(
-        spec.name + "[" + std::to_string(point.index) + "]", manifest_config,
-        {result});
+    obs::RunManifest manifest =
+        make_run_manifest(point_name, manifest_config, {result});
     manifest.set_param("spec_name", spec.name);
     manifest.set_param("spec_fingerprint", spec.fingerprint);
     manifest.set_param("point_index",
@@ -215,6 +233,20 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
         options.output_dir, point_manifest_path(spec, point.index));
     if (!manifest.write_file(path)) {
       throw std::runtime_error("cannot write point manifest " + path);
+    }
+    if (!result.telemetry_jsonl.empty()) {
+      const std::string telemetry_path = join_output_path(
+          options.output_dir, point_telemetry_path(spec, point.index));
+      std::ofstream out(telemetry_path, std::ios::binary);
+      out << result.telemetry_jsonl;
+      if (!out.flush()) {
+        throw std::runtime_error("cannot write point telemetry " +
+                                 telemetry_path);
+      }
+    }
+    if (options.progress != nullptr) {
+      options.progress->point_finished(point.index, point_name,
+                                       result.events_dispatched);
     }
 
     const std::lock_guard<std::mutex> lock(stdout_mutex);
@@ -298,6 +330,7 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
     throw std::runtime_error("cannot write campaign manifest " + summary_path);
   }
 
+  if (options.progress != nullptr) options.progress->campaign_finished();
   std::cout << "  " << outcome.points_run << " run, "
             << outcome.points_resumed << " resumed -> " << csv_path << ", "
             << summary_path << "\n";

@@ -26,6 +26,10 @@
 
 #include "spec/spec.h"
 
+namespace cavenet::runner {
+class ProgressStream;
+}  // namespace cavenet::runner
+
 namespace cavenet::spec {
 
 /// One expanded sweep point, ready to run.
@@ -50,10 +54,18 @@ std::vector<CampaignPoint> expand_points(const CampaignSpec& spec);
 /// "<name>.point_0007.manifest.json".
 std::string point_manifest_path(const CampaignSpec& spec, std::size_t index);
 
+/// Relative path of point `index`'s telemetry stream,
+/// "<name>.point_0007.telemetry.jsonl" (written only when the scenario
+/// enables obs.telemetry).
+std::string point_telemetry_path(const CampaignSpec& spec, std::size_t index);
+
 struct CampaignOptions {
   int jobs = 1;
   bool resume = false;      ///< trust matching on-disk point manifests
   std::string output_dir;   ///< prefix for every artifact ("" = cwd)
+  /// Optional, non-owning lifecycle/heartbeat sink (see runner/progress.h):
+  /// the campaign reports point started/resumed/finished events into it.
+  runner::ProgressStream* progress = nullptr;
 };
 
 struct CampaignOutcome {

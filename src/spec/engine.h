@@ -13,6 +13,11 @@ struct RunOptions {
   int jobs = 1;             ///< ensemble workers; <= 0 = hardware threads
   bool resume = false;      ///< campaigns: trust matching checkpoints
   std::string output_dir;   ///< artifact prefix ("" = cwd)
+  /// Campaigns: stream per-point lifecycle events and heartbeats to
+  /// "<name>.progress.jsonl" and (live) to stdout. See runner/progress.h.
+  bool progress = false;
+  /// Wall-clock heartbeat/stall-check period for --progress, in seconds.
+  double progress_period_s = 5.0;
 };
 
 /// Dispatches on spec.kind. Returns a process exit code (0 on success).

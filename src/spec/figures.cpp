@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -110,6 +111,26 @@ int run_goodput_surface(const CampaignSpec& spec, int jobs,
   const std::string csv_path = join_output_path(output_dir, spec.outputs.csv);
   if (csv.write_csv_file(csv_path)) {
     std::cout << "\nFull per-second surface written to " << csv_path << "\n";
+  }
+
+  // One telemetry stream per sender run (each sender is its own
+  // simulation). The streams contain only sim-time-keyed registry state,
+  // so they are byte-identical at any --jobs value.
+  if (config.telemetry.enabled()) {
+    for (const auto& r : results) {
+      const std::string telemetry_path = join_output_path(
+          output_dir, spec.name + ".telemetry.s" +
+                          std::to_string(r.sender) + ".jsonl");
+      std::ofstream out(telemetry_path, std::ios::binary);
+      out << r.telemetry_jsonl;
+      if (!out.flush()) {
+        std::cout << "cannot write telemetry " << telemetry_path << "\n";
+      }
+    }
+    std::cout << "Telemetry streams written to "
+              << join_output_path(output_dir,
+                                  spec.name + ".telemetry.s<N>.jsonl")
+              << " (" << results.size() << " senders)\n";
   }
 
   // Aggregate statistics the paper narrates.

@@ -439,6 +439,25 @@ ScenarioSpec parse_scenario(const obs::JsonValue& value,
     ObjectReader orr(*v, r.member_path("obs"));
     spec.collect_stats = orr.get_bool("stats", true);
     config.heartbeat_s = orr.get_double("heartbeat_s", 0.0, 0.0, kInf);
+    if (const obs::JsonValue* t = orr.find("telemetry")) {
+      ObjectReader tr(*t, orr.member_path("telemetry"));
+      // period_s is required: a telemetry block that samples nothing is
+      // a spec mistake, not a default to silently fill in.
+      if (!tr.has("period_s")) {
+        throw SpecError(orr.member_path("telemetry") +
+                        ".period_s: a sampling period is required");
+      }
+      config.telemetry.period_s =
+          tr.get_double("period_s", 0.0, 1e-9, kInf);
+      config.telemetry.delta =
+          tr.get_enum("mode", "full", {"full", "delta"}) == "delta";
+      tr.finish();
+      if (!spec.collect_stats) {
+        throw SpecError(orr.member_path("telemetry") +
+                        ": telemetry samples the stats registry; it "
+                        "requires \"stats\": true");
+      }
+    }
     orr.finish();
   }
   r.finish();

@@ -1,0 +1,177 @@
+// Live-telemetry determinism and quantile reconciliation, end to end.
+//
+// 1. A fig8-style Table-I ensemble with telemetry enabled must emit
+//    BYTE-IDENTICAL snapshot JSONL at --jobs 1 and --jobs 4 (full and
+//    delta mode): samples are keyed on sim time and contain only
+//    registry state, never wall clock.
+// 2. The agt.delay.e2e quantile histogram must reconcile with the ground
+//    truth: per-packet delays recomputed from the PacketLog (AGT send →
+//    AGT receive, matched by uid) sorted exactly. Every reported
+//    percentile must sit within ONE histogram bucket of the exact order
+//    statistic.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netsim/packet_log.h"
+#include "obs/quantile_histogram.h"
+#include "obs/stats_registry.h"
+#include "scenario/table1.h"
+
+namespace cavenet::scenario {
+namespace {
+
+TableIConfig short_config() {
+  TableIConfig config;
+  config.protocol = Protocol::kAodv;
+  config.seed = 3;
+  config.traffic_start_s = 2.0;
+  config.duration_s = 20.0;
+  return config;
+}
+
+struct TelemetryArtifacts {
+  std::vector<std::string> streams;  // per-sender telemetry JSONL
+  std::string stats_json;
+};
+
+TelemetryArtifacts run_ensemble(int jobs, bool delta) {
+  TableIConfig config = short_config();
+  config.telemetry.period_s = 5.0;
+  config.telemetry.delta = delta;
+  obs::StatsRegistry stats;
+  config.obs.stats = &stats;
+
+  TelemetryArtifacts a;
+  for (const SenderRunResult& r : run_all_senders(config, 1, 4, jobs)) {
+    a.streams.push_back(r.telemetry_jsonl);
+  }
+  a.stats_json = stats.snapshot().to_json();
+  return a;
+}
+
+TEST(TelemetryDeterminismTest, JsonlByteIdenticalAcrossJobsFullMode) {
+  const TelemetryArtifacts serial = run_ensemble(1, /*delta=*/false);
+  const TelemetryArtifacts parallel = run_ensemble(4, /*delta=*/false);
+
+  ASSERT_EQ(serial.streams.size(), parallel.streams.size());
+  for (std::size_t i = 0; i < serial.streams.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "sender " << i + 1);
+    EXPECT_FALSE(serial.streams[i].empty());
+    EXPECT_EQ(serial.streams[i], parallel.streams[i]);
+  }
+  EXPECT_EQ(serial.stats_json, parallel.stats_json);
+}
+
+TEST(TelemetryDeterminismTest, JsonlByteIdenticalAcrossJobsDeltaMode) {
+  const TelemetryArtifacts serial = run_ensemble(1, /*delta=*/true);
+  const TelemetryArtifacts parallel = run_ensemble(4, /*delta=*/true);
+
+  ASSERT_EQ(serial.streams.size(), parallel.streams.size());
+  for (std::size_t i = 0; i < serial.streams.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "sender " << i + 1);
+    EXPECT_EQ(serial.streams[i], parallel.streams[i]);
+  }
+  EXPECT_EQ(serial.stats_json, parallel.stats_json);
+}
+
+TEST(TelemetryDeterminismTest, SnapshotsCoverTheRun) {
+  TableIConfig config = short_config();
+  config.telemetry.period_s = 5.0;
+  obs::StatsRegistry stats;
+  config.obs.stats = &stats;
+
+  const SenderRunResult result = run_table1(config);
+  ASSERT_FALSE(result.telemetry_jsonl.empty());
+  // Periodic samples at t = 5, 10, 15, 20 plus the final end-of-run
+  // sample; the first line is seq 0 at the first period.
+  const auto newlines = static_cast<std::size_t>(std::count(
+      result.telemetry_jsonl.begin(), result.telemetry_jsonl.end(), '\n'));
+  EXPECT_GE(newlines, 4u);
+  EXPECT_NE(result.telemetry_jsonl.find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(result.telemetry_jsonl.find("\"t_s\":5"), std::string::npos);
+  EXPECT_NE(result.telemetry_jsonl.find("agt.delay.e2e"), std::string::npos);
+}
+
+TEST(TelemetryDeterminismTest, QuantilesReconcileWithPacketLog) {
+  TableIConfig config = short_config();
+  config.duration_s = 40.0;  // enough deliveries for a meaningful p99
+  netsim::PacketLog log;
+  obs::StatsRegistry stats;
+  config.obs.packet_log = &log;
+  config.obs.stats = &stats;
+
+  run_table1(config);
+
+  // Ground truth: AGT send/receive pairs matched by packet uid.
+  std::map<std::uint64_t, SimTime> sent_at;
+  std::vector<double> delays;
+  for (const netsim::PacketLog::Entry& e : log.entries()) {
+    if (e.layer != netsim::PacketLog::Layer::kAgent) continue;
+    if (e.event == netsim::PacketLog::Event::kSend) {
+      sent_at.emplace(e.uid, e.time);
+    } else if (e.event == netsim::PacketLog::Event::kReceive) {
+      const auto it = sent_at.find(e.uid);
+      ASSERT_NE(it, sent_at.end()) << "receive without send, uid " << e.uid;
+      delays.push_back((e.time - it->second).sec());
+    }
+  }
+  ASSERT_GE(delays.size(), 20u) << "scenario delivered too little traffic";
+  std::sort(delays.begin(), delays.end());
+
+  const obs::StatsSnapshot snap = stats.snapshot();
+  const auto* summary = snap.quantile("agt.delay.e2e");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->count, delays.size());
+  EXPECT_EQ(summary->min, delays.front());
+  EXPECT_EQ(summary->max, delays.back());
+
+  const auto exact_of = [&](double q) {
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(q * delays.size())));
+    return delays[rank - 1];
+  };
+  const auto check = [&](double q, double reported) {
+    const double exact = exact_of(q);
+    // The histogram reports the (clamped) upper bound of the bucket
+    // holding the exact order statistic: never below it, never beyond
+    // that bucket's edge.
+    const int bucket = obs::QuantileHistogramData::bucket_index(exact);
+    SCOPED_TRACE(::testing::Message()
+                 << "q=" << q << " exact=" << exact << " bucket=" << bucket);
+    EXPECT_GE(reported, exact);
+    EXPECT_LE(reported,
+              obs::QuantileHistogramData::bucket_upper_bound(bucket));
+  };
+  check(0.50, summary->p50);
+  check(0.95, summary->p95);
+  check(0.99, summary->p99);
+}
+
+TEST(TelemetryDeterminismTest, PerFlowQuantilesSumToAggregate) {
+  TableIConfig config = short_config();
+  obs::StatsRegistry stats;
+  config.obs.stats = &stats;
+  const std::vector<netsim::NodeId> senders{1, 2};
+  run_table1_concurrent(config, senders);
+
+  const obs::StatsSnapshot snap = stats.snapshot();
+  const auto* aggregate = snap.quantile("agt.delay.e2e");
+  ASSERT_NE(aggregate, nullptr);
+  std::uint64_t per_flow = 0;
+  for (netsim::NodeId s : senders) {
+    if (const auto* flow =
+            snap.quantile("agt.delay.e2e.s" + std::to_string(s))) {
+      per_flow += flow->count;
+    }
+  }
+  EXPECT_EQ(per_flow, aggregate->count);
+}
+
+}  // namespace
+}  // namespace cavenet::scenario

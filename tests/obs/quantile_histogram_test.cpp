@@ -1,0 +1,229 @@
+#include "obs/quantile_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace cavenet::obs {
+namespace {
+
+using Data = QuantileHistogramData;
+
+// --- bucket layout -------------------------------------------------------
+
+TEST(QuantileHistogramTest, BucketBoundariesAreExact) {
+  // Every power of two in range starts a fresh decade: the value itself
+  // must land in the bucket whose inclusive lower bound it is.
+  for (int exp = Data::kMinExp; exp < Data::kMaxExp; ++exp) {
+    const double v = std::ldexp(1.0, exp);
+    const int index = Data::bucket_index(v);
+    SCOPED_TRACE(::testing::Message() << "2^" << exp << " = " << v);
+    EXPECT_EQ(Data::bucket_lower_bound(index), v);
+    EXPECT_LT(v, Data::bucket_upper_bound(index));
+  }
+}
+
+TEST(QuantileHistogramTest, SubBucketBoundariesAreExact) {
+  // Within a decade, sub-bucket edges are exact binary fractions; a value
+  // sitting exactly on an edge belongs to the bucket it opens.
+  for (int sub = 0; sub < Data::kSubBuckets; ++sub) {
+    const double v = 1.0 + static_cast<double>(sub) / Data::kSubBuckets;
+    const int index = Data::bucket_index(v);
+    SCOPED_TRACE(::testing::Message() << "value " << v);
+    EXPECT_EQ(Data::bucket_lower_bound(index), v);
+  }
+  // Just below an edge stays in the previous bucket.
+  const double edge = 1.0 + 1.0 / Data::kSubBuckets;
+  EXPECT_EQ(Data::bucket_index(std::nextafter(edge, 0.0)) + 1,
+            Data::bucket_index(edge));
+}
+
+TEST(QuantileHistogramTest, EveryBucketRoundTrips) {
+  // lower_bound(i) must index back to i, and the layout must tile: each
+  // bucket's upper bound is the next bucket's lower bound.
+  for (int i = 1; i < Data::kBucketCount - 1; ++i) {
+    ASSERT_EQ(Data::bucket_index(Data::bucket_lower_bound(i)), i)
+        << "bucket " << i;
+    if (i + 1 < Data::kBucketCount - 1) {
+      ASSERT_EQ(Data::bucket_upper_bound(i), Data::bucket_lower_bound(i + 1))
+          << "bucket " << i;
+    }
+  }
+}
+
+TEST(QuantileHistogramTest, UnderflowAndOverflowBuckets) {
+  EXPECT_EQ(Data::bucket_index(0.0), 0);
+  EXPECT_EQ(Data::bucket_index(-1.0), 0);
+  EXPECT_EQ(Data::bucket_index(std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(Data::bucket_index(std::ldexp(1.0, Data::kMinExp) / 2.0), 0);
+  EXPECT_EQ(Data::bucket_index(std::ldexp(1.0, Data::kMaxExp)),
+            Data::kBucketCount - 1);
+  EXPECT_EQ(Data::bucket_index(std::numeric_limits<double>::infinity()),
+            Data::kBucketCount - 1);
+}
+
+// --- quantile accuracy ---------------------------------------------------
+
+TEST(QuantileHistogramTest, QuantileErrorBoundOnRandomDraws) {
+  // 1e5 draws spanning six orders of magnitude (log-uniform, like delay
+  // distributions): every reported quantile must sit within the advertised
+  // relative error of the exact order statistic.
+  constexpr std::size_t kN = 100000;
+  constexpr double kRelErr = 1.0 / Data::kSubBuckets;  // 3.125%
+
+  std::mt19937_64 gen(42);
+  std::uniform_real_distribution<double> log10_range(-4.0, 2.0);
+  Data h;
+  std::vector<double> values;
+  values.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double v = std::pow(10.0, log10_range(gen));
+    values.push_back(v);
+    h.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(q * kN)));
+    const double exact = values[rank - 1];
+    const double approx = h.quantile(q);
+    SCOPED_TRACE(::testing::Message() << "q=" << q << " exact=" << exact);
+    // quantile() reports a bucket upper bound, so it never under-reports
+    // by more than the bucket width and never over-reports past the next
+    // bucket edge.
+    EXPECT_GE(approx, exact * (1.0 - kRelErr));
+    EXPECT_LE(approx, exact * (1.0 + kRelErr));
+  }
+}
+
+TEST(QuantileHistogramTest, QuantileOneIsMaxAndMeanIsExact) {
+  Data h;
+  double sum = 0.0;
+  for (int i = 1; i <= 1000; ++i) {
+    h.observe(i * 0.001);
+    sum += i * 0.001;
+  }
+  EXPECT_EQ(h.quantile(1.0), h.max);
+  EXPECT_DOUBLE_EQ(h.mean(), sum / 1000.0);  // sum is exact, not bucketed
+  EXPECT_EQ(h.count, 1000u);
+}
+
+// --- merge determinism ---------------------------------------------------
+
+TEST(QuantileHistogramTest, MergeIsOrderIndependent) {
+  // The same observation multiset split across four shards must merge to
+  // identical buckets regardless of merge order — the property the
+  // parallel ensemble runner relies on for byte-identical quantiles.
+  std::mt19937_64 gen(7);
+  std::uniform_real_distribution<double> dist(1e-4, 10.0);
+  std::vector<Data> shards(4);
+  for (int i = 0; i < 10000; ++i) {
+    shards[static_cast<std::size_t>(i % 4)].observe(dist(gen));
+  }
+
+  Data forward;
+  for (const Data& s : shards) forward.merge(s);
+  Data backward;
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    backward.merge(*it);
+  }
+
+  EXPECT_EQ(forward.count, backward.count);
+  EXPECT_EQ(forward.sum, backward.sum);  // bitwise: merge adds shard sums
+  EXPECT_EQ(forward.min, backward.min);
+  EXPECT_EQ(forward.max, backward.max);
+  EXPECT_EQ(forward.buckets, backward.buckets);
+  EXPECT_EQ(forward.quantile(0.99), backward.quantile(0.99));
+}
+
+TEST(QuantileHistogramTest, MergeMatchesSingleStreamBuckets) {
+  std::mt19937_64 gen(11);
+  std::uniform_real_distribution<double> dist(1e-3, 1.0);
+  Data whole;
+  Data left;
+  Data right;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = dist(gen);
+    whole.observe(v);
+    (i % 2 == 0 ? left : right).observe(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(whole.buckets, left.buckets);
+  EXPECT_EQ(whole.count, left.count);
+  EXPECT_EQ(whole.min, left.min);
+  EXPECT_EQ(whole.max, left.max);
+}
+
+TEST(QuantileHistogramTest, MergeIntoEmpty) {
+  Data a;
+  Data b;
+  b.observe(0.5);
+  b.observe(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.min, 0.5);
+  EXPECT_EQ(a.max, 2.0);
+  a.merge(Data{});  // merging an empty histogram is a no-op
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.min, 0.5);
+  EXPECT_EQ(a.max, 2.0);
+}
+
+// --- edge cases -----------------------------------------------------------
+
+TEST(QuantileHistogramTest, EmptyHistogram) {
+  const Data h;
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(QuantileHistogramTest, SingleSampleIsExactEverywhere) {
+  Data h;
+  h.observe(0.0421);
+  // The clamp to [min, max] makes every quantile of a single-valued
+  // distribution exact, not just bucket-accurate.
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 0.0421) << "q=" << q;
+  }
+  EXPECT_EQ(h.min, 0.0421);
+  EXPECT_EQ(h.max, 0.0421);
+  const auto cdf = h.cdf();
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_EQ(cdf[0].first, 0.0421);
+  EXPECT_EQ(cdf[0].second, 1u);
+}
+
+TEST(QuantileHistogramTest, CdfIsMonotoneAndEndsAtCount) {
+  std::mt19937_64 gen(3);
+  std::uniform_real_distribution<double> dist(1e-2, 5.0);
+  Data h;
+  for (int i = 0; i < 1000; ++i) h.observe(dist(gen));
+
+  const auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_EQ(cdf.back().second, h.count);
+  EXPECT_EQ(cdf.back().first, h.max);  // clamped to the observed max
+}
+
+TEST(QuantileHistogramTest, UnboundHandleDiscards) {
+  Quantile q;
+  EXPECT_FALSE(q.bound());
+  q.observe(1.0);  // must not crash; lands in the thread-local discard cell
+}
+
+}  // namespace
+}  // namespace cavenet::obs

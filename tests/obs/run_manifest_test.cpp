@@ -74,6 +74,56 @@ TEST(RunManifestTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(RunManifestTest, StripVolatileDropsWallClockGauges) {
+  RunManifest m;
+  m.name = "strip_probe";
+  StatsRegistry registry;
+  registry.counter("kernel.mac.dispatches").inc(9);  // deterministic: stays
+  registry.gauge("kernel.mac.wall_ms").set(12.5);
+  registry.gauge("campaign.wall_s").set(3.25);
+  registry.gauge("points.per_wall_s").set(88.0);
+  registry.gauge("chan.utilization").set(0.25);  // sim-time gauge: stays
+  registry.gauge("sim.events.dispatched").set(1000.0);
+  m.stats = registry.snapshot();
+  m.created_at = "2026-01-01T00:00:00Z";
+  m.wall_duration_s = 1.5;
+  m.events_per_wall_second = 666.0;
+
+  m.strip_volatile();
+
+  EXPECT_TRUE(m.created_at.empty());
+  EXPECT_EQ(m.wall_duration_s, 0.0);
+  EXPECT_EQ(m.events_per_wall_second, 0.0);
+  EXPECT_EQ(m.stats.counter("kernel.mac.dispatches"), 9u);
+  EXPECT_DOUBLE_EQ(m.stats.gauge("chan.utilization"), 0.25);
+  EXPECT_DOUBLE_EQ(m.stats.gauge("sim.events.dispatched"), 1000.0);
+  // Every wall-clock gauge is gone, whatever the prefix. (The top-level
+  // events_per_wall_second key remains, zeroed.)
+  const std::string json = m.to_json();
+  EXPECT_EQ(json.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(json.find("campaign.wall_s"), std::string::npos);
+  EXPECT_EQ(json.find("points.per_wall_s"), std::string::npos);
+}
+
+TEST(RunManifestTest, StripVolatileKeepsQuantiles) {
+  RunManifest m;
+  m.name = "quantile_probe";
+  StatsRegistry registry;
+  registry.quantile("agt.delay.e2e").observe(0.042);
+  registry.gauge("kernel.agt.wall_ms").set(1.0);
+  m.stats = registry.snapshot();
+
+  m.strip_volatile();
+
+  // Quantile histograms are sim-time data: stripping must not touch them,
+  // and the stripped manifest round-trips with them intact.
+  const RunManifest parsed = RunManifest::from_json(m.to_json());
+  const auto* q = parsed.stats.quantile("agt.delay.e2e");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->count, 1u);
+  EXPECT_DOUBLE_EQ(q->min, 0.042);
+}
+
 TEST(RunManifestTest, FromJsonRejectsGarbage) {
   EXPECT_THROW(RunManifest::from_json("not json"), std::runtime_error);
   EXPECT_THROW(RunManifest::from_json("[1,2,3]"), std::runtime_error);

@@ -1,0 +1,146 @@
+// Campaign progress stream + per-point telemetry artifacts: a multi-point
+// campaign reports every point's lifecycle through ProgressStream, and a
+// telemetry-enabled spec writes one snapshot JSONL per point that is
+// byte-identical whatever the worker count.
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/progress.h"
+#include "spec/campaign.h"
+#include "spec/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::spec {
+namespace {
+
+namespace fs = std::filesystem;
+
+// 2 cells x 2 replications = 4 points; telemetry every 5 sim seconds.
+const char kCampaignJson[] = R"({
+  "name": "progress_probe", "kind": "campaign",
+  "scenario": {
+    "seed": 11, "duration_s": 20,
+    "mobility": {"lane_cells": 150, "vehicles": 12},
+    "traffic": {"start_s": 5, "stop_s": 15, "sender": 3},
+    "obs": {"telemetry": {"period_s": 5, "mode": "full"}}
+  },
+  "sweep": {
+    "replications": 2,
+    "axes": [{"param": "mobility.slowdown_p", "values": [0.3, 0.7]}]
+  }
+})";
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing artifact " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+runner::ProgressOptions quiet_progress() {
+  runner::ProgressOptions options;
+  options.heartbeat_period_s = 0.0;  // no watchdog thread: deterministic
+  options.stall_after_s = 0.0;
+  return options;
+}
+
+TEST(CampaignProgressTest, EveryPointReportsLifecycle) {
+  const CampaignSpec spec = parse_campaign(kCampaignJson, "progress.json");
+  const std::size_t total = expand_points(spec).size();
+  ASSERT_EQ(total, 4u);
+
+  const fs::path dir = fresh_dir("campaign_progress");
+  runner::ProgressStream progress(total, 2, quiet_progress());
+  CampaignOptions options;
+  options.jobs = 2;
+  options.output_dir = dir.string();
+  options.progress = &progress;
+
+  // run_campaign emits campaign_finished itself before returning.
+  const CampaignOutcome outcome = run_campaign(spec, options);
+  EXPECT_EQ(outcome.points_run, total);
+  EXPECT_EQ(progress.finished(), total);
+
+  const std::string stream = progress.jsonl();
+  EXPECT_EQ(count_occurrences(stream, "\"event\":\"campaign_started\""), 1u);
+  EXPECT_EQ(count_occurrences(stream, "\"event\":\"point_started\""), total);
+  EXPECT_EQ(count_occurrences(stream, "\"event\":\"point_finished\""), total);
+  EXPECT_EQ(count_occurrences(stream, "\"event\":\"campaign_finished\""), 1u);
+  // Throughput fields ride every finish event.
+  EXPECT_EQ(count_occurrences(stream, "\"events_per_wall_s\""), total);
+  EXPECT_EQ(count_occurrences(stream, "\"eta_s\""), total);
+  // Point names carry the campaign's axis-indexed labels.
+  EXPECT_NE(stream.find("progress_probe["), std::string::npos);
+}
+
+TEST(CampaignProgressTest, ResumedPointsReportAsResumed) {
+  const CampaignSpec spec = parse_campaign(kCampaignJson, "progress.json");
+  const std::size_t total = expand_points(spec).size();
+  const fs::path dir = fresh_dir("campaign_progress_resume");
+
+  CampaignOptions options;
+  options.jobs = 2;
+  options.output_dir = dir.string();
+  ASSERT_EQ(run_campaign(spec, options).points_run, total);
+
+  runner::ProgressStream progress(total, 2, quiet_progress());
+  options.resume = true;
+  options.progress = &progress;
+  const CampaignOutcome outcome = run_campaign(spec, options);
+  EXPECT_EQ(outcome.points_resumed, total);
+  EXPECT_EQ(progress.finished(), total);
+  EXPECT_EQ(count_occurrences(progress.jsonl(), "\"event\":\"point_resumed\""),
+            total);
+  EXPECT_EQ(count_occurrences(progress.jsonl(), "\"event\":\"point_started\""),
+            0u);
+}
+
+TEST(CampaignProgressTest, PointTelemetryFilesAreJobInvariant) {
+  const CampaignSpec spec = parse_campaign(kCampaignJson, "progress.json");
+  const std::size_t total = expand_points(spec).size();
+
+  const fs::path serial_dir = fresh_dir("campaign_telemetry_j1");
+  CampaignOptions serial;
+  serial.jobs = 1;
+  serial.output_dir = serial_dir.string();
+  ASSERT_EQ(run_campaign(spec, serial).points_run, total);
+
+  const fs::path parallel_dir = fresh_dir("campaign_telemetry_j4");
+  CampaignOptions parallel;
+  parallel.jobs = 4;
+  parallel.output_dir = parallel_dir.string();
+  ASSERT_EQ(run_campaign(spec, parallel).points_run, total);
+
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::string name = point_telemetry_path(spec, i);
+    const std::string serial_stream = slurp(serial_dir / name);
+    EXPECT_FALSE(serial_stream.empty()) << name;
+    EXPECT_EQ(serial_stream, slurp(parallel_dir / name)) << name;
+    EXPECT_NE(serial_stream.find("\"seq\":0"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cavenet::spec

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: run bench_micro and compare against the
+checked-in BENCH_micro.json baseline.
+
+Usage:
+    bench_check.py --bench-binary build/bench/bench_micro
+        [--baseline BENCH_micro.json] [--label LABEL]
+        [--tolerance FACTOR] [--filter REGEX] [--min-time SECS]
+
+Runs the microbenchmark binary with --json into a temporary file, then
+compares each fresh ns/op figure against the baseline entry (the LAST
+entry in the file unless --label picks one). A benchmark regresses when
+
+    fresh_ns > baseline_ns * tolerance
+
+The default tolerance is deliberately wide (5x): this is a smoke gate
+against order-of-magnitude regressions (an accidental O(n^2), a lost
+pool, a debug build sneaking into CI), not a statistical benchmark —
+shared CI machines are far too noisy for tight bands. Speedups and
+benchmarks missing from either side never fail the gate (new benchmarks
+have no baseline yet; retired ones no longer matter).
+
+Exit codes: 0 ok, 1 regression(s), 2 usage/environment error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load_baseline(path, label):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_check: cannot read baseline {path}: {err}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        sys.exit(f"bench_check: {path} has no entries")
+    if label:
+        for entry in entries:
+            if entry.get("label") == label:
+                return entry["label"], entry.get("results", {})
+        sys.exit(f"bench_check: no baseline entry labelled {label!r} in {path}")
+    entry = entries[-1]  # newest entry: labels accumulate in PR order
+    return entry.get("label", "?"), entry.get("results", {})
+
+
+def run_bench(binary, filter_regex, min_time):
+    fd, fresh_path = tempfile.mkstemp(suffix=".json", prefix="bench_check_")
+    os.close(fd)
+    os.unlink(fresh_path)  # bench_micro accumulates; start clean
+    cmd = [
+        binary,
+        f"--json={fresh_path}",
+        "--json-label=bench_check",
+        # Bare seconds: the "0.01s" suffix form only parses on
+        # google-benchmark >= 1.8.
+        f"--benchmark_min_time={min_time}",
+    ]
+    if filter_regex:
+        cmd.append(f"--benchmark_filter={filter_regex}")
+    try:
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+    except OSError as err:
+        sys.exit(f"bench_check: cannot run {binary}: {err}")
+    if proc.returncode != 0:
+        print(proc.stdout)
+        sys.exit(f"bench_check: {binary} exited {proc.returncode}")
+    try:
+        with open(fresh_path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(proc.stdout)
+        sys.exit(f"bench_check: bench run produced no readable json: {err}")
+    finally:
+        try:
+            os.unlink(fresh_path)
+        except OSError:
+            pass
+    for entry in doc.get("entries", []):
+        if entry.get("label") == "bench_check":
+            return entry.get("results", {})
+    sys.exit("bench_check: bench json missing the bench_check entry")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-binary", required=True,
+                        help="path to the bench_micro executable")
+    parser.add_argument("--baseline", default="BENCH_micro.json",
+                        help="checked-in baseline file (default "
+                             "BENCH_micro.json)")
+    parser.add_argument("--label", default="",
+                        help="baseline entry label (default: last entry)")
+    parser.add_argument("--tolerance", type=float, default=5.0,
+                        help="regression factor vs baseline (default 5.0)")
+    parser.add_argument("--filter", default="",
+                        help="--benchmark_filter regex passed through")
+    parser.add_argument("--min-time", default="0.01",
+                        help="--benchmark_min_time seconds (default 0.01)")
+    args = parser.parse_args()
+
+    if args.tolerance <= 0:
+        sys.exit("bench_check: --tolerance must be > 0")
+
+    label, baseline = load_baseline(args.baseline, args.label)
+    fresh = run_bench(args.bench_binary, args.filter, args.min_time)
+    if not fresh:
+        sys.exit("bench_check: bench run produced no results "
+                 "(bad --filter regex?)")
+
+    print(f"baseline: {args.baseline} [{label}]  tolerance x{args.tolerance}")
+    regressions = []
+    for name in sorted(fresh):
+        fresh_ns = fresh[name]
+        base_ns = baseline.get(name)
+        if base_ns is None:
+            print(f"  {name:36s} {fresh_ns:>14.1f} ns/op  (no baseline)")
+            continue
+        ratio = fresh_ns / base_ns if base_ns > 0 else float("inf")
+        flag = "  REGRESSION" if ratio > args.tolerance else ""
+        print(f"  {name:36s} {base_ns:>14.1f} -> {fresh_ns:<14.1f} ns/op "
+              f"(x{ratio:.2f}){flag}")
+        if flag:
+            regressions.append((name, base_ns, fresh_ns, ratio))
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) beyond x{args.tolerance} "
+              f"of [{label}]:")
+        for name, base_ns, fresh_ns, ratio in regressions:
+            print(f"  {name}: {base_ns:.1f} -> {fresh_ns:.1f} ns/op "
+                  f"(x{ratio:.2f})")
+        return 1
+    print("\nno bench regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@
 //   cavenet-run spec.json --jobs N           ensemble workers per spec
 //   cavenet-run spec.json --resume           trust matching checkpoints
 //   cavenet-run spec.json --output-dir DIR   artifact prefix
+//   cavenet-run spec.json --progress         live per-point events +
+//                                            <name>.progress.jsonl
+//   cavenet-run ... --progress-period SECS   heartbeat period (default 5)
 //
 // Exit codes: 0 success, 2 bad usage / invalid spec / failed run.
 #include <cstdio>
@@ -27,7 +30,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: cavenet-run <spec.json>... [--jobs N] [--resume]\n"
                "                   [--output-dir DIR] [--validate]\n"
-               "                   [--list-points]\n");
+               "                   [--list-points] [--progress]\n"
+               "                   [--progress-period SECS]\n");
   return 2;
 }
 
@@ -82,11 +86,14 @@ int list_points(const std::string& path) {
 
 int main(int argc, char** argv) {
   // Boolean switches must not bind the following spec path as a value.
-  const CliArgs args(argc, argv, {"resume", "validate", "list-points"});
+  const CliArgs args(argc, argv,
+                     {"resume", "validate", "list-points", "progress"});
   spec::RunOptions options;
   options.jobs = static_cast<int>(args.get_int("jobs", 1));
   options.resume = args.get_bool("resume", false);
   options.output_dir = args.get_string("output-dir", "");
+  options.progress = args.get_bool("progress", false);
+  options.progress_period_s = args.get_double("progress-period", 5.0);
   const bool validate_only = args.get_bool("validate", false);
   const bool list_only = args.get_bool("list-points", false);
   const std::vector<std::string>& specs = args.positional();

@@ -4,15 +4,24 @@
 Usage:
     stats_diff.py BASELINE.manifest.json CANDIDATE.manifest.json
         [--threshold PCT] [--watch PREFIX ...] [--all]
+    stats_diff.py BASELINE.telemetry.jsonl CANDIDATE.telemetry.jsonl
 
-Prints parameter changes, metric deltas, and counter/gauge deltas between
-the two runs. Exits 1 when a *watched* counter regresses by more than
---threshold percent (default 5%), so the script can gate CI.
+Manifest mode prints parameter changes, metric deltas, and counter/gauge/
+histogram/quantile deltas between the two runs. Exits 1 when a *watched*
+counter regresses by more than --threshold percent (default 5%), so the
+script can gate CI.
 
 "Regression" direction is counter-specific: drop/retry/failure counters
 regress by going *up*, delivery/success counters by going *down*. Anything
 not matched by the heuristics below only changes the report, never the
-exit code, unless listed via --watch.
+exit code, unless listed via --watch. Histogram and quantile entries are
+informational: their summary fields (count, p50/p90/p95/p99, ...) are
+printed when they change but never flip the exit code on their own.
+
+Telemetry mode (both paths ending in .jsonl) compares two snapshot
+sequences line by line and reports the FIRST diverging snapshot index plus
+which stats entries differ inside it. Exits 1 on any divergence — the
+streams are supposed to be byte-identical across --jobs values.
 """
 
 import argparse
@@ -65,6 +74,99 @@ def regression_direction(name):
     return 0
 
 
+# Distribution summary fields worth printing when they move. The cdf is
+# compared for equality but not printed field-by-field (too wide).
+SUMMARY_FIELDS = ("count", "sum", "min", "max", "p50", "p90", "p95", "p99")
+
+
+def flatten_summaries(section_map):
+    """{"mac.delay.access": {"count": 3, "p50": ...}} ->
+    {"mac.delay.access.count": 3, "mac.delay.access.p50": ...}."""
+    flat = {}
+    for name, summary in section_map.items():
+        if not isinstance(summary, dict):
+            continue
+        for field in SUMMARY_FIELDS:
+            if field in summary:
+                flat[f"{name}.{field}"] = summary[field]
+    return flat
+
+
+def diff_stats_entries(old_stats, new_stats):
+    """Yields (label, key, old, new) for every differing entry across all
+    four stats sections (summaries flattened to per-field keys)."""
+    for section in ("counters", "gauges"):
+        for key, old, new in diff_maps(old_stats.get(section, {}),
+                                       new_stats.get(section, {})):
+            if old != new:
+                yield section, key, old, new
+    for section in ("histograms", "quantiles"):
+        old_flat = flatten_summaries(old_stats.get(section, {}))
+        new_flat = flatten_summaries(new_stats.get(section, {}))
+        for key, old, new in diff_maps(old_flat, new_flat):
+            if old != new:
+                yield section, key, old, new
+        # CDFs compare as whole vectors; report presence of a difference.
+        old_map, new_map = old_stats.get(section, {}), new_stats.get(section, {})
+        for name in sorted(set(old_map) | set(new_map)):
+            old_cdf = old_map.get(name, {}).get("cdf")
+            new_cdf = new_map.get(name, {}).get("cdf")
+            if old_cdf != new_cdf:
+                yield section, f"{name}.cdf", "(differs)", "(differs)"
+
+
+def load_jsonl(path):
+    snapshots = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    snapshots.append((line, json.loads(line)))
+                except json.JSONDecodeError as err:
+                    sys.exit(f"stats_diff: {path}:{lineno}: {err}")
+    except OSError as err:
+        sys.exit(f"stats_diff: cannot read {path}: {err}")
+    return snapshots
+
+
+def diff_telemetry(baseline_path, candidate_path):
+    """Compares two telemetry JSONL snapshot sequences; returns the exit
+    code (0 identical, 1 diverged)."""
+    base = load_jsonl(baseline_path)
+    cand = load_jsonl(candidate_path)
+    print(f"baseline : {baseline_path}  ({len(base)} snapshots)")
+    print(f"candidate: {candidate_path}  ({len(cand)} snapshots)")
+
+    for index, ((base_line, base_doc), (cand_line, cand_doc)) in enumerate(
+            zip(base, cand)):
+        if base_line == cand_line:
+            continue
+        print(f"\nsnapshot {index} diverged "
+              f"(seq={base_doc.get('seq')} t_s={base_doc.get('t_s')}):")
+        if base_doc.get("t_s") != cand_doc.get("t_s"):
+            print(f"  t_s: {base_doc.get('t_s')} -> {cand_doc.get('t_s')}")
+        rows = list(diff_stats_entries(base_doc.get("stats", {}),
+                                       cand_doc.get("stats", {})))
+        for section, key, old, new in rows[:50]:
+            print(f"  [{section}] {key:40s} {old!r} -> {new!r}")
+        if len(rows) > 50:
+            print(f"  ... and {len(rows) - 50} more differing entries")
+        if not rows:
+            print("  (stats identical; lines differ in serialization "
+                  "or other fields)")
+        return 1
+
+    if len(base) != len(cand):
+        print(f"\nsequences diverge at snapshot {min(len(base), len(cand))}: "
+              f"baseline has {len(base)} snapshots, candidate {len(cand)}")
+        return 1
+    print(f"\nidentical: {len(base)} snapshots match byte-for-byte.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -78,6 +180,9 @@ def main():
     parser.add_argument("--all", action="store_true",
                         help="print unchanged entries too")
     args = parser.parse_args()
+
+    if args.baseline.endswith(".jsonl") and args.candidate.endswith(".jsonl"):
+        return diff_telemetry(args.baseline, args.candidate)
 
     base = load_manifest(args.baseline)
     cand = load_manifest(args.candidate)
@@ -128,6 +233,20 @@ def main():
                   f"({fmt_pct(change)}){flag}")
             if regressed:
                 regressions.append((key, old, new, change))
+
+    # Distribution sections are informational only: summary-field moves are
+    # printed but never flip the exit code (regression_direction has no
+    # meaningful sign for a percentile).
+    for section in ("histograms", "quantiles"):
+        old_flat = flatten_summaries(base["stats"].get(section, {}))
+        new_flat = flatten_summaries(cand["stats"].get(section, {}))
+        rows = [(k, o, n) for k, o, n in diff_maps(old_flat, new_flat)
+                if args.all or o != n]
+        if rows:
+            print(f"\n{section}:")
+        for key, old, new in rows:
+            print(f"  {key:32s} {old:>14g} -> {new:<14g} "
+                  f"({fmt_pct(pct_change(old, new))})")
 
     if regressions:
         print(f"\n{len(regressions)} counter regression(s) beyond "
