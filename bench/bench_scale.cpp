@@ -8,18 +8,30 @@
 // the cull factor (evaluations a full O(N) fan-out would have cost per
 // one performed), kernel handler wall time, and whole-run wall clock.
 //
-// --jobs N   fan the sweep points across N ensemble workers (results are
-//            bitwise-identical for every N; wall-clock columns vary).
-// --smoke    tiny fleets + short runs; the `bench-smoke` ctest label runs
-//            this mode so the bench itself stays green under the
-//            sanitizer presets. Smoke runs also record kernel-ms and
-//            events/s per sweep point into BENCH_scale.json (keyed by
-//            --json-label, default "current"), extending the checked-in
-//            perf trajectory.
-// --linear   use the brute-force channel (kLinear) instead of the grid,
-//            for A/B-ing the index's win.
+// --jobs N     fan the sweep points across N ensemble workers (results
+//              are bitwise-identical for every N; wall-clock columns
+//              vary).
+// --smoke      tiny fleets + short runs; the `bench-smoke` ctest label
+//              runs this mode so the bench itself stays green under the
+//              sanitizer presets. Smoke runs also record kernel-ms and
+//              events/s per sweep point into BENCH_scale.json (keyed by
+//              --json-label, default "current"), extending the
+//              checked-in perf trajectory.
+// --linear     use the brute-force channel (kLinear) instead of the
+//              grid, for A/B-ing the index's win.
+// --shards K   run every point twice — unsharded and with K spatial
+//              shards (docs/SCALING.md "Sharding") — verify the two runs
+//              byte-identical on every deterministic field, and report
+//              the speedup. The shard-smoke ctest label runs
+//              `--smoke --shards 4`.
+// --vehicles   comma-separated fleet-size override (e.g.
+//              --vehicles 10000).
+// --duration S sim-seconds override per point.
+// --json       write BENCH_scale.json even outside --smoke.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -95,10 +107,14 @@ void write_scale_json(
     w.value(to_string(r.protocol));
     w.key("vehicles");
     w.value(static_cast<std::int64_t>(r.vehicles));
+    w.key("shards");
+    w.value(static_cast<std::int64_t>(r.shards));
     w.key("events");
     w.value(static_cast<std::uint64_t>(r.flow.events_dispatched));
     w.key("kernel_ms");
     w.value(r.kernel_wall_ms);
+    w.key("wall_ms");
+    w.value(r.wall_s * 1e3);
     w.key("events_per_s");
     w.value(r.wall_s > 0.0
                 ? static_cast<double>(r.flow.events_dispatched) / r.wall_s
@@ -115,6 +131,50 @@ void write_scale_json(
   std::cout << "json: " << path << " (label \"" << label << "\")\n";
 }
 
+/// Every deterministic field of a scale point, rendered exactly
+/// (hexfloat doubles). Two runs of the same point at different shard
+/// counts must produce identical text — the bench's own equivalence
+/// gate, independent of the test suite's.
+std::string deterministic_dump(const cavenet::scenario::ScaleRunResult& r) {
+  const auto hex = [](double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return std::string(buf);
+  };
+  std::ostringstream out;
+  const cavenet::scenario::SenderRunResult& f = r.flow;
+  out << to_string(r.protocol) << ' ' << r.vehicles << '\n'
+      << f.tx_packets << ' ' << f.rx_packets << ' ' << hex(f.pdr) << ' '
+      << hex(f.mean_delay_s) << ' ' << hex(f.max_delay_s) << ' '
+      << hex(f.first_delivery_delay_s) << ' ' << hex(f.mean_hop_count)
+      << '\n'
+      << f.control_packets << ' ' << f.control_bytes << ' '
+      << f.route_discoveries << ' ' << f.mac_collisions << ' '
+      << f.mac_retries << ' ' << f.mac_tx_failed << ' '
+      << f.events_dispatched << ' ' << hex(f.channel_utilization) << '\n'
+      << r.transmissions << ' ' << r.rx_power_evaluated << ' '
+      << r.rx_power_culled << '\n';
+  for (const double g : f.goodput_bps) out << hex(g) << ' ';
+  out << '\n';
+  return out.str();
+}
+
+std::vector<std::int32_t> parse_fleets(const std::string& csv) {
+  std::vector<std::int32_t> fleets;
+  std::stringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const int n = std::atoi(item.c_str());
+    if (n < 2) {
+      throw std::invalid_argument("--vehicles: bad fleet size '" + item +
+                                  "'");
+    }
+    fleets.push_back(n);
+  }
+  if (fleets.empty()) throw std::invalid_argument("--vehicles: empty list");
+  return fleets;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,18 +185,36 @@ int main(int argc, char** argv) {
   const int jobs = static_cast<int>(args.get_int("jobs", 1));
   const bool smoke = args.get_bool("smoke", false);
   const bool linear = args.get_bool("linear", false);
+  const int shards = static_cast<int>(args.get_int("shards", 1));
+  const std::string vehicles_csv = args.get_string("vehicles", "");
+  const double duration_override = args.get_double("duration", 0.0);
+  const bool write_json = args.get_bool("json", false);
   const std::string json_label = args.get_string("json-label", "current");
   for (const std::string& flag : args.unknown_flags()) {
     std::cerr << args.describe_unknown(flag) << "\n";
     return 2;
   }
+  if (shards < 1) {
+    std::cerr << "--shards must be >= 1\n";
+    return 2;
+  }
 
-  const std::vector<std::int32_t> fleets =
-      smoke ? std::vector<std::int32_t>{10, 20}
-            : std::vector<std::int32_t>{30, 100, 300, 1000};
-  const double duration_s = smoke ? 6.0 : 30.0;
+  std::vector<std::int32_t> fleets;
+  try {
+    fleets = !vehicles_csv.empty()
+                 ? parse_fleets(vehicles_csv)
+                 : smoke ? std::vector<std::int32_t>{10, 20}
+                         : std::vector<std::int32_t>{30, 100, 300, 1000};
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  const double duration_s =
+      duration_override > 0.0 ? duration_override : (smoke ? 6.0 : 30.0);
   const double traffic_start_s = smoke ? 1.0 : 5.0;
 
+  // With --shards K every point runs twice, unsharded first; adjacent
+  // pairs feed the equivalence gate and the speedup column.
   std::vector<ScaleConfig> sweep;
   for (const Protocol protocol : {Protocol::kAodv, Protocol::kOlsr}) {
     for (const std::int32_t n : fleets) {
@@ -147,7 +225,12 @@ int main(int argc, char** argv) {
       config.traffic_start_s = traffic_start_s;
       config.channel_index =
           linear ? phy::ChannelIndex::kLinear : phy::ChannelIndex::kGrid;
+      config.shards = 1;
       sweep.push_back(config);
+      if (shards > 1) {
+        config.shards = shards;
+        sweep.push_back(config);
+      }
     }
   }
 
@@ -156,16 +239,19 @@ int main(int argc, char** argv) {
     std::cout << (i ? "/" : "") << fleets[i];
   }
   std::cout << " vehicles, AODV + OLSR, channel index "
-            << (linear ? "linear (brute force)" : "grid") << "\n\n";
+            << (linear ? "linear (brute force)" : "grid");
+  if (shards > 1) std::cout << ", shards 1 vs " << shards;
+  std::cout << "\n\n";
 
   const std::vector<ScaleRunResult> results = run_scale_sweep(sweep, jobs);
 
-  TableWriter table({"protocol", "N", "PDR", "events", "chan tx",
+  TableWriter table({"protocol", "N", "shards", "PDR", "events", "chan tx",
                      "rx-pow eval", "rx-pow culled", "cull x",
                      "kernel [ms]", "wall [s]", "ev/s"});
   for (const ScaleRunResult& r : results) {
     table.add_row({std::string(to_string(r.protocol)),
-                   static_cast<std::int64_t>(r.vehicles), r.flow.pdr,
+                   static_cast<std::int64_t>(r.vehicles),
+                   static_cast<std::int64_t>(r.shards), r.flow.pdr,
                    static_cast<std::int64_t>(r.flow.events_dispatched),
                    static_cast<std::int64_t>(r.transmissions),
                    static_cast<std::int64_t>(r.rx_power_evaluated),
@@ -179,12 +265,40 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   table.write_csv_file("scale.csv");
   std::cout << "\ncsv: scale.csv\n";
-  if (smoke) write_scale_json("BENCH_scale.json", json_label, results);
+  if (smoke || write_json) {
+    write_scale_json("BENCH_scale.json", json_label, results);
+  }
+
+  // Shard equivalence gate: with --shards K the sweep interleaves
+  // unsharded/sharded runs of each point; anything non-identical in the
+  // deterministic fields is a kernel bug, not a perf regression.
+  int failures = 0;
+  if (shards > 1) {
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+      const ScaleRunResult& base = results[i];
+      const ScaleRunResult& shd = results[i + 1];
+      const std::string base_dump = deterministic_dump(base);
+      const std::string shard_dump = deterministic_dump(shd);
+      if (base_dump != shard_dump) {
+        std::printf(
+            "FAIL %s N=%d: shards=%d run diverges from shards=1\n"
+            "--- shards=1 ---\n%s--- shards=%d ---\n%s",
+            std::string(to_string(base.protocol)).c_str(), base.vehicles,
+            shd.shards, base_dump.c_str(), shd.shards, shard_dump.c_str());
+        ++failures;
+        continue;
+      }
+      const double speedup =
+          shd.wall_s > 0.0 ? base.wall_s / shd.wall_s : 0.0;
+      std::printf("equiv %s N=%d: byte-identical, shards=%d speedup %.2fx\n",
+                  std::string(to_string(base.protocol)).c_str(),
+                  base.vehicles, shd.shards, speedup);
+    }
+  }
 
   // Sanity gates so the smoke run fails loudly if the index regresses:
   // every pair (transmission, other radio) is either evaluated or culled,
   // and at the largest fleet the index must pay for itself.
-  int failures = 0;
   for (const ScaleRunResult& r : results) {
     const auto expected =
         r.transmissions * static_cast<std::uint64_t>(r.vehicles - 1);

@@ -8,20 +8,96 @@
 
 namespace cavenet::netsim {
 
+void Simulator::enable_sharding(std::uint32_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("enable_sharding: shard count must be >= 1");
+  }
+  if (!extra_shards_.empty()) {
+    throw std::logic_error("enable_sharding: sharding already enabled");
+  }
+  if (events_dispatched() != 0 || queue_depth() != 0 ||
+      now_ != SimTime::zero()) {
+    throw std::logic_error(
+        "enable_sharding must be called before any event is scheduled");
+  }
+  if (shards == 1) return;
+  // One sequence counter across every shard: the merged (time, seq)
+  // dispatch order is then exactly the order a single queue would have
+  // produced, because schedule() calls happen in the same order and draw
+  // the same sequence numbers.
+  scheduler_.share_sequence(&shared_seq_);
+  extra_shards_.reserve(shards - 1);
+  for (std::uint32_t i = 1; i < shards; ++i) {
+    auto s = std::make_unique<Scheduler>();
+    s->share_sequence(&shared_seq_);
+    s->set_profiler(profiler_);
+    extra_shards_.push_back(std::move(s));
+  }
+}
+
+std::uint32_t Simulator::pick_next_shard(SimTime& at) const noexcept {
+  std::uint32_t best = shard_count();
+  SimTime best_at = SimTime::max();
+  std::uint64_t best_seq = 0;
+  SimTime t{};
+  std::uint64_t seq = 0;
+  if (scheduler_.peek_next(t, seq)) {
+    best = 0;
+    best_at = t;
+    best_seq = seq;
+  }
+  for (std::uint32_t i = 0; i < extra_shards_.size(); ++i) {
+    if (!extra_shards_[i]->peek_next(t, seq)) continue;
+    if (t < best_at || (t == best_at && seq < best_seq)) {
+      best = i + 1;
+      best_at = t;
+      best_seq = seq;
+    }
+  }
+  at = best_at;
+  return best;
+}
+
 void Simulator::run() {
   stopped_ = false;
-  while (!stopped_ && !scheduler_.empty()) {
-    now_ = scheduler_.next_time();
-    scheduler_.run_one();
+  if (extra_shards_.empty()) {
+    while (!stopped_ && !scheduler_.empty()) {
+      now_ = scheduler_.next_time();
+      scheduler_.run_one();
+    }
+    return;
   }
+  while (!stopped_) {
+    SimTime at{};
+    const std::uint32_t next = pick_next_shard(at);
+    if (next == shard_count()) break;
+    now_ = at;
+    current_shard_ = next;
+    shard(next).run_one();
+  }
+  current_shard_ = 0;
 }
 
 void Simulator::run_until(SimTime until) {
   stopped_ = false;
-  while (!stopped_ && !scheduler_.empty() && scheduler_.next_time() <= until) {
-    now_ = scheduler_.next_time();
-    scheduler_.run_one();
+  if (extra_shards_.empty()) {
+    while (!stopped_ && !scheduler_.empty() &&
+           scheduler_.next_time() <= until) {
+      now_ = scheduler_.next_time();
+      scheduler_.run_one();
+    }
+    if (!stopped_ && now_ < until) now_ = until;
+    return;
   }
+  while (!stopped_) {
+    SimTime at{};
+    const std::uint32_t next = pick_next_shard(at);
+    if (next == shard_count() || at > until) break;
+    now_ = at;
+    current_shard_ = next;
+    shard(next).run_one();
+  }
+  current_shard_ = 0;
   if (!stopped_ && now_ < until) now_ = until;
 }
 

@@ -11,10 +11,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string_view>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "netsim/scheduler.h"
 #include "util/rng.h"
@@ -53,8 +55,8 @@ class Simulator {
     if (delay < SimTime::zero()) {
       throw std::invalid_argument("negative delay: " + delay.to_string());
     }
-    return scheduler_.schedule_at(now_ + delay, std::forward<F>(action),
-                                  component);
+    return shard(current_shard_)
+        .schedule_at(now_ + delay, std::forward<F>(action), component);
   }
   /// Schedules at an absolute time (>= now).
   template <typename F>
@@ -69,8 +71,44 @@ class Simulator {
       throw std::invalid_argument("scheduling into the past: " +
                                   at.to_string());
     }
-    return scheduler_.schedule_at(at, std::forward<F>(action), component);
+    return shard(current_shard_)
+        .schedule_at(at, std::forward<F>(action), component);
   }
+
+  /// Schedules onto an explicit shard's queue instead of the current
+  /// event's (events normally inherit the shard they were scheduled
+  /// from). Cross-shard deliveries — the channel handing a packet to a
+  /// receiver that lives in another region — go through here, making them
+  /// time-stamped inter-shard messages. With sharding disabled the only
+  /// valid shard is 0 and this is exactly schedule().
+  template <typename F>
+    requires std::is_invocable_v<std::decay_t<F>&>
+  EventId schedule_on(std::uint32_t shard_index, SimTime delay,
+                      std::string_view component, F&& action) {
+    if (delay < SimTime::zero()) {
+      throw std::invalid_argument("negative delay: " + delay.to_string());
+    }
+    if (shard_index >= shard_count()) {
+      throw std::out_of_range("schedule_on: shard out of range");
+    }
+    return shard(shard_index)
+        .schedule_at(now_ + delay, std::forward<F>(action), component);
+  }
+
+  /// Splits the event queue into `shards` independent slab-pooled
+  /// Schedulers merged by one dispatcher on the global (time, seq) key.
+  /// Sequence numbers come from one shared counter, so the merged
+  /// dispatch order is bit-identical to the single-queue kernel at any
+  /// shard count — sharding partitions *state* (queues, slabs, and the
+  /// channel's spatial snapshot), never the event order. Must be called
+  /// before any event is scheduled; shards == 1 is a no-op.
+  void enable_sharding(std::uint32_t shards);
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(extra_shards_.size()) + 1;
+  }
+  /// Shard of the event being dispatched (0 when idle or unsharded).
+  std::uint32_t current_shard() const noexcept { return current_shard_; }
 
   /// Runs until the event queue drains or stop() is called.
   void run();
@@ -85,19 +123,30 @@ class Simulator {
   Rng make_rng(std::uint64_t stream) const { return Rng(seed_, stream); }
 
   std::uint64_t events_dispatched() const noexcept {
-    return scheduler_.dispatched_count();
+    std::uint64_t total = scheduler_.dispatched_count();
+    for (const auto& s : extra_shards_) total += s->dispatched_count();
+    return total;
   }
   /// Pending events (including cancelled ones not yet dropped).
-  std::size_t queue_depth() const noexcept { return scheduler_.size(); }
+  std::size_t queue_depth() const noexcept {
+    std::size_t total = scheduler_.size();
+    for (const auto& s : extra_shards_) total += s->size();
+    return total;
+  }
 
   /// Attaches (nullptr detaches) a kernel profiler; see Scheduler.
   void set_profiler(obs::KernelProfiler* profiler) noexcept {
+    profiler_ = profiler;
     scheduler_.set_profiler(profiler);
+    for (auto& s : extra_shards_) s->set_profiler(profiler);
   }
 
   /// Binds the scheduler pool's sched.pool.* counters; see Scheduler.
+  /// All shards bind the same counter names, so the published values are
+  /// pool totals.
   void bind_kernel_stats(obs::StatsRegistry& registry) {
     scheduler_.bind_stats(registry);
+    for (auto& s : extra_shards_) s->bind_stats(registry);
   }
 
   /// Attaches (nullptr detaches) a sink for kernel-emitted trace events
@@ -113,7 +162,21 @@ class Simulator {
  private:
   void heartbeat();
 
+  Scheduler& shard(std::uint32_t index) noexcept {
+    return index == 0 ? scheduler_ : *extra_shards_[index - 1];
+  }
+  /// Index of the shard holding the globally earliest (time, seq) key;
+  /// shard_count() when every queue is empty.
+  std::uint32_t pick_next_shard(SimTime& at) const noexcept;
+
   Scheduler scheduler_;
+  /// Shards 1..k-1 (shard 0 is scheduler_). unique_ptr because Scheduler
+  /// is pinned (slab chunks + self-referential seq pointer).
+  std::vector<std::unique_ptr<Scheduler>> extra_shards_;
+  /// Shared insertion-sequence counter once sharding is enabled.
+  std::uint64_t shared_seq_ = 0;
+  std::uint32_t current_shard_ = 0;
+  obs::KernelProfiler* profiler_ = nullptr;
   SimTime now_ = SimTime::zero();
   bool stopped_ = false;
   std::uint64_t seed_;

@@ -1,5 +1,7 @@
 #include "phy/channel.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -52,6 +54,8 @@ Channel::Attachment Channel::attach(WifiPhy* phy) {
   }
   radius_cache_.reset();
   snapshot_valid_ = false;
+  // Membership churn: strip assignment must be rebuilt before use.
+  shards_.invalidate();
   return Attachment(this, slot);
 }
 
@@ -72,12 +76,110 @@ void Channel::detach_slot(std::uint32_t slot) noexcept {
   }
   radius_cache_.reset();
   snapshot_valid_ = false;
+  shards_.invalidate();
 }
 
 void Channel::bind_stats(obs::StatsRegistry& registry) {
   obs_tx_ = registry.counter("chan.tx");
   obs_evaluated_ = registry.counter("chan.evaluated");
   obs_culled_ = registry.counter("chan.culled");
+}
+
+void Channel::bind_shard_stats(obs::StatsRegistry& registry) {
+  obs_shard_msgs_ = registry.counter("shard.msgs");
+  obs_shard_epochs_ = registry.counter("shard.lbts_epochs");
+  obs_shard_refresh_ = registry.counter("shard.refresh.nodes");
+  // Re-publish activity from before the registry was attached.
+  obs_shard_msgs_.inc(diag_cross_msgs_);
+  obs_shard_epochs_.inc(shards_.epochs());
+  obs_shard_refresh_.inc(diag_refreshed_);
+}
+
+void Channel::configure_shards(const ShardPlan& plan) {
+  if (plan.shards == 0) {
+    throw std::invalid_argument("shard plan needs at least one shard");
+  }
+  if (!(plan.epoch_s > 0.0)) {
+    throw std::invalid_argument("shard epoch must be > 0");
+  }
+  if (plan.max_speed_mps < 0.0) {
+    throw std::invalid_argument("shard max speed must be >= 0");
+  }
+  if (plan.shards > 1 && !(plan.x_max > plan.x_min)) {
+    throw std::invalid_argument("shard plan needs a positive x extent");
+  }
+  plan_.reset();
+  strips_ = 0;
+  strips_resolved_ = false;
+  shards_.invalidate();
+  // The kLinear reference deliberately never shards: it exists to be the
+  // brute-force baseline the sharded/grid paths are compared against.
+  if (plan.shards <= 1 || index_ != ChannelIndex::kGrid) return;
+  plan_ = plan;
+}
+
+std::uint32_t Channel::resolve_strips(double radius) {
+  if (strips_resolved_) return strips_;
+  strips_resolved_ = true;
+  strips_ = 1;
+  const double extent = plan_->x_max - plan_->x_min;
+  if (!(extent > 0.0) || !(radius > 0.0)) return strips_;
+  // A strip narrower than the interaction radius buys nothing — every
+  // query would touch several strips. Scenarios whose extent holds fewer
+  // than two radius-wide strips are too small to shard and fall back to
+  // one (docs/SCALING.md "Sharding").
+  const double cap = std::floor(extent / radius);
+  const double want = std::min(static_cast<double>(plan_->shards), cap);
+  if (want <= 1.0) return strips_;
+  strips_ = static_cast<std::uint32_t>(want);
+  shards_.configure(strips_, plan_->x_min, plan_->x_max, plan_->epoch_s,
+                    plan_->max_speed_mps);
+  shard_snapshot_time_.assign(strips_, SimTime::zero());
+  shard_snapshot_valid_.assign(strips_, 0);
+  shard_grid_built_.assign(strips_, 0);
+  shard_grids_.assign(strips_, SpatialGrid{});
+  return strips_;
+}
+
+void Channel::rebucket_shards(SimTime now) {
+  // One full O(radios) position pass per epoch; between epochs the
+  // per-transmit cost is the touched strips only.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (live_[i]) positions_[i] = slots_[i]->position();
+  }
+  shards_.rebucket(now, positions_, live_);
+  for (std::uint32_t s = 0; s < strips_; ++s) {
+    shard_snapshot_time_[s] = now;
+    shard_snapshot_valid_[s] = 1;
+    shard_grid_built_[s] = 0;
+  }
+  // The global snapshot is fresh too (every live position was just
+  // evaluated at `now`), so an interleaved unsharded transmit can reuse
+  // it.
+  snapshot_time_ = now;
+  snapshot_valid_ = true;
+  grid_built_ = false;
+  obs_shard_epochs_.inc();
+  obs_shard_refresh_.inc(live_count_);
+  diag_refreshed_ += live_count_;
+}
+
+void Channel::refresh_strip(std::uint32_t s, SimTime now, double radius) {
+  const std::vector<std::uint32_t>& members = shards_.members(s);
+  if (!shard_snapshot_valid_[s] || shard_snapshot_time_[s] != now) {
+    for (const std::uint32_t slot : members) {
+      positions_[slot] = slots_[slot]->position();
+    }
+    shard_snapshot_time_[s] = now;
+    shard_snapshot_valid_[s] = 1;
+    shard_grid_built_[s] = 0;
+    obs_shard_refresh_.inc(members.size());
+    diag_refreshed_ += members.size();
+  }
+  if (!shard_grid_built_[s]) {
+    shard_grids_[s].rebuild_members(positions_, members, radius);
+    shard_grid_built_[s] = 1;
+  }
 }
 
 std::optional<double> Channel::interaction_radius(double tx_power_w) {
@@ -111,15 +213,38 @@ void Channel::transmit(const WifiPhy& sender, const netsim::Packet& packet,
                        SimTime duration, double tx_power_w) {
   obs_tx_.inc();
   const std::optional<double> radius = interaction_radius(tx_power_w);
-  refresh_snapshot(radius);
-
   const std::uint32_t sender_slot = sender.channel_slot_;
-  const Vec2 tx_pos = positions_[sender_slot];
+  const SimTime now = sim_->now();
+
+  // Sharded fast path: only the strips the interaction radius (plus the
+  // drift margin) can reach get their positions refreshed, instead of
+  // the whole snapshot. Resolved lazily because the strip width depends
+  // on the radius.
+  const bool sharded = plan_.has_value() && radius.has_value() &&
+                       resolve_strips(*radius) > 1;
+
+  Vec2 tx_pos{};
+  std::uint32_t tx_strip = 0;
+  if (sharded) {
+    if (shards_.needs_rebucket(now)) rebucket_shards(now);
+    // The sender's position is a pure function of `now`; evaluating it
+    // directly is bit-identical to reading the snapshot the unsharded
+    // path would have refreshed.
+    tx_pos = sender.position();
+    tx_strip = shards_.strip_of_slot(sender_slot);
+  } else {
+    refresh_snapshot(radius);
+    tx_pos = positions_[sender_slot];
+  }
   std::uint64_t evaluated = 0;
 
   // Shared per-candidate step: exact distance cull (only when the model
   // bounds range), then the receive-power evaluation and the receiver's
-  // own carrier-sense cull, exactly as the full scan always did.
+  // own carrier-sense cull, exactly as the full scan always did. The
+  // index (linear / grid / sharded strips) only changes how candidates
+  // are found — a conservative superset either way — never which ones
+  // survive this exact test, so counters and deliveries are identical
+  // across all three.
   const auto consider = [&](std::uint32_t slot) {
     const Vec2 rx_pos = positions_[slot];
     const double d = distance(tx_pos, rx_pos);
@@ -139,11 +264,44 @@ void Channel::transmit(const WifiPhy& sender, const netsim::Packet& packet,
     };
     static_assert(sizeof(deliver) <= netsim::detail::InlineAction::kCapacity,
                   "broadcast delivery must stay allocation-free");
-    sim_->schedule(SimTime::from_seconds(delay_s), "chan",
-                   std::move(deliver));
+    if (sharded) {
+      // Deliveries land on the receiver's shard queue: a receiver in
+      // another strip makes this a time-stamped inter-shard message.
+      // Routing never changes dispatch order (the shared sequence
+      // counter fixes it globally), only which slab pool holds the
+      // event.
+      const std::uint32_t rx_strip = shards_.strip_of_slot(slot);
+      if (rx_strip != tx_strip) {
+        obs_shard_msgs_.inc();
+        ++diag_cross_msgs_;
+      }
+      const std::uint32_t rx_shard =
+          rx_strip < sim_->shard_count() ? rx_strip : 0;
+      sim_->schedule_on(rx_shard, SimTime::from_seconds(delay_s), "chan",
+                        std::move(deliver));
+    } else {
+      sim_->schedule(SimTime::from_seconds(delay_s), "chan",
+                     std::move(deliver));
+    }
   };
 
-  if (radius && index_ == ChannelIndex::kGrid) {
+  if (sharded) {
+    const double reach = *radius + shards_.margin_at(now);
+    const std::uint32_t s0 = shards_.strip_of_x(tx_pos.x - reach);
+    const std::uint32_t s1 = shards_.strip_of_x(tx_pos.x + reach);
+    scratch_.clear();
+    for (std::uint32_t s = s0; s <= s1; ++s) {
+      refresh_strip(s, now, *radius);
+      shard_grids_[s].query(tx_pos, *radius, scratch_);
+    }
+    // Each strip's query results are ascending; restore the global
+    // attach order across strips so delivery scheduling matches the
+    // unsharded kernel byte for byte.
+    if (s0 != s1) std::sort(scratch_.begin(), scratch_.end());
+    for (const std::uint32_t slot : scratch_) {
+      if (slot != sender_slot) consider(slot);
+    }
+  } else if (radius && index_ == ChannelIndex::kGrid) {
     scratch_.clear();
     grid_.query(tx_pos, *radius, scratch_);
     for (const std::uint32_t slot : scratch_) {

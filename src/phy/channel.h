@@ -22,6 +22,7 @@
 #include "netsim/simulator.h"
 #include "obs/stats_registry.h"
 #include "phy/propagation.h"
+#include "phy/shard_map.h"
 #include "phy/spatial_grid.h"
 #include "phy/wifi_phy.h"
 
@@ -32,6 +33,27 @@ namespace cavenet::phy {
 /// same results, same counters — it only walks every radio to apply it)
 /// kept for equivalence testing and for measuring the index's win.
 enum class ChannelIndex { kGrid, kLinear };
+
+/// Spatial sharding plan for the channel (docs/SCALING.md "Sharding").
+/// The world's x-extent is partitioned into up to `shards` strips; each
+/// transmission only refreshes the position snapshot and spatial grid of
+/// the strips its interaction radius (plus drift margin) can reach, so
+/// the per-transmit snapshot cost drops from O(radios) to
+/// O(radios/shards). `max_speed_mps` must be a true bound on every
+/// radio's speed for the whole run — the scenario layer certifies it
+/// from the mobility trace and refuses to shard traces with mid-run
+/// teleports; ShardMap re-verifies it every epoch and throws on
+/// violation. Results are bitwise-identical to the unsharded kernel: the
+/// candidate superset changes, the evaluated set and event order never
+/// do.
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  double x_min = 0.0;
+  double x_max = 0.0;
+  /// Membership rebucket period in simulation seconds (the LBTS epoch).
+  double epoch_s = 1.0;
+  double max_speed_mps = 0.0;
+};
 
 class Channel {
  public:
@@ -93,7 +115,31 @@ class Channel {
   /// callers that mutate a mobility model's position out-of-band at the
   /// current timestamp (test harnesses teleporting nodes mid-event);
   /// positions that are pure functions of simulation time never need it.
-  void invalidate_positions() noexcept { snapshot_valid_ = false; }
+  void invalidate_positions() noexcept {
+    snapshot_valid_ = false;
+    shards_.invalidate();
+    for (auto& v : shard_snapshot_valid_) v = 0;
+  }
+
+  /// Installs a spatial sharding plan (see ShardPlan). Call before the
+  /// run; plan.shards == 1 keeps the channel unsharded. The effective
+  /// strip count is resolved lazily against the interaction radius —
+  /// a world narrower than `shards` strips of one radius falls back to
+  /// fewer strips (possibly one). Requires a grid-indexed channel; the
+  /// kLinear reference and unbounded models simply never shard.
+  void configure_shards(const ShardPlan& plan);
+
+  /// Observed sharding state, for tests and the bench harness.
+  struct ShardDiagnostics {
+    /// Resolved strip count (1 = sharding dormant; 0 = not yet resolved).
+    std::uint32_t strips = 0;
+    std::uint64_t epochs = 0;       ///< membership rebuckets (LBTS epochs)
+    std::uint64_t cross_msgs = 0;   ///< cross-shard deliveries
+    std::uint64_t refreshed = 0;    ///< per-strip position refreshes (nodes)
+  };
+  ShardDiagnostics shard_diagnostics() const noexcept {
+    return {strips_, shards_.epochs(), diag_cross_msgs_, diag_refreshed_};
+  }
 
   PropagationModel& propagation() noexcept { return *model_; }
   ChannelIndex index_mode() const noexcept { return index_; }
@@ -107,6 +153,13 @@ class Channel {
   /// which ones are evaluated.
   void bind_stats(obs::StatsRegistry& registry);
 
+  /// Binds the sharding counters: "shard.msgs" cross-shard deliveries,
+  /// "shard.lbts_epochs" membership rebuckets, "shard.refresh.nodes"
+  /// per-strip position refreshes. Opt-in and separate from bind_stats:
+  /// the scenario runners do not bind these, so a sharded run's stats
+  /// snapshot stays byte-identical to the unsharded kernel's.
+  void bind_shard_stats(obs::StatsRegistry& registry);
+
  private:
   void detach_slot(std::uint32_t slot) noexcept;
   /// Max-interaction radius for this transmit power against the most
@@ -116,6 +169,15 @@ class Channel {
   /// and (when `radius` is set and the grid is active) that the grid is
   /// built over that snapshot.
   void refresh_snapshot(const std::optional<double>& radius);
+  /// Resolves the effective strip count against the first seen radius
+  /// (how many radius-wide strips fit the extent) and sizes the
+  /// per-strip state. Returns strips_; > 1 means sharding is active.
+  std::uint32_t resolve_strips(double radius);
+  /// Re-evaluates every live position and rebuilds strip membership.
+  void rebucket_shards(SimTime now);
+  /// Ensures strip `s`'s members have fresh positions at `now` and its
+  /// grid is built over them.
+  void refresh_strip(std::uint32_t s, SimTime now, double radius);
 
   netsim::Simulator* sim_;
   std::unique_ptr<PropagationModel> model_;
@@ -147,6 +209,24 @@ class Channel {
   obs::Counter obs_tx_;         ///< chan.tx
   obs::Counter obs_evaluated_;  ///< chan.evaluated
   obs::Counter obs_culled_;     ///< chan.culled
+
+  // --- spatial sharding (configure_shards) ---
+  std::optional<ShardPlan> plan_;
+  ShardMap shards_;
+  /// Resolved strip count; 0 until the first radius-bounded transmit.
+  std::uint32_t strips_ = 0;
+  bool strips_resolved_ = false;
+  /// Per-strip snapshot freshness and grids, parallel to strips.
+  std::vector<SimTime> shard_snapshot_time_;
+  std::vector<std::uint8_t> shard_snapshot_valid_;
+  std::vector<std::uint8_t> shard_grid_built_;
+  std::vector<SpatialGrid> shard_grids_;
+
+  std::uint64_t diag_cross_msgs_ = 0;
+  std::uint64_t diag_refreshed_ = 0;
+  obs::Counter obs_shard_msgs_;     ///< shard.msgs
+  obs::Counter obs_shard_epochs_;   ///< shard.lbts_epochs
+  obs::Counter obs_shard_refresh_;  ///< shard.refresh.nodes
 };
 
 }  // namespace cavenet::phy

@@ -43,6 +43,22 @@ void SpatialGrid::rebuild(std::span<const Vec2> positions,
   std::sort(entries_.begin(), entries_.end());
 }
 
+void SpatialGrid::rebuild_members(std::span<const Vec2> positions,
+                                  std::span<const std::uint32_t> members,
+                                  double cell_size) {
+  if (!(cell_size > 0.0)) {
+    throw std::invalid_argument("spatial grid cell size must be > 0");
+  }
+  cell_size_ = cell_size;
+  entries_.clear();
+  entries_.reserve(members.size());
+  for (const std::uint32_t i : members) {
+    entries_.emplace_back(
+        pack_cell(cell_coord(positions[i].x), cell_coord(positions[i].y)), i);
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
 void SpatialGrid::query(Vec2 center, double radius,
                         std::vector<std::uint32_t>& out) const {
   if (entries_.empty()) return;

@@ -31,6 +31,14 @@ class SpatialGrid {
   void rebuild(std::span<const Vec2> positions,
                std::span<const std::uint8_t> present, double cell_size);
 
+  /// Rebuckets exactly the points named in `members` (indices into
+  /// `positions`). The shard-partitioned channel keeps one grid per
+  /// shard over that shard's member list, so a rebuild costs O(members)
+  /// instead of O(all radios).
+  void rebuild_members(std::span<const Vec2> positions,
+                       std::span<const std::uint32_t> members,
+                       double cell_size);
+
   /// Appends to `out` the indices of all bucketed points whose cell
   /// overlaps the axis-aligned bounding box of circle(center, radius) —
   /// a superset of the points within `radius` of `center`, in ascending

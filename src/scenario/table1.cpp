@@ -1,5 +1,7 @@
 #include "scenario/table1.h"
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -70,6 +72,43 @@ std::unique_ptr<phy::PropagationModel> make_propagation(
   throw std::invalid_argument("unknown propagation model");
 }
 
+/// Derives the channel's sharding plan from the mobility trace: the
+/// x-extent over every position the trace can visit, plus the certified
+/// max speed over all setdest events (the drift bound the shard map's
+/// conservative lookahead rests on). Returns nullopt — run unsharded —
+/// when config doesn't ask for shards, when the trace teleports nodes
+/// mid-run (the straight-line layout's lane-wrap jumps violate any speed
+/// bound), or when the trace has no x extent at all.
+std::optional<phy::ShardPlan> make_shard_plan(
+    const trace::MobilityTrace& mobility, const TableIConfig& config) {
+  if (config.shards <= 1) return std::nullopt;
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double max_speed = 0.0;
+  for (const Vec2& p : mobility.initial_positions) {
+    x_min = std::min(x_min, p.x);
+    x_max = std::max(x_max, p.x);
+  }
+  for (const trace::TraceEvent& e : mobility.events) {
+    if (e.kind == trace::TraceEvent::Kind::kSetPosition && e.time_s > 0.0) {
+      return std::nullopt;
+    }
+    x_min = std::min(x_min, e.target.x);
+    x_max = std::max(x_max, e.target.x);
+    if (e.kind == trace::TraceEvent::Kind::kSetDest) {
+      max_speed = std::max(max_speed, e.speed_ms);
+    }
+  }
+  if (!(x_max > x_min)) return std::nullopt;
+  phy::ShardPlan plan;
+  plan.shards = static_cast<std::uint32_t>(config.shards);
+  plan.x_min = x_min;
+  plan.x_max = x_max;
+  plan.epoch_s = config.shard_epoch_s;
+  plan.max_speed_mps = max_speed;
+  return plan;
+}
+
 /// One node's full protocol stack. Declaration order fixes teardown order
 /// (in particular: `link` detaches from the channel while `phy` is still
 /// alive).
@@ -108,7 +147,13 @@ std::vector<SenderRunResult> run_with_trace(
   if (config.telemetry.enabled() && obs.stats == nullptr) {
     obs.stats = &local_stats;
   }
+  // Sharding is wired before anything schedules: the shard queues must
+  // exist from event zero so the shared sequence counter covers every
+  // event of the run.
+  const std::optional<phy::ShardPlan> shard_plan =
+      make_shard_plan(mobility, config);
   netsim::Simulator sim(config.seed);
+  if (shard_plan) sim.enable_sharding(shard_plan->shards);
   if (obs.trace_sink != nullptr) sim.set_trace_sink(obs.trace_sink);
   if (obs.profiler != nullptr) sim.set_profiler(obs.profiler);
   if (config.heartbeat_s > 0.0) {
@@ -119,6 +164,7 @@ std::vector<SenderRunResult> run_with_trace(
   }
   phy::Channel channel(sim, make_propagation(config, sim),
                        config.channel_index);
+  if (shard_plan) channel.configure_shards(*shard_plan);
   if (obs.stats != nullptr) channel.bind_stats(*obs.stats);
 
   mac::MacParams mac_params;

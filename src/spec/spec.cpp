@@ -431,6 +431,17 @@ ScenarioSpec parse_scenario(const obs::JsonValue& value,
     config.protocol = parse_protocol(rr);
     rr.finish();
   }
+  if (const obs::JsonValue* v = r.find("engine")) {
+    ObjectReader er(*v, r.member_path("engine"));
+    // Spatial shards for the single-run kernel (docs/SCALING.md
+    // "Sharding"); results are byte-identical at any value, so this is a
+    // pure performance knob and never part of the scenario's identity.
+    config.shards =
+        static_cast<int>(er.get_int("shards", config.shards, 1, 4096));
+    config.shard_epoch_s =
+        er.get_double("shard_epoch_s", config.shard_epoch_s, 1e-9, kInf);
+    er.finish();
+  }
   if (const obs::JsonValue* v = r.find("traffic")) {
     ObjectReader tr(*v, r.member_path("traffic"));
     parse_traffic(tr, spec, has_sender_range);

@@ -73,6 +73,41 @@ TEST(SpecParseTest, FullScenarioRoundTrip) {
   EXPECT_DOUBLE_EQ(config.heartbeat_s, 10.0);
 }
 
+TEST(SpecParseTest, EngineShardsParseAndDefault) {
+  const CampaignSpec plain = parse_campaign(
+      R"({"name": "t", "kind": "campaign", "scenario": {}})", "test.json");
+  EXPECT_EQ(plain.scenario.config.shards, 1);
+
+  const CampaignSpec sharded = parse_campaign(R"({
+    "name": "t", "kind": "campaign",
+    "scenario": {"engine": {"shards": 4, "shard_epoch_s": 0.5}}
+  })", "test.json");
+  EXPECT_EQ(sharded.scenario.config.shards, 4);
+  EXPECT_DOUBLE_EQ(sharded.scenario.config.shard_epoch_s, 0.5);
+}
+
+TEST(SpecParseTest, EngineShardsAreRangeChecked) {
+  const std::string zero = error_of(R"({
+    "name": "t", "kind": "campaign",
+    "scenario": {"engine": {"shards": 0}}
+  })");
+  EXPECT_NE(zero.find("$.scenario.engine.shards"), std::string::npos) << zero;
+
+  const std::string bad_epoch = error_of(R"({
+    "name": "t", "kind": "campaign",
+    "scenario": {"engine": {"shard_epoch_s": 0}}
+  })");
+  EXPECT_NE(bad_epoch.find("$.scenario.engine.shard_epoch_s"),
+            std::string::npos)
+      << bad_epoch;
+
+  const std::string unknown = error_of(R"({
+    "name": "t", "kind": "campaign",
+    "scenario": {"engine": {"shard": 4}}
+  })");
+  EXPECT_NE(unknown.find("shards"), std::string::npos) << unknown;
+}
+
 TEST(SpecParseTest, UnknownKeyIsRejectedWithSuggestion) {
   const std::string what = error_of(R"({
     "name": "t", "kind": "campaign",

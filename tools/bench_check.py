@@ -1,17 +1,29 @@
 #!/usr/bin/env python3
-"""Bench-regression gate: run bench_micro and compare against the
-checked-in BENCH_micro.json baseline.
+"""Bench-regression gate: run bench_micro (or, with --scale, bench_scale)
+and compare against the checked-in baseline json.
 
 Usage:
     bench_check.py --bench-binary build/bench/bench_micro
         [--baseline BENCH_micro.json] [--label LABEL]
         [--tolerance FACTOR] [--filter REGEX] [--min-time SECS]
+    bench_check.py --scale --bench-binary build/bench/bench_scale
+        [--baseline BENCH_scale.json] [--label LABEL]
+        [--tolerance FACTOR] [--shards N]
 
-Runs the microbenchmark binary with --json into a temporary file, then
-compares each fresh ns/op figure against the baseline entry (the LAST
-entry in the file unless --label picks one). A benchmark regresses when
+Default mode runs the microbenchmark binary with --json into a temporary
+file, then compares each fresh ns/op figure against the baseline entry
+(the LAST entry in the file unless --label picks one). A benchmark
+regresses when
 
     fresh_ns > baseline_ns * tolerance
+
+--scale mode instead runs `bench_scale --smoke --shards N` in a scratch
+directory (the bench's own shard-equivalence gate runs as part of this)
+and compares the throughput of each sweep point, keyed by
+(protocol, vehicles, shards), against the baseline's points. Throughput
+is better-is-bigger, so a point regresses when
+
+    fresh_events_per_s < baseline_events_per_s / tolerance
 
 The default tolerance is deliberately wide (5x): this is a smoke gate
 against order-of-magnitude regressions (an accidental O(n^2), a lost
@@ -88,6 +100,119 @@ def run_bench(binary, filter_regex, min_time):
     sys.exit("bench_check: bench json missing the bench_check entry")
 
 
+def point_key(point):
+    """(protocol, vehicles, shards) identity of a scale sweep point, or
+    None when the point predates one of the keys (old baselines lack
+    `shards`; such points are skipped, never failed)."""
+    protocol = point.get("protocol")
+    vehicles = point.get("vehicles")
+    shards = point.get("shards")
+    if not isinstance(protocol, str):
+        return None
+    if not isinstance(vehicles, (int, float)):
+        return None
+    if not isinstance(shards, (int, float)):
+        return None
+    return (protocol, int(vehicles), int(shards))
+
+
+def load_scale_baseline(path, label):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_check: cannot read baseline {path}: {err}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        sys.exit(f"bench_check: {path} has no entries")
+    entry = None
+    if label:
+        for candidate in entries:
+            if candidate.get("label") == label:
+                entry = candidate
+                break
+        if entry is None:
+            sys.exit(
+                f"bench_check: no baseline entry labelled {label!r} in {path}")
+    else:
+        entry = entries[-1]  # newest entry: labels accumulate in PR order
+    points = {}
+    for point in entry.get("points", []):
+        key = point_key(point)
+        rate = point.get("events_per_s")
+        if key is not None and isinstance(rate, (int, float)):
+            points[key] = float(rate)
+    return entry.get("label", "?"), points
+
+
+def run_scale_bench(binary, shards):
+    """Runs bench_scale --smoke (optionally sharded) in a scratch
+    directory and returns its fresh points keyed like the baseline."""
+    binary = os.path.abspath(binary)
+    with tempfile.TemporaryDirectory(prefix="bench_check_scale_") as cwd:
+        cmd = [binary, "--smoke"]
+        if shards > 1:
+            cmd.append(f"--shards={shards}")
+        try:
+            proc = subprocess.run(cmd, cwd=cwd, stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT, text=True)
+        except OSError as err:
+            sys.exit(f"bench_check: cannot run {binary}: {err}")
+        if proc.returncode != 0:
+            print(proc.stdout)
+            sys.exit(f"bench_check: {binary} exited {proc.returncode}")
+        fresh_path = os.path.join(cwd, "BENCH_scale.json")
+        try:
+            with open(fresh_path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(proc.stdout)
+            sys.exit(f"bench_check: scale run produced no readable json: "
+                     f"{err}")
+    points = {}
+    for entry in doc.get("entries", []):
+        for point in entry.get("points", []):
+            key = point_key(point)
+            rate = point.get("events_per_s")
+            if key is not None and isinstance(rate, (int, float)):
+                points[key] = float(rate)
+    if not points:
+        sys.exit("bench_check: scale run produced no gateable points")
+    return points
+
+
+def check_scale(args):
+    label, baseline = load_scale_baseline(args.baseline, args.label)
+    fresh = run_scale_bench(args.bench_binary, args.shards)
+
+    print(f"baseline: {args.baseline} [{label}]  tolerance x{args.tolerance}")
+    regressions = []
+    for key in sorted(fresh):
+        protocol, vehicles, shards = key
+        name = f"{protocol} N={vehicles} shards={shards}"
+        fresh_rate = fresh[key]
+        base_rate = baseline.get(key)
+        if base_rate is None:
+            print(f"  {name:32s} {fresh_rate:>14.0f} ev/s  (no baseline)")
+            continue
+        ratio = base_rate / fresh_rate if fresh_rate > 0 else float("inf")
+        flag = "  REGRESSION" if ratio > args.tolerance else ""
+        print(f"  {name:32s} {base_rate:>14.0f} -> {fresh_rate:<14.0f} ev/s "
+              f"(x{ratio:.2f} slower){flag}")
+        if flag:
+            regressions.append((name, base_rate, fresh_rate, ratio))
+
+    if regressions:
+        print(f"\n{len(regressions)} scale point(s) beyond x{args.tolerance} "
+              f"of [{label}]:")
+        for name, base_rate, fresh_rate, ratio in regressions:
+            print(f"  {name}: {base_rate:.0f} -> {fresh_rate:.0f} ev/s "
+                  f"(x{ratio:.2f} slower)")
+        return 1
+    print("\nno scale regressions.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench-binary", required=True,
@@ -103,10 +228,21 @@ def main():
                         help="--benchmark_filter regex passed through")
     parser.add_argument("--min-time", default="0.01",
                         help="--benchmark_min_time seconds (default 0.01)")
+    parser.add_argument("--scale", action="store_true",
+                        help="gate bench_scale throughput per (protocol, "
+                             "vehicles, shards) instead of bench_micro "
+                             "ns/op")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="--scale mode: shard count for the sharded "
+                             "half of each sweep pair (default 4)")
     args = parser.parse_args()
 
     if args.tolerance <= 0:
         sys.exit("bench_check: --tolerance must be > 0")
+    if args.scale:
+        if args.baseline == "BENCH_micro.json":
+            args.baseline = "BENCH_scale.json"
+        return check_scale(args)
 
     label, baseline = load_baseline(args.baseline, args.label)
     fresh = run_bench(args.bench_binary, args.filter, args.min_time)
