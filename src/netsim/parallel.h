@@ -1,0 +1,49 @@
+// The kernel's one parallelism knob (docs/SCALING.md "Threading").
+//
+// ParallelConfig collapses what used to be three separate switches —
+// TableIConfig.shards, TableIConfig.shard_epoch_s and
+// Simulator::enable_sharding(K) — into a single value accepted by
+// Simulator::enable_parallel, TableIConfig::parallel and the spec's
+// `engine.parallel` block. Every combination is a pure performance
+// setting: results are byte-identical at any (shards, threads) pair,
+// which the shard-equivalence suite and the PR 4 golden fixture enforce.
+#ifndef CAVENET_NETSIM_PARALLEL_H
+#define CAVENET_NETSIM_PARALLEL_H
+
+#include <stdexcept>
+
+namespace cavenet::netsim {
+
+struct ParallelConfig {
+  /// Spatial shards for the single-run kernel: the world is partitioned
+  /// into up to this many strips, each with its own slab-pooled
+  /// scheduler and channel snapshot (docs/SCALING.md "Sharding").
+  int shards = 1;
+  /// Executor lanes the kernel may use for epoch-batched precompute
+  /// (position snapshots, shard rebuckets, receive-power evaluation);
+  /// <= 0 resolves to the hardware thread count. Event dispatch commits
+  /// strictly in (time, seq) order regardless, so the thread count never
+  /// changes a single byte of output — only the wall clock.
+  int threads = 1;
+  /// Epoch period in simulation seconds: shard membership rebuckets and
+  /// the dispatcher's parallel barrier tasks run on this cadence.
+  double epoch_s = 1.0;
+
+  bool enabled() const noexcept { return shards > 1 || threads != 1; }
+
+  /// Throws std::invalid_argument on out-of-range values; returns *this
+  /// so call sites can validate inline.
+  const ParallelConfig& validate() const {
+    if (shards < 1) {
+      throw std::invalid_argument("parallel: shards must be >= 1");
+    }
+    if (!(epoch_s > 0.0)) {
+      throw std::invalid_argument("parallel: epoch_s must be > 0");
+    }
+    return *this;
+  }
+};
+
+}  // namespace cavenet::netsim
+
+#endif  // CAVENET_NETSIM_PARALLEL_H

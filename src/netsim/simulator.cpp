@@ -2,11 +2,62 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "obs/trace_sink.h"
 #include "util/logging.h"
 
 namespace cavenet::netsim {
+
+void Simulator::enable_parallel(const ParallelConfig& config) {
+  config.validate();
+  if (parallel_enabled_) {
+    throw std::logic_error("enable_parallel: already enabled");
+  }
+  if (events_dispatched() != 0 || queue_depth() != 0 ||
+      now_ != SimTime::zero()) {
+    throw std::logic_error(
+        "enable_parallel must be called before any event is scheduled");
+  }
+  parallel_enabled_ = true;
+  epoch_interval_ = SimTime::from_seconds(config.epoch_s);
+  next_epoch_ = epoch_interval_;
+  if (config.shards > 1) {
+    enable_sharding(static_cast<std::uint32_t>(config.shards));
+  }
+  const int threads = exec::resolve_workers(config.threads);
+  if (threads > 1 && executor_ == &inline_executor_) {
+    pool_ = std::make_unique<exec::ThreadPoolExecutor>(threads);
+    executor_ = pool_.get();
+  }
+}
+
+void Simulator::bind_parallel_stats(obs::StatsRegistry& registry) {
+  obs_epoch_barriers_ = registry.counter("shard.epoch_barriers");
+  // Re-publish barriers crossed before the registry was attached.
+  obs_epoch_barriers_.inc(epoch_barriers_);
+}
+
+void Simulator::publish_exec_stats(obs::StatsRegistry& registry) const {
+  if (!pool_) return;
+  const exec::ThreadPoolExecutor::Diagnostics d = pool_->diagnostics();
+  registry.counter("exec.batches").inc(d.batches);
+  registry.counter("exec.tasks").inc(d.tasks);
+  registry.counter("exec.chunks").inc(d.chunks);
+  for (std::size_t i = 0; i < d.lane_busy_ms.size(); ++i) {
+    registry.gauge("exec.worker" + std::to_string(i) + ".wall_ms")
+        .set(d.lane_busy_ms[i]);
+  }
+}
+
+void Simulator::run_epoch_barriers(SimTime at) {
+  while (next_epoch_ <= at) {
+    for (const auto& task : epoch_tasks_) task(next_epoch_);
+    ++epoch_barriers_;
+    obs_epoch_barriers_.inc();
+    next_epoch_ = next_epoch_ + epoch_interval_;
+  }
+}
 
 void Simulator::enable_sharding(std::uint32_t shards) {
   if (shards == 0) {
@@ -71,6 +122,7 @@ void Simulator::run() {
     SimTime at{};
     const std::uint32_t next = pick_next_shard(at);
     if (next == shard_count()) break;
+    if (epoch_due(at)) run_epoch_barriers(at);
     now_ = at;
     current_shard_ = next;
     shard(next).run_one();
@@ -93,6 +145,7 @@ void Simulator::run_until(SimTime until) {
     SimTime at{};
     const std::uint32_t next = pick_next_shard(at);
     if (next == shard_count() || at > until) break;
+    if (epoch_due(at)) run_epoch_barriers(at);
     now_ = at;
     current_shard_ = next;
     shard(next).run_one();

@@ -9,6 +9,20 @@
 
 namespace cavenet::phy {
 
+namespace {
+/// Indices per chunk for the parallel position-refresh passes: a
+/// position lookup is a binary search plus interpolation, so chunks
+/// this size amortize the claim without starving lanes.
+constexpr std::size_t kRefreshGrain = 256;
+/// Indices per chunk for the receive-power evaluation pass (each index
+/// is a distance + propagation-model evaluation, heavier than a
+/// position lookup).
+constexpr std::size_t kEvalGrain = 64;
+/// Candidate counts below this are cheaper to evaluate serially than to
+/// fan out as a fork-join batch.
+constexpr std::size_t kParallelEvalMin = 128;
+}  // namespace
+
 Channel::Attachment::Attachment(Attachment&& other) noexcept
     : channel_(std::exchange(other.channel_, nullptr)), slot_(other.slot_) {}
 
@@ -116,6 +130,17 @@ void Channel::configure_shards(const ShardPlan& plan) {
   // brute-force baseline the sharded/grid paths are compared against.
   if (plan.shards <= 1 || index_ != ChannelIndex::kGrid) return;
   plan_ = plan;
+  if (!epoch_task_registered_) {
+    sim_->register_epoch_task([this](SimTime at) { epoch_prefetch(at); });
+    epoch_task_registered_ = true;
+  }
+}
+
+void Channel::epoch_prefetch(SimTime at) {
+  // Dormant until the first radius-bounded transmit resolves the strip
+  // count; a world too narrow to shard leaves this a no-op forever.
+  if (!plan_ || !strips_resolved_ || strips_ <= 1) return;
+  if (shards_.needs_rebucket(at)) rebucket_shards(at);
 }
 
 std::uint32_t Channel::resolve_strips(double radius) {
@@ -142,11 +167,16 @@ std::uint32_t Channel::resolve_strips(double radius) {
 }
 
 void Channel::rebucket_shards(SimTime now) {
-  // One full O(radios) position pass per epoch; between epochs the
-  // per-transmit cost is the touched strips only.
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (live_[i]) positions_[i] = slots_[i]->position();
-  }
+  // One full O(radios) position pass per epoch, fanned across the
+  // kernel's executor lanes (disjoint writes, time-pure reads); between
+  // epochs the per-transmit cost is the touched strips only.
+  sim_->executor().parallel_for(slots_.size(), kRefreshGrain,
+                                [&](std::size_t i) {
+                                  if (live_[i]) {
+                                    positions_[i] =
+                                        slots_[i]->position_at(now);
+                                  }
+                                });
   shards_.rebucket(now, positions_, live_);
   for (std::uint32_t s = 0; s < strips_; ++s) {
     shard_snapshot_time_[s] = now;
@@ -167,9 +197,11 @@ void Channel::rebucket_shards(SimTime now) {
 void Channel::refresh_strip(std::uint32_t s, SimTime now, double radius) {
   const std::vector<std::uint32_t>& members = shards_.members(s);
   if (!shard_snapshot_valid_[s] || shard_snapshot_time_[s] != now) {
-    for (const std::uint32_t slot : members) {
-      positions_[slot] = slots_[slot]->position();
-    }
+    sim_->executor().parallel_for(
+        members.size(), kRefreshGrain, [&](std::size_t i) {
+          const std::uint32_t slot = members[i];
+          positions_[slot] = slots_[slot]->position_at(now);
+        });
     shard_snapshot_time_[s] = now;
     shard_snapshot_valid_[s] = 1;
     shard_grid_built_[s] = 0;
@@ -196,9 +228,13 @@ std::optional<double> Channel::interaction_radius(double tx_power_w) {
 void Channel::refresh_snapshot(const std::optional<double>& radius) {
   const SimTime now = sim_->now();
   if (!snapshot_valid_ || snapshot_time_ != now) {
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (live_[i]) positions_[i] = slots_[i]->position();
-    }
+    sim_->executor().parallel_for(slots_.size(), kRefreshGrain,
+                                  [&](std::size_t i) {
+                                    if (live_[i]) {
+                                      positions_[i] =
+                                          slots_[i]->position_at(now);
+                                    }
+                                  });
     snapshot_time_ = now;
     snapshot_valid_ = true;
     grid_built_ = false;
@@ -244,14 +280,18 @@ void Channel::transmit(const WifiPhy& sender, const netsim::Packet& packet,
   // index (linear / grid / sharded strips) only changes how candidates
   // are found — a conservative superset either way — never which ones
   // survive this exact test, so counters and deliveries are identical
-  // across all three.
-  const auto consider = [&](std::uint32_t slot) {
+  // across all three. When `pre` is set the distance and power come from
+  // the parallel phase-1 pass (same arithmetic, same inputs — identical
+  // doubles); the commit below still runs serially in attach order.
+  const auto consider = [&](std::uint32_t slot, const CandidateEval* pre) {
     const Vec2 rx_pos = positions_[slot];
-    const double d = distance(tx_pos, rx_pos);
+    const double d = pre != nullptr ? pre->distance : distance(tx_pos, rx_pos);
     if (radius && d > *radius) return;
     ++evaluated;
     WifiPhy* rx = slots_[slot];
-    const double power = model_->rx_power_w(tx_power_w, tx_pos, rx_pos);
+    const double power = pre != nullptr
+                             ? pre->power
+                             : model_->rx_power_w(tx_power_w, tx_pos, rx_pos);
     if (power < rx->params().profile.cs_threshold_w) return;
     const double delay_s = d / kSpeedOfLight;
     // The per-receiver copy shares the header stack (COW), so this is a
@@ -285,6 +325,9 @@ void Channel::transmit(const WifiPhy& sender, const netsim::Packet& packet,
     }
   };
 
+  // Candidate collection: a conservative superset of the in-range
+  // receivers, in ascending slot (attach) order.
+  bool candidates_in_scratch = false;
   if (sharded) {
     const double reach = *radius + shards_.margin_at(now);
     const std::uint32_t s0 = shards_.strip_of_x(tx_pos.x - reach);
@@ -298,18 +341,60 @@ void Channel::transmit(const WifiPhy& sender, const netsim::Packet& packet,
     // attach order across strips so delivery scheduling matches the
     // unsharded kernel byte for byte.
     if (s0 != s1) std::sort(scratch_.begin(), scratch_.end());
-    for (const std::uint32_t slot : scratch_) {
-      if (slot != sender_slot) consider(slot);
-    }
+    candidates_in_scratch = true;
   } else if (radius && index_ == ChannelIndex::kGrid) {
     scratch_.clear();
     grid_.query(tx_pos, *radius, scratch_);
-    for (const std::uint32_t slot : scratch_) {
-      if (slot != sender_slot) consider(slot);
+    candidates_in_scratch = true;
+  }
+
+  // Two-phase parallel receive-power evaluation (docs/SCALING.md
+  // "Threading"): phase 1 computes every candidate's (distance, power)
+  // concurrently — pure arithmetic, disjoint writes — and the serial
+  // commit below reads the results in attach order. Only pure models
+  // qualify (a stochastic model's RNG draws must stay serial, in
+  // candidate order).
+  const bool parallel_eval =
+      radius.has_value() && sim_->threads() > 1 && model_->pure() &&
+      (candidates_in_scratch ? scratch_.size() : live_count_) >=
+          kParallelEvalMin;
+  if (parallel_eval && !candidates_in_scratch) {
+    // Linear scan: materialize the live slots so both phases walk the
+    // exact candidate order the serial loop uses.
+    scratch_.clear();
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      if (live_[slot]) scratch_.push_back(slot);
+    }
+    candidates_in_scratch = true;
+  }
+  if (parallel_eval) {
+    eval_scratch_.resize(scratch_.size());
+    sim_->executor().parallel_for(
+        scratch_.size(), kEvalGrain, [&](std::size_t i) {
+          const std::uint32_t slot = scratch_[i];
+          CandidateEval& e = eval_scratch_[i];
+          if (slot == sender_slot) {
+            e.in_range = 0;
+            return;
+          }
+          const Vec2 rx_pos = positions_[slot];
+          e.distance = distance(tx_pos, rx_pos);
+          e.in_range = e.distance <= *radius ? 1 : 0;
+          e.power = e.in_range != 0
+                        ? model_->rx_power_w(tx_power_w, tx_pos, rx_pos)
+                        : 0.0;
+        });
+  }
+
+  if (candidates_in_scratch) {
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+      const std::uint32_t slot = scratch_[i];
+      if (slot == sender_slot) continue;
+      consider(slot, parallel_eval ? &eval_scratch_[i] : nullptr);
     }
   } else {
     for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
-      if (live_[slot] && slot != sender_slot) consider(slot);
+      if (live_[slot] && slot != sender_slot) consider(slot, nullptr);
     }
   }
 

@@ -127,6 +127,13 @@ class Channel {
   /// a world narrower than `shards` strips of one radius falls back to
   /// fewer strips (possibly one). Requires a grid-indexed channel; the
   /// kLinear reference and unbounded models simply never shard.
+  ///
+  /// Also registers the channel's epoch-barrier prefetch with the
+  /// simulator: when the kernel runs under enable_parallel, shard
+  /// membership rebuckets happen at the dispatcher's epoch barriers (on
+  /// every executor lane) instead of inside the first transmit past the
+  /// epoch — referentially transparent precompute, so outputs are
+  /// unchanged at any thread count.
   void configure_shards(const ShardPlan& plan);
 
   /// Observed sharding state, for tests and the bench harness.
@@ -173,11 +180,15 @@ class Channel {
   /// (how many radius-wide strips fit the extent) and sizes the
   /// per-strip state. Returns strips_; > 1 means sharding is active.
   std::uint32_t resolve_strips(double radius);
-  /// Re-evaluates every live position and rebuilds strip membership.
+  /// Re-evaluates every live position (at `now`, across executor lanes)
+  /// and rebuilds strip membership.
   void rebucket_shards(SimTime now);
   /// Ensures strip `s`'s members have fresh positions at `now` and its
   /// grid is built over them.
   void refresh_strip(std::uint32_t s, SimTime now, double radius);
+  /// Epoch-barrier task: rebuckets shard membership at the barrier time
+  /// when due (registered with the simulator by configure_shards).
+  void epoch_prefetch(SimTime at);
 
   netsim::Simulator* sim_;
   std::unique_ptr<PropagationModel> model_;
@@ -198,6 +209,20 @@ class Channel {
   SpatialGrid grid_;
   std::vector<std::uint32_t> scratch_;  ///< query results, reused
 
+  /// Phase-1 output of the two-phase parallel receive-power pass,
+  /// parallel to scratch_. With a pure range-bounded model and an
+  /// executor wider than one lane, the (distance, power) arithmetic for
+  /// every candidate runs concurrently into this buffer; the serial
+  /// commit pass then walks candidates in attach order reading the
+  /// precomputed values — same functions, same inputs, so the delivered
+  /// set and every counter stay bitwise-identical to the serial path.
+  struct CandidateEval {
+    double distance = 0.0;
+    double power = 0.0;
+    std::uint8_t in_range = 0;
+  };
+  std::vector<CandidateEval> eval_scratch_;
+
   /// Smallest carrier-sense threshold over attached radios — the radius
   /// bound must cover the most sensitive receiver.
   double min_cs_threshold_w_ = 0.0;
@@ -212,6 +237,7 @@ class Channel {
 
   // --- spatial sharding (configure_shards) ---
   std::optional<ShardPlan> plan_;
+  bool epoch_task_registered_ = false;
   ShardMap shards_;
   /// Resolved strip count; 0 until the first radius-bounded transmit.
   std::uint32_t strips_ = 0;

@@ -49,6 +49,11 @@ class WifiPhy {
 
   netsim::NodeId id() const noexcept { return id_; }
   Vec2 position() const { return mobility_->position(sim_->now()); }
+  /// Position at an explicit simulation time. The channel's epoch-barrier
+  /// prefetch evaluates this before the clock reaches the barrier, and
+  /// from every executor lane — mobility models must answer it
+  /// concurrently (they are const; see netsim::MobilityModel).
+  Vec2 position_at(SimTime at) const { return mobility_->position(at); }
   const PhyParams& params() const noexcept { return params_; }
 
   /// Airtime of a frame of `bytes` total size (PLCP + payload).

@@ -1,21 +1,16 @@
 #include "runner/ensemble.h"
 
-#include <algorithm>
-#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
-#include <thread>
 
 #include "util/cli_args.h"
 
 namespace cavenet::runner {
 
 int resolve_jobs(int requested) noexcept {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return exec::resolve_workers(requested);
 }
 
 int parse_jobs_flag(int argc, const char* const* argv) {
@@ -26,38 +21,15 @@ int parse_jobs_flag(int argc, const char* const* argv) {
 }
 
 EnsembleRunner::EnsembleRunner(EnsembleOptions options)
-    : options_(options), jobs_(resolve_jobs(options.jobs)) {}
-
-namespace {
-
-/// One worker's task queue. The owner pops from the front of its own
-/// block (cache-friendly ascending order); thieves steal from the back,
-/// so owner and thieves meet in the middle instead of fighting over the
-/// same end. A plain mutex per deque is plenty: tasks here are whole
-/// simulation replications, queue operations are nanoseconds against
-/// seconds of work.
-struct WorkQueue {
-  std::mutex mutex;
-  std::deque<std::size_t> tasks;
-
-  bool pop_front(std::size_t& out) {
-    const std::lock_guard<std::mutex> lock(mutex);
-    if (tasks.empty()) return false;
-    out = tasks.front();
-    tasks.pop_front();
-    return true;
+    : options_(options), jobs_(resolve_jobs(options.jobs)) {
+  if (options_.executor != nullptr) {
+    executor_ = options_.executor;
+    jobs_ = executor_->workers();
+  } else if (jobs_ > 1) {
+    pool_ = std::make_unique<ThreadPoolExecutor>(jobs_);
+    executor_ = pool_.get();
   }
-
-  bool steal_back(std::size_t& out) {
-    const std::lock_guard<std::mutex> lock(mutex);
-    if (tasks.empty()) return false;
-    out = tasks.back();
-    tasks.pop_back();
-    return true;
-  }
-};
-
-}  // namespace
+}
 
 void EnsembleRunner::for_each(
     std::size_t n, const std::function<void(ReplicationContext&)>& body,
@@ -72,70 +44,33 @@ void EnsembleRunner::for_each(
     registries.push_back(std::make_unique<obs::StatsRegistry>());
   }
 
+  // Of all failing replications, deterministically keep the exception of
+  // the lowest index — a serial run would have hit that one first. The
+  // catch sits inside the lane body (not the executor's chunk-level
+  // rethrow) so one failure never skips the other replications sharing
+  // its chunk.
+  std::mutex failure_mutex;
+  std::size_t first_failed = n;
+  std::exception_ptr failure;
+
   const Rng base(options_.master_seed, options_.rng_stream);
-  const auto run_one = [&](std::size_t index) {
-    ReplicationContext ctx;
-    ctx.index = index;
-    ctx.total = n;
-    ctx.rng = base.substream(index);
-    ctx.stats = registries[index].get();
-    body(ctx);
-  };
-
-  const auto workers = static_cast<std::size_t>(
-      std::min<std::size_t>(static_cast<std::size_t>(jobs_), n));
-
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) run_one(i);
-  } else {
-    // Block-partition the index range so each worker starts on a
-    // contiguous slice; stealing rebalances when replication costs are
-    // uneven (they are: jammed scenarios dispatch far more events).
-    std::vector<WorkQueue> queues(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      const std::size_t begin = w * n / workers;
-      const std::size_t end = (w + 1) * n / workers;
-      for (std::size_t i = begin; i < end; ++i) queues[w].tasks.push_back(i);
-    }
-
-    // Of all failing replications, deterministically keep the exception
-    // of the lowest index — a serial run would have hit that one first.
-    std::mutex failure_mutex;
-    std::size_t first_failed = n;
-    std::exception_ptr failure;
-
-    const auto worker_loop = [&](std::size_t self) {
-      for (;;) {
-        std::size_t index;
-        if (!queues[self].pop_front(index)) {
-          bool stole = false;
-          for (std::size_t k = 1; k < workers && !stole; ++k) {
-            stole = queues[(self + k) % workers].steal_back(index);
-          }
-          // Nothing anywhere: no tasks are ever enqueued after start,
-          // so empty queues mean the remaining work is already running.
-          if (!stole) return;
-        }
-        try {
-          run_one(index);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(failure_mutex);
-          if (index < first_failed) {
-            first_failed = index;
-            failure = std::current_exception();
-          }
-        }
+  executor_->parallel_for(n, 1, [&](std::size_t index) {
+    try {
+      ReplicationContext ctx;
+      ctx.index = index;
+      ctx.total = n;
+      ctx.rng = base.substream(index);
+      ctx.stats = registries[index].get();
+      body(ctx);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (index < first_failed) {
+        first_failed = index;
+        failure = std::current_exception();
       }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      threads.emplace_back(worker_loop, w);
     }
-    for (std::thread& t : threads) t.join();
-    if (failure) std::rethrow_exception(failure);
-  }
+  });
+  if (failure) std::rethrow_exception(failure);
 
   if (merged != nullptr) {
     for (const auto& registry : registries) merged->merge_from(*registry);

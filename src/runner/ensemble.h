@@ -3,8 +3,10 @@
 // Every paper figure is a Monte-Carlo ensemble (densities x trials,
 // senders x protocols, seeds x replications) whose replications are
 // mutually independent — the textbook fan-out. EnsembleRunner spreads
-// those replications over a work-stealing thread pool while guaranteeing
-// that the observable output is BITWISE IDENTICAL to a serial run:
+// those replications over a persistent runner::Executor pool (chunk
+// claiming rebalances uneven replications, the work-stealing degenerate
+// case) while guaranteeing that the observable output is BITWISE
+// IDENTICAL to a serial run:
 //
 //  * each replication draws from Rng::substream(index), a counter-based
 //    stream split keyed on the replication index alone, so the random
@@ -25,16 +27,18 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "obs/stats_registry.h"
+#include "runner/executor.h"
 #include "util/rng.h"
 
 namespace cavenet::runner {
 
 /// Resolves a --jobs request: values <= 0 mean "one worker per hardware
-/// thread" (never less than 1).
+/// thread" (never less than 1). Same rule as exec::resolve_workers.
 int resolve_jobs(int requested) noexcept;
 
 /// Parses the standard ensemble-bench command line: `--jobs N` (N <= 0
@@ -45,12 +49,18 @@ int parse_jobs_flag(int argc, const char* const* argv);
 
 struct EnsembleOptions {
   /// Worker threads; <= 0 resolves to the hardware thread count.
+  /// Ignored when `executor` is injected.
   int jobs = 1;
   /// Seed material for the per-replication substreams. Two runners with
   /// the same (master_seed, rng_stream) hand replication i the same
   /// stream; vary rng_stream to decorrelate nested ensembles.
   std::uint64_t master_seed = 1;
   std::uint64_t rng_stream = 0x656e73;  // "ens"
+  /// Shared execution pool to schedule replications on instead of a
+  /// runner-owned one (non-owning; must outlive the runner). Campaign
+  /// point scheduling and the kernel's threaded shard dispatch can ride
+  /// one pool this way.
+  Executor* executor = nullptr;
 };
 
 /// What a replication body receives: its index, a private RNG stream and
@@ -70,8 +80,13 @@ class EnsembleRunner {
   /// Resolved worker count (>= 1).
   int jobs() const noexcept { return jobs_; }
 
-  /// Runs body(ctx) once per replication 0..n-1 across jobs() workers
-  /// with work stealing. When `merged` is non-null, the per-replication
+  /// The pool replications are scheduled on: the injected executor, the
+  /// runner-owned persistent ThreadPoolExecutor (jobs > 1), or an inline
+  /// executor (jobs == 1).
+  Executor& executor() noexcept { return *executor_; }
+
+  /// Runs body(ctx) once per replication 0..n-1 across jobs() executor
+  /// lanes. When `merged` is non-null, the per-replication
   /// registries are folded into it in replication order after the pool
   /// drains. If one or more bodies throw, the exception of the
   /// lowest-indexed failing replication is rethrown (deterministically)
@@ -98,6 +113,12 @@ class EnsembleRunner {
  private:
   EnsembleOptions options_;
   int jobs_ = 1;
+  /// Persistent pool, created once at construction and reused by every
+  /// for_each call (replaces the per-call thread spawning the runner
+  /// started with).
+  std::unique_ptr<ThreadPoolExecutor> pool_;
+  InlineExecutor inline_executor_;
+  Executor* executor_ = &inline_executor_;
 };
 
 }  // namespace cavenet::runner

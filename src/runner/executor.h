@@ -1,0 +1,21 @@
+// The runner-facing name of the shared execution-pool abstraction.
+//
+// EnsembleRunner schedules campaign points and figure replications on a
+// runner::Executor; the simulation kernel's threaded shard dispatch
+// (netsim/parallel.h) runs on the same interface. Both resolve to
+// cavenet::exec (util/executor.h) — one pool seam, which is also where
+// ROADMAP item 4's multi-machine job server plugs in.
+#ifndef CAVENET_RUNNER_EXECUTOR_H
+#define CAVENET_RUNNER_EXECUTOR_H
+
+#include "util/executor.h"
+
+namespace cavenet::runner {
+
+using Executor = exec::Executor;
+using InlineExecutor = exec::InlineExecutor;
+using ThreadPoolExecutor = exec::ThreadPoolExecutor;
+
+}  // namespace cavenet::runner
+
+#endif  // CAVENET_RUNNER_EXECUTOR_H

@@ -81,7 +81,7 @@ std::unique_ptr<phy::PropagationModel> make_propagation(
 /// bound), or when the trace has no x extent at all.
 std::optional<phy::ShardPlan> make_shard_plan(
     const trace::MobilityTrace& mobility, const TableIConfig& config) {
-  if (config.shards <= 1) return std::nullopt;
+  if (config.parallel.shards <= 1) return std::nullopt;
   double x_min = std::numeric_limits<double>::infinity();
   double x_max = -std::numeric_limits<double>::infinity();
   double max_speed = 0.0;
@@ -101,10 +101,10 @@ std::optional<phy::ShardPlan> make_shard_plan(
   }
   if (!(x_max > x_min)) return std::nullopt;
   phy::ShardPlan plan;
-  plan.shards = static_cast<std::uint32_t>(config.shards);
+  plan.shards = static_cast<std::uint32_t>(config.parallel.shards);
   plan.x_min = x_min;
   plan.x_max = x_max;
-  plan.epoch_s = config.shard_epoch_s;
+  plan.epoch_s = config.parallel.epoch_s;
   plan.max_speed_mps = max_speed;
   return plan;
 }
@@ -147,13 +147,20 @@ std::vector<SenderRunResult> run_with_trace(
   if (config.telemetry.enabled() && obs.stats == nullptr) {
     obs.stats = &local_stats;
   }
-  // Sharding is wired before anything schedules: the shard queues must
-  // exist from event zero so the shared sequence counter covers every
-  // event of the run.
+  // Parallelism is wired before anything schedules: the shard queues
+  // must exist from event zero so the shared sequence counter covers
+  // every event of the run. The plan may have demoted shards (teleports,
+  // narrow world), so the kernel gets the resolved count, not the
+  // requested one.
   const std::optional<phy::ShardPlan> shard_plan =
       make_shard_plan(mobility, config);
   netsim::Simulator sim(config.seed);
-  if (shard_plan) sim.enable_sharding(shard_plan->shards);
+  {
+    netsim::ParallelConfig kernel_parallel = config.parallel;
+    kernel_parallel.shards =
+        shard_plan ? static_cast<int>(shard_plan->shards) : 1;
+    if (kernel_parallel.enabled()) sim.enable_parallel(kernel_parallel);
+  }
   if (obs.trace_sink != nullptr) sim.set_trace_sink(obs.trace_sink);
   if (obs.profiler != nullptr) sim.set_profiler(obs.profiler);
   if (config.heartbeat_s > 0.0) {

@@ -15,6 +15,7 @@
 
 #include "app/flow_metrics.h"
 #include "mac/wifi_mac.h"
+#include "netsim/parallel.h"
 #include "obs/telemetry.h"
 #include "phy/channel.h"
 #include "phy/wifi_phy.h"
@@ -55,17 +56,16 @@ struct TableIConfig {
   // Simulation.
   double duration_s = 100.0;
   std::uint64_t seed = 1;
-  /// Spatial shards for the single-run kernel (docs/SCALING.md
-  /// "Sharding"): the world is partitioned into up to this many strips,
-  /// each with its own scheduler pool and channel snapshot. Results are
-  /// byte-identical at any value. The run falls back to one shard when
-  /// the trace cannot certify a max speed (mid-run teleports, e.g. the
+  /// Kernel parallelism (docs/SCALING.md): `parallel.shards` partitions
+  /// the world into up to that many strips, each with its own scheduler
+  /// pool and channel snapshot; `parallel.threads` adds executor lanes
+  /// for epoch-batched precompute; `parallel.epoch_s` is the rebucket /
+  /// barrier cadence. Results are byte-identical at every (shards,
+  /// threads) pair. The run falls back to one shard when the trace
+  /// cannot certify a max speed (mid-run teleports, e.g. the
   /// straight-line layout's lane-wrap jumps) or the world is too small
   /// to hold two interaction-radius-wide strips.
-  int shards = 1;
-  /// Shard membership rebucket period in sim seconds (the LBTS epoch);
-  /// only read when shards > 1.
-  double shard_epoch_s = 1.0;
+  netsim::ParallelConfig parallel;
 
   // Radio.
   /// MAC data rate (Table I: 2 Mbps). The PLCP preamble stays at the DSSS

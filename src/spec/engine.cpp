@@ -7,12 +7,24 @@
 
 #include "runner/ensemble.h"
 #include "runner/progress.h"
+#include "util/cli_args.h"
 #include "spec/campaign.h"
 #include "spec/figures.h"
 
 namespace cavenet::spec {
 
 int run_spec(const CampaignSpec& spec, const RunOptions& options) {
+  // --threads overrides the spec's engine.parallel.threads for every run
+  // this invocation dispatches (campaign points inherit the scenario
+  // config). Results are byte-identical either way; only wall time moves.
+  if (options.threads != 0 &&
+      spec.scenario.config.parallel.threads != options.threads) {
+    CampaignSpec adjusted = spec;
+    adjusted.scenario.config.parallel.threads = options.threads;
+    RunOptions inner = options;
+    inner.threads = 0;
+    return run_spec(adjusted, inner);
+  }
   if (!options.output_dir.empty()) {
     std::filesystem::create_directories(options.output_dir);
   }
@@ -56,8 +68,12 @@ int run_spec_file(const std::string& path, const RunOptions& options) {
 int bench_spec_main(const std::string& path, int argc,
                     const char* const* argv) {
   try {
+    const CliArgs args(argc, argv);
     RunOptions options;
-    options.jobs = runner::parse_jobs_flag(argc, argv);
+    options.jobs =
+        runner::resolve_jobs(static_cast<int>(args.get_int("jobs", 1)));
+    options.threads = static_cast<int>(args.get_int("threads", 0));
+    args.reject_unknown_flags();
     return run_spec_file(path, options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -80,6 +80,7 @@ TEST(RunManifestTest, StripVolatileDropsWallClockGauges) {
   StatsRegistry registry;
   registry.counter("kernel.mac.dispatches").inc(9);  // deterministic: stays
   registry.gauge("kernel.mac.wall_ms").set(12.5);
+  registry.gauge("exec.worker0.wall_ms").set(7.5);  // pool lane gauge
   registry.gauge("campaign.wall_s").set(3.25);
   registry.gauge("points.per_wall_s").set(88.0);
   registry.gauge("chan.utilization").set(0.25);  // sim-time gauge: stays
@@ -103,6 +104,20 @@ TEST(RunManifestTest, StripVolatileDropsWallClockGauges) {
   EXPECT_EQ(json.find("wall_ms"), std::string::npos);
   EXPECT_EQ(json.find("campaign.wall_s"), std::string::npos);
   EXPECT_EQ(json.find("points.per_wall_s"), std::string::npos);
+}
+
+TEST(RunManifestTest, StripVolatileDropsTheThreadsParam) {
+  // The executor lane count is recorded for live manifests but results
+  // are byte-identical at any value, so the determinism artifact strips
+  // it; every scenario-identity param stays.
+  RunManifest m;
+  m.set_param("threads", std::int64_t{4});
+  m.set_param("vehicles", std::int64_t{30});
+
+  m.strip_volatile();
+
+  EXPECT_EQ(m.param("threads", "gone"), "gone");
+  EXPECT_EQ(m.param("vehicles", ""), "30");
 }
 
 TEST(RunManifestTest, StripVolatileKeepsQuantiles) {

@@ -152,7 +152,7 @@ std::string dump_all_trials(int shards = 1) {
     config.duration_s = 12.0;
     config.traffic_start_s = 2.0;
     config.traffic_stop_s = 10.0;
-    config.shards = shards;
+    config.parallel.shards = shards;
     dump += dump_trial(trial, config);
   }
   return dump;

@@ -1,11 +1,12 @@
-// Shard-equivalence property gate: sharding the kernel is a pure
-// locality optimization, so a run's complete observable output — every
-// SenderRunResult field, the full stats-registry JSON and the
-// (uid-canonicalized) ns-2 packet log — must be byte-identical at every
-// shard count. Randomized Table-I scenarios cover both layouts (circular
-// shards; straight-line falls back on its lane-wrap teleports) plus a
-// seeded trace that oscillates nodes across strip boundaries every
-// epoch, the worst case for stale-membership lookahead.
+// Parallel-equivalence property gate: sharding and threading the kernel
+// are pure locality/throughput optimizations, so a run's complete
+// observable output — every SenderRunResult field, the full
+// stats-registry JSON and the (uid-canonicalized) ns-2 packet log —
+// must be byte-identical at every (shards, threads) pair. Randomized
+// Table-I scenarios cover both layouts (circular shards; straight-line
+// falls back on its lane-wrap teleports) plus a seeded trace that
+// oscillates nodes across strip boundaries every epoch, the worst case
+// for stale-membership lookahead.
 #include <cstdint>
 #include <cstdio>
 #include <iterator>
@@ -75,9 +76,10 @@ void dump_result(std::ostringstream& out, const SenderRunResult& r) {
   out << '\n';
 }
 
-/// Complete observable outcome of one Table-I run at `shards`.
-std::string dump_table1(TableIConfig config, int shards) {
-  config.shards = shards;
+/// Complete observable outcome of one Table-I run at (shards, threads).
+std::string dump_table1(TableIConfig config, int shards, int threads) {
+  config.parallel.shards = shards;
+  config.parallel.threads = threads;
   netsim::PacketLog log;
   obs::StatsRegistry stats;
   config.obs.packet_log = &log;
@@ -97,8 +99,9 @@ std::string dump_table1(TableIConfig config, int shards) {
 
 /// Same, over an explicit mobility trace.
 std::string dump_trace_run(const trace::MobilityTrace& mobility,
-                           TableIConfig config, int shards) {
-  config.shards = shards;
+                           TableIConfig config, int shards, int threads) {
+  config.parallel.shards = shards;
+  config.parallel.threads = threads;
   netsim::PacketLog log;
   obs::StatsRegistry stats;
   config.obs.packet_log = &log;
@@ -119,7 +122,9 @@ std::string dump_trace_run(const trace::MobilityTrace& mobility,
 TEST(ShardEquivalenceTest, RandomizedScenariosByteIdenticalAtAnyShardCount) {
   // ~50 randomized scenario shapes, each compared across shard counts
   // chosen to hit even/odd partitions and counts above what the world
-  // supports (the resolve-time min() clamp).
+  // supports (the resolve-time min() clamp), with a randomized executor
+  // lane count per trial plus a threads-only (shards=1) run — the full
+  // (shards, threads) matrix spread across trials.
   Rng meta(20260809);
   const Protocol protocols[] = {Protocol::kAodv, Protocol::kOlsr,
                                 Protocol::kDymo, Protocol::kDsdv};
@@ -140,16 +145,25 @@ TEST(ShardEquivalenceTest, RandomizedScenariosByteIdenticalAtAnyShardCount) {
     config.traffic_start_s = 1.0;
     config.traffic_stop_s = 7.0;
 
-    const std::string reference = dump_table1(config, 1);
+    const int thread_choices[] = {1, 2, 4};
+    const int threads =
+        thread_choices[meta.uniform_int(std::int64_t{0}, 2)];
+
+    const std::string reference = dump_table1(config, 1, 1);
     for (const int shards : {2, 4, 7}) {
-      const std::string sharded = dump_table1(config, shards);
+      const std::string sharded = dump_table1(config, shards, threads);
       ASSERT_EQ(sharded, reference)
           << "trial " << trial << " protocol "
           << to_string(config.protocol) << " vehicles " << config.vehicles
           << " layout "
           << (config.circular_layout ? "circular" : "straight")
-          << " seed " << config.seed << " diverged at shards=" << shards;
+          << " seed " << config.seed << " diverged at shards=" << shards
+          << " threads=" << threads;
     }
+    // Threads without shards: the pool alone must be inert too.
+    ASSERT_EQ(dump_table1(config, 1, 4), reference)
+        << "trial " << trial << " seed " << config.seed
+        << " diverged at shards=1 threads=4";
   }
 }
 
@@ -186,12 +200,15 @@ TEST(ShardEquivalenceTest, BoundaryChurnTraceByteIdentical) {
   config.duration_s = 10.0;
   config.traffic_start_s = 1.0;
   config.traffic_stop_s = 9.0;
-  config.shard_epoch_s = 0.5;  // force frequent rebuckets
+  config.parallel.epoch_s = 0.5;  // force frequent rebuckets
 
-  const std::string reference = dump_trace_run(mobility, config, 1);
+  const std::string reference = dump_trace_run(mobility, config, 1, 1);
   for (const int shards : {2, 4, 7}) {
-    EXPECT_EQ(dump_trace_run(mobility, config, shards), reference)
-        << "boundary-churn trace diverged at shards=" << shards;
+    for (const int threads : {1, 4}) {
+      EXPECT_EQ(dump_trace_run(mobility, config, shards, threads), reference)
+          << "boundary-churn trace diverged at shards=" << shards
+          << " threads=" << threads;
+    }
   }
 }
 
@@ -220,8 +237,9 @@ TEST(ShardEquivalenceTest, MidRunTeleportTraceFallsBackUnsharded) {
   config.traffic_start_s = 1.0;
   config.traffic_stop_s = 5.0;
 
-  const std::string reference = dump_trace_run(mobility, config, 1);
-  EXPECT_EQ(dump_trace_run(mobility, config, 4), reference);
+  const std::string reference = dump_trace_run(mobility, config, 1, 1);
+  // Threads stay live through the unsharded fallback — byte-inert too.
+  EXPECT_EQ(dump_trace_run(mobility, config, 4, 4), reference);
 }
 
 }  // namespace

@@ -73,25 +73,56 @@ TEST(SpecParseTest, FullScenarioRoundTrip) {
   EXPECT_DOUBLE_EQ(config.heartbeat_s, 10.0);
 }
 
-TEST(SpecParseTest, EngineShardsParseAndDefault) {
+TEST(SpecParseTest, EngineParallelParsesAndDefaults) {
   const CampaignSpec plain = parse_campaign(
       R"({"name": "t", "kind": "campaign", "scenario": {}})", "test.json");
-  EXPECT_EQ(plain.scenario.config.shards, 1);
+  EXPECT_EQ(plain.scenario.config.parallel.shards, 1);
+  EXPECT_EQ(plain.scenario.config.parallel.threads, 1);
+  EXPECT_DOUBLE_EQ(plain.scenario.config.parallel.epoch_s, 1.0);
 
-  const CampaignSpec sharded = parse_campaign(R"({
+  const CampaignSpec parallel = parse_campaign(R"({
     "name": "t", "kind": "campaign",
-    "scenario": {"engine": {"shards": 4, "shard_epoch_s": 0.5}}
+    "scenario": {"engine": {"parallel":
+        {"shards": 4, "threads": 2, "epoch_s": 0.5}}}
   })", "test.json");
-  EXPECT_EQ(sharded.scenario.config.shards, 4);
-  EXPECT_DOUBLE_EQ(sharded.scenario.config.shard_epoch_s, 0.5);
+  EXPECT_EQ(parallel.scenario.config.parallel.shards, 4);
+  EXPECT_EQ(parallel.scenario.config.parallel.threads, 2);
+  EXPECT_DOUBLE_EQ(parallel.scenario.config.parallel.epoch_s, 0.5);
 }
 
-TEST(SpecParseTest, EngineShardsAreRangeChecked) {
+TEST(SpecParseTest, EngineLegacyShardKeysAliasTheParallelBlock) {
+  // Pre-ParallelConfig specs spelled the knobs flat on `engine`; they
+  // keep parsing (with a deprecation warning) as validated aliases.
+  const CampaignSpec legacy = parse_campaign(R"({
+    "name": "t", "kind": "campaign",
+    "scenario": {"engine": {"shards": 4, "shard_epoch_s": 0.5,
+                            "threads": 2}}
+  })", "test.json");
+  EXPECT_EQ(legacy.scenario.config.parallel.shards, 4);
+  EXPECT_EQ(legacy.scenario.config.parallel.threads, 2);
+  EXPECT_DOUBLE_EQ(legacy.scenario.config.parallel.epoch_s, 0.5);
+}
+
+TEST(SpecParseTest, EngineLegacyKeyMixedWithParallelBlockIsRejected) {
+  const std::string what = error_of(R"({
+    "name": "t", "kind": "campaign",
+    "scenario": {"engine": {"parallel": {"shards": 2}, "shards": 4}}
+  })");
+  EXPECT_NE(what.find("$.scenario.engine.shards"), std::string::npos) << what;
+  EXPECT_NE(what.find("deprecated alias"), std::string::npos) << what;
+  EXPECT_NE(what.find("$.scenario.engine.parallel.shards"),
+            std::string::npos)
+      << what;
+}
+
+TEST(SpecParseTest, EngineParallelIsRangeChecked) {
   const std::string zero = error_of(R"({
     "name": "t", "kind": "campaign",
-    "scenario": {"engine": {"shards": 0}}
+    "scenario": {"engine": {"parallel": {"shards": 0}}}
   })");
-  EXPECT_NE(zero.find("$.scenario.engine.shards"), std::string::npos) << zero;
+  EXPECT_NE(zero.find("$.scenario.engine.parallel.shards"),
+            std::string::npos)
+      << zero;
 
   const std::string bad_epoch = error_of(R"({
     "name": "t", "kind": "campaign",
@@ -103,9 +134,13 @@ TEST(SpecParseTest, EngineShardsAreRangeChecked) {
 
   const std::string unknown = error_of(R"({
     "name": "t", "kind": "campaign",
-    "scenario": {"engine": {"shard": 4}}
+    "scenario": {"engine": {"parallel": {"shard": 4}}}
   })");
-  EXPECT_NE(unknown.find("shards"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("$.scenario.engine.parallel.shard"),
+            std::string::npos)
+      << unknown;
+  EXPECT_NE(unknown.find("did you mean \"shards\"?"), std::string::npos)
+      << unknown;
 }
 
 TEST(SpecParseTest, UnknownKeyIsRejectedWithSuggestion) {
