@@ -42,7 +42,24 @@ void BM_NasLaneStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * lane.vehicle_count());
 }
-BENCHMARK(BM_NasLaneStep)->Arg(400)->Arg(4000)->Arg(40000);
+BENCHMARK(BM_NasLaneStep)->Arg(400)->Arg(4000)->Arg(40000)->Arg(400000);
+
+void BM_NasLaneStepDensity(benchmark::State& state) {
+  // Density sweep at fixed lane length: the gap/velocity passes touch
+  // every vehicle, so ns/op scales with rho while ns/vehicle should
+  // stay flat. Arg is density in percent of lane_length.
+  ca::NasParams params;
+  params.lane_length = 40000;
+  params.slowdown_p = 0.3;
+  const auto vehicles = params.lane_length * state.range(0) / 100;
+  ca::NasLane lane(params, vehicles, ca::InitialPlacement::kRandom, Rng(1));
+  for (auto _ : state) {
+    lane.step();
+    benchmark::DoNotOptimize(lane.average_velocity());
+  }
+  state.SetItemsProcessed(state.iterations() * lane.vehicle_count());
+}
+BENCHMARK(BM_NasLaneStepDensity)->Arg(5)->Arg(15)->Arg(50);
 
 void BM_Fft(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,64 @@
+// Structure-of-arrays vehicle state for the NaS stepping kernel.
+//
+// The stepping passes (core/nas_lane.cpp) want each per-vehicle field
+// contiguous so they vectorize: the gap pass is a shifted difference
+// over `cell`, the velocity pass a min/clamp over `velocity` against
+// `gap`, the motion pass an add of `velocity` into `cell`. Splitting
+// the seed's array-of-Vehicle into five parallel arrays makes every
+// pass a straight-line loop over one or two streams.
+//
+// Site order and the ring head: vehicles are kept sorted by site index,
+// but on a closed lane the sort is maintained as a *rotation*, not by
+// moving elements. Physical index p holds the vehicle at site-order
+// position (p - head) mod size: the arrays read in increasing cell
+// order starting at `head`, wrapping from size-1 to 0. When k vehicles
+// wrap past the lane end in one step they are exactly the k largest
+// cells — a site-order suffix, physically the k slots just before
+// `head` — so restoring site order is `head = (head + size - k) % size`
+// in O(1) where the seed paid an O(N) std::rotate. Open (kOpenShift)
+// lanes re-seat and re-sort on wrap instead, which resets head to 0.
+#ifndef CAVENET_CORE_LANE_STATE_H
+#define CAVENET_CORE_LANE_STATE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cavenet::ca {
+
+struct LaneState {
+  /// Site index on the lane, in [0, lane_length).
+  std::vector<std::int64_t> cell;
+  /// Velocity in cells per step, in [0, v_max].
+  std::vector<std::int32_t> velocity;
+  /// Free sites to the vehicle ahead, as of the start of the last step.
+  std::vector<std::int64_t> gap;
+  /// Wrap count (cell + wraps * lane_length = cumulative distance).
+  std::vector<std::int64_t> wraps;
+  /// Stable vehicle id, assigned at construction.
+  std::vector<std::uint32_t> id;
+
+  /// Physical index of the site-order-first (smallest cell) vehicle.
+  std::size_t head = 0;
+
+  std::size_t size() const noexcept { return cell.size(); }
+
+  /// Physical index of site-order position s.
+  std::size_t phys(std::size_t s) const noexcept {
+    const std::size_t p = head + s;
+    return p < size() ? p : p - size();
+  }
+
+  void resize(std::size_t n) {
+    cell.resize(n);
+    velocity.resize(n);
+    gap.resize(n);
+    wraps.resize(n);
+    id.resize(n);
+    head = 0;
+  }
+};
+
+}  // namespace cavenet::ca
+
+#endif  // CAVENET_CORE_LANE_STATE_H

@@ -20,8 +20,9 @@ std::uint32_t Road::add_lane(NasLane lane,
   }
   entry.last_wraps.assign(
       static_cast<std::size_t>(entry.sim.vehicle_count()), 0);
-  for (const auto& v : entry.sim.vehicles()) {
-    entry.last_wraps[v.id] = v.wraps;
+  const LaneState& state = entry.sim.state();
+  for (std::size_t p = 0; p < state.size(); ++p) {
+    entry.last_wraps[state.id[p]] = state.wraps[p];
   }
   lanes_.push_back(std::move(entry));
   return static_cast<std::uint32_t>(lanes_.size() - 1);
@@ -36,11 +37,21 @@ std::size_t Road::vehicle_count() const noexcept {
 }
 
 void Road::step() {
-  for (auto& entry : lanes_) {
-    for (const auto& v : entry.sim.vehicles()) {
-      entry.last_wraps[v.id] = v.wraps;
+  // Lanes are disjoint state with independent Rngs, so fanning them
+  // across executor lanes is deterministic — same trajectories at any
+  // thread count.
+  const auto step_lane = [this](std::size_t k) {
+    LaneEntry& entry = lanes_[k];
+    const LaneState& state = entry.sim.state();
+    for (std::size_t p = 0; p < state.size(); ++p) {
+      entry.last_wraps[state.id[p]] = state.wraps[p];
     }
     entry.sim.step();
+  };
+  if (executor_ != nullptr) {
+    executor_->parallel_for(lanes_.size(), 1, step_lane);
+  } else {
+    for (std::size_t k = 0; k < lanes_.size(); ++k) step_lane(k);
   }
   ++time_step_;
 }
@@ -50,17 +61,20 @@ std::vector<VehicleState> Road::states() const {
   for (std::size_t k = 0; k < lanes_.size(); ++k) {
     const auto& entry = lanes_[k];
     const auto& params = entry.sim.params();
-    for (const auto& v : entry.sim.vehicles()) {
+    // Straight off the SoA arrays — no per-vehicle AoS materialization.
+    const LaneState& state = entry.sim.state();
+    for (std::size_t p = 0; p < state.size(); ++p) {
       VehicleState s;
       s.lane = static_cast<std::uint32_t>(k);
-      s.vehicle_id = v.id;
-      s.node_id = entry.first_node_id + v.id;
-      const double arc = static_cast<double>(v.cell) * params.cell_length_m;
+      s.vehicle_id = state.id[p];
+      s.node_id = entry.first_node_id + state.id[p];
+      const double arc =
+          static_cast<double>(state.cell[p]) * params.cell_length_m;
       s.position = entry.geometry->position(arc);
-      const double speed_ms =
-          static_cast<double>(v.velocity) * params.cell_length_m / params.dt_s;
+      const double speed_ms = static_cast<double>(state.velocity[p]) *
+                              params.cell_length_m / params.dt_s;
       s.velocity = entry.geometry->heading(arc) * speed_ms;
-      s.wrapped_this_step = v.wraps != entry.last_wraps[v.id];
+      s.wrapped_this_step = state.wraps[p] != entry.last_wraps[state.id[p]];
       out[s.node_id] = s;
     }
   }

@@ -1,7 +1,9 @@
 #include "phy/channel.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -57,6 +59,12 @@ Channel::Attachment Channel::attach(WifiPhy* phy) {
   slots_.push_back(phy);
   live_.push_back(1);
   positions_.push_back({});
+  const netsim::MobilityModel* mobility = phy->mobility();
+  const netsim::BatchMobilityProvider* provider =
+      mobility != nullptr ? mobility->batch_provider() : nullptr;
+  batch_provider_.push_back(provider);
+  batch_member_.push_back(mobility != nullptr ? mobility->batch_member() : 0);
+  if (provider != nullptr) ++batch_count_;
   ++live_count_;
   phy->set_channel(this, slot);
   if (min_cs_valid_) {
@@ -78,6 +86,10 @@ void Channel::detach_slot(std::uint32_t slot) noexcept {
   slots_[slot]->set_channel(nullptr, 0);
   slots_[slot] = nullptr;
   live_[slot] = 0;
+  if (batch_provider_[slot] != nullptr) {
+    batch_provider_[slot] = nullptr;
+    --batch_count_;
+  }
   --live_count_;
   // The detached radio may have been the most sensitive one; rescan.
   min_cs_valid_ = false;
@@ -167,16 +179,9 @@ std::uint32_t Channel::resolve_strips(double radius) {
 }
 
 void Channel::rebucket_shards(SimTime now) {
-  // One full O(radios) position pass per epoch, fanned across the
-  // kernel's executor lanes (disjoint writes, time-pure reads); between
-  // epochs the per-transmit cost is the touched strips only.
-  sim_->executor().parallel_for(slots_.size(), kRefreshGrain,
-                                [&](std::size_t i) {
-                                  if (live_[i]) {
-                                    positions_[i] =
-                                        slots_[i]->position_at(now);
-                                  }
-                                });
+  // One full O(radios) position pass per epoch; between epochs the
+  // per-transmit cost is the touched strips only.
+  eval_all_positions(now);
   shards_.rebucket(now, positions_, live_);
   for (std::uint32_t s = 0; s < strips_; ++s) {
     shard_snapshot_time_[s] = now;
@@ -197,11 +202,7 @@ void Channel::rebucket_shards(SimTime now) {
 void Channel::refresh_strip(std::uint32_t s, SimTime now, double radius) {
   const std::vector<std::uint32_t>& members = shards_.members(s);
   if (!shard_snapshot_valid_[s] || shard_snapshot_time_[s] != now) {
-    sim_->executor().parallel_for(
-        members.size(), kRefreshGrain, [&](std::size_t i) {
-          const std::uint32_t slot = members[i];
-          positions_[slot] = slots_[slot]->position_at(now);
-        });
+    eval_member_positions(now, members);
     shard_snapshot_time_[s] = now;
     shard_snapshot_valid_[s] = 1;
     shard_grid_built_[s] = 0;
@@ -225,9 +226,10 @@ std::optional<double> Channel::interaction_radius(double tx_power_w) {
   return radius;
 }
 
-void Channel::refresh_snapshot(const std::optional<double>& radius) {
-  const SimTime now = sim_->now();
-  if (!snapshot_valid_ || snapshot_time_ != now) {
+void Channel::eval_all_positions(SimTime now) {
+  if (batch_count_ == 0) {
+    // Pure per-radio dispatch, fanned across the kernel's executor lanes
+    // (disjoint writes, time-pure reads).
     sim_->executor().parallel_for(slots_.size(), kRefreshGrain,
                                   [&](std::size_t i) {
                                     if (live_[i]) {
@@ -235,6 +237,85 @@ void Channel::refresh_snapshot(const std::optional<double>& radius) {
                                           slots_[i]->position_at(now);
                                     }
                                   });
+    return;
+  }
+  // Batched dispatch: runs of consecutive live slots sharing a provider
+  // (attach order == node order in the scenario runners, so this is one
+  // run per provider in practice) are served with one positions_at call
+  // straight into the snapshot, kRefreshGrain members at a time. The
+  // values are the ones per-radio dispatch would have produced — only
+  // the call count changes.
+  const std::size_t n = slots_.size();
+  std::array<std::uint32_t, kRefreshGrain> members;
+  std::size_t i = 0;
+  while (i < n) {
+    if (!live_[i]) {
+      ++i;
+      continue;
+    }
+    const netsim::BatchMobilityProvider* provider = batch_provider_[i];
+    if (provider == nullptr) {
+      positions_[i] = slots_[i]->position_at(now);
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && j - i < kRefreshGrain && live_[j] &&
+           batch_provider_[j] == provider) {
+      ++j;
+    }
+    for (std::size_t k = i; k < j; ++k) members[k - i] = batch_member_[k];
+    provider->positions_at(
+        now, std::span<const std::uint32_t>(members.data(), j - i),
+        std::span<Vec2>(positions_.data() + i, j - i));
+    i = j;
+  }
+}
+
+void Channel::eval_member_positions(
+    SimTime now, std::span<const std::uint32_t> member_slots) {
+  if (batch_count_ == 0) {
+    sim_->executor().parallel_for(
+        member_slots.size(), kRefreshGrain, [&](std::size_t i) {
+          const std::uint32_t slot = member_slots[i];
+          positions_[slot] = slots_[slot]->position_at(now);
+        });
+    return;
+  }
+  // Strip members are scattered slots, so gather member ids and scatter
+  // results through stack buffers, one provider-run at a time.
+  const std::size_t n = member_slots.size();
+  std::array<std::uint32_t, kRefreshGrain> members;
+  std::array<Vec2, kRefreshGrain> out;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint32_t slot = member_slots[i];
+    const netsim::BatchMobilityProvider* provider = batch_provider_[slot];
+    if (provider == nullptr) {
+      positions_[slot] = slots_[slot]->position_at(now);
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && j - i < kRefreshGrain &&
+           batch_provider_[member_slots[j]] == provider) {
+      ++j;
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      members[k - i] = batch_member_[member_slots[k]];
+    }
+    provider->positions_at(
+        now, std::span<const std::uint32_t>(members.data(), j - i),
+        std::span<Vec2>(out.data(), j - i));
+    for (std::size_t k = i; k < j; ++k) positions_[member_slots[k]] = out[k - i];
+    i = j;
+  }
+}
+
+void Channel::refresh_snapshot(const std::optional<double>& radius) {
+  const SimTime now = sim_->now();
+  if (!snapshot_valid_ || snapshot_time_ != now) {
+    eval_all_positions(now);
     snapshot_time_ = now;
     snapshot_valid_ = true;
     grid_built_ = false;

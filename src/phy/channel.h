@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "netsim/simulator.h"
@@ -183,6 +184,14 @@ class Channel {
   /// Re-evaluates every live position (at `now`, across executor lanes)
   /// and rebuilds strip membership.
   void rebucket_shards(SimTime now);
+  /// Evaluates every live radio's position at `now` into positions_.
+  /// Slots whose mobility model exposes a BatchMobilityProvider are
+  /// served in bulk (one virtual call per run of consecutive same-
+  /// provider slots) instead of per-radio virtual dispatch.
+  void eval_all_positions(SimTime now);
+  /// Same, for an explicit slot list (a shard strip's members).
+  void eval_member_positions(SimTime now,
+                             std::span<const std::uint32_t> member_slots);
   /// Ensures strip `s`'s members have fresh positions at `now` and its
   /// grid is built over them.
   void refresh_strip(std::uint32_t s, SimTime now, double radius);
@@ -202,6 +211,13 @@ class Channel {
   std::vector<std::uint8_t> live_;
   std::vector<Vec2> positions_;  ///< snapshot, parallel to slots_
   std::size_t live_count_ = 0;
+
+  /// Batch-dispatch table, parallel to slots_: the slot's mobility
+  /// provider (nullptr = per-radio dispatch) and its member id there.
+  /// Captured at attach time, cleared on detach.
+  std::vector<const netsim::BatchMobilityProvider*> batch_provider_;
+  std::vector<std::uint32_t> batch_member_;
+  std::size_t batch_count_ = 0;  ///< live slots with a provider
 
   SimTime snapshot_time_ = SimTime::zero();
   bool snapshot_valid_ = false;

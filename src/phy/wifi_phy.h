@@ -54,6 +54,10 @@ class WifiPhy {
   /// from every executor lane — mobility models must answer it
   /// concurrently (they are const; see netsim::MobilityModel).
   Vec2 position_at(SimTime at) const { return mobility_->position(at); }
+  /// The mobility model answering position queries. The channel inspects
+  /// it at attach time for a BatchMobilityProvider so snapshot refreshes
+  /// can be served in bulk.
+  const netsim::MobilityModel* mobility() const noexcept { return mobility_; }
   const PhyParams& params() const noexcept { return params_; }
 
   /// Airtime of a frame of `bytes` total size (PLCP + payload).

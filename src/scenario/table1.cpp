@@ -109,6 +109,35 @@ std::optional<phy::ShardPlan> make_shard_plan(
   return plan;
 }
 
+/// Bulk position source over the compiled per-node paths: the channel's
+/// per-timestamp snapshot refresh makes one virtual call per batch of
+/// nodes instead of a virtual hop + std::function hop per node. Member
+/// ids are node ids; the arithmetic per node is NodePath::position /
+/// ::velocity either way, so runs are byte-identical to the per-node
+/// FunctionMobility wiring this replaces.
+class PathTableProvider final : public netsim::BatchMobilityProvider {
+ public:
+  explicit PathTableProvider(const std::vector<trace::NodePath>& paths)
+      : paths_(&paths) {}
+
+  void positions_at(SimTime at, std::span<const std::uint32_t> members,
+                    std::span<Vec2> out) const override {
+    const double t = at.sec();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      out[i] = (*paths_)[members[i]].position(t);
+    }
+  }
+  Vec2 position_of(std::uint32_t member, SimTime at) const override {
+    return (*paths_)[member].position(at.sec());
+  }
+  Vec2 velocity_of(std::uint32_t member, SimTime at) const override {
+    return (*paths_)[member].velocity(at.sec());
+  }
+
+ private:
+  const std::vector<trace::NodePath>* paths_;
+};
+
 /// One node's full protocol stack. Declaration order fixes teardown order
 /// (in particular: `link` detaches from the channel while `phy` is still
 /// alive).
@@ -179,13 +208,13 @@ std::vector<SenderRunResult> run_with_trace(
   phy::PhyParams phy_params;
   phy_params.data_rate_bps = config.mac_rate_bps;
 
+  // Declared before `nodes` so it outlives every BatchMobility view and
+  // the channel's attach-time capture of it.
+  PathTableProvider path_provider(paths);
   std::vector<NodeStack> nodes(static_cast<std::size_t>(node_count));
   for (NodeId i = 0; i < node_count; ++i) {
     NodeStack& node = nodes[i];
-    const trace::NodePath* path = &paths[i];
-    node.mobility = std::make_unique<netsim::FunctionMobility>(
-        [path](double t) { return path->position(t); },
-        [path](double t) { return path->velocity(t); });
+    node.mobility = std::make_unique<netsim::BatchMobility>(&path_provider, i);
     node.phy =
         std::make_unique<phy::WifiPhy>(sim, i, node.mobility.get(), phy_params);
     node.link = channel.attach(node.phy.get());

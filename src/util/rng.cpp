@@ -4,13 +4,6 @@
 #include <numbers>
 
 namespace cavenet {
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
 
 Rng::Rng(std::uint64_t seed) noexcept {
   SplitMix64 sm(seed);
@@ -37,27 +30,6 @@ Rng Rng::substream(std::uint64_t child_id) const noexcept {
   return Rng(stream_key_, child_id);
 }
 
-std::uint64_t Rng::next_u64() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() noexcept {
-  // 53 random bits into the mantissa: uniform over [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) noexcept {
-  return lo + (hi - lo) * uniform();
-}
-
 std::uint64_t Rng::uniform_int(std::uint64_t n) noexcept {
   // Lemire-style rejection to avoid modulo bias.
   const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
@@ -73,11 +45,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
   return lo + static_cast<std::int64_t>(uniform_int(span));
 }
 
-bool Rng::bernoulli(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
-}
 
 double Rng::exponential(double lambda) noexcept {
   // -log(1 - U) is exponential(1); 1 - U avoids log(0).

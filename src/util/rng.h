@@ -70,18 +70,43 @@ class Rng {
   static constexpr result_type max() noexcept { return ~0ULL; }
 
   result_type operator()() noexcept { return next_u64(); }
-  std::uint64_t next_u64() noexcept;
 
-  /// Uniform double in [0, 1).
-  double uniform() noexcept;
+  /// Inline: this is the innermost call of every stochastic hot loop
+  /// (the NaS slowdown pass draws one per moving vehicle per step), so
+  /// the generator must compile to a handful of register ops, not a
+  /// cross-TU call.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1): 53 random bits into the mantissa.
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept;
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
   /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
   std::uint64_t uniform_int(std::uint64_t n) noexcept;
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
   /// Bernoulli trial: true with probability p (clamped to [0,1]).
-  bool bernoulli(double p) noexcept;
+  /// Draw-order contract: consumes exactly one next_u64() draw iff
+  /// 0 < p < 1; the clamped ends consume nothing.
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
   /// Exponential with rate lambda (> 0); mean 1/lambda.
   double exponential(double lambda) noexcept;
   /// Standard normal via Box-Muller (cached second variate).
@@ -104,6 +129,10 @@ class Rng {
   void jump() noexcept;
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_{};
   /// Hash of the construction-time seed material, fixed for the stream's
   /// lifetime; substream() keys children off it (counter-based split).

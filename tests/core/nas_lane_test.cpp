@@ -215,5 +215,152 @@ TEST(NasLaneTest, StochasticSlowdownReducesMeanVelocity) {
   EXPECT_GT(calm_sum, noisy_sum * 1.1);
 }
 
+// Regression: step_sequential used to apply the closed-boundary wrap
+// (cell -= L in place) on open lanes too, teleporting the leader mid-lane
+// — potentially onto an occupied cell. Open lanes must use the kOpenShift
+// re-seat semantics: first free site from the head, standstill.
+TEST(NasLaneTest, SequentialOpenBoundaryReseatsInsteadOfWrapping) {
+  NasParams params = default_params(20, 0.0);
+  params.boundary = Boundary::kOpenShift;
+  // Jam at the head: sites 0..4 occupied, leader at 4.
+  NasLane lane(params, 5, InitialPlacement::kJam, Rng(3));
+  for (int step = 0; step < 30; ++step) {
+    lane.step_sequential();
+    std::set<std::int64_t> cells;
+    for (const Vehicle& v : lane.vehicles()) {
+      // Every cell stays on the lane...
+      ASSERT_GE(v.cell, 0) << "step " << step;
+      ASSERT_LT(v.cell, params.lane_length) << "step " << step;
+      // ...and no two vehicles ever share one (the old in-place wrap
+      // could collide a wrapped leader with a vehicle near site 0).
+      ASSERT_TRUE(cells.insert(v.cell).second)
+          << "step " << step << ": duplicate cell " << v.cell;
+    }
+  }
+  // The leaders did drive past the end (wraps accumulated) and were
+  // re-seated at standstill rather than carried across with velocity.
+  std::int64_t total_wraps = 0;
+  for (const Vehicle& v : lane.vehicles()) total_wraps += v.wraps;
+  EXPECT_GT(total_wraps, 0);
+}
+
+TEST(NasLaneTest, SequentialLoneOpenVehicleSeesOpenRoad) {
+  NasParams params = default_params(10, 0.0);
+  params.boundary = Boundary::kOpenShift;
+  NasLane lane(params, 1, InitialPlacement::kJam, Rng(1));
+  // gap = L on an open lane (not L-1): the vehicle accelerates every
+  // step until v_max even while wrapping through re-seats.
+  for (int i = 0; i < 5; ++i) lane.step_sequential();
+  EXPECT_EQ(lane.vehicles()[0].gap, params.lane_length);
+}
+
+// kOpenShift landing-site collision: rule 2 ignores vehicles near site 0,
+// so a fast leader can "land" on an occupied cell — it must be re-seated
+// on the first FREE site instead, at velocity 0.
+TEST(NasLaneTest, OpenShiftLandingOnOccupiedSiteForcesReseat) {
+  NasParams params = default_params(10, 0.0);
+  params.v_max = 5;
+  params.boundary = Boundary::kOpenShift;
+  // Sites 0 and 1 occupied by a standing pair (they accelerate slowly);
+  // leader at site 8 with open road ahead drives past the end.
+  NasLane lane(params, 3, InitialPlacement::kJam, Rng(1));
+  // Jam places vehicles at 0, 1, 2. Step until a leader wraps; on the
+  // step a vehicle's wrap count rises it was re-seated: on-lane, on a
+  // free site, at standstill.
+  std::vector<std::int64_t> last_wraps(3, 0);
+  int reseats = 0;
+  for (int step = 0; step < 30; ++step) {
+    lane.step();
+    std::set<std::int64_t> cells;
+    for (const Vehicle& v : lane.vehicles()) {
+      ASSERT_TRUE(cells.insert(v.cell).second)
+          << "step " << step << ": two vehicles on cell " << v.cell;
+      ASSERT_GE(v.cell, 0);
+      ASSERT_LT(v.cell, params.lane_length);
+      if (v.wraps > last_wraps[v.id]) {
+        ++reseats;
+        EXPECT_EQ(v.velocity, 0)
+            << "step " << step << ": re-seated vehicle kept velocity";
+      }
+      last_wraps[v.id] = v.wraps;
+    }
+  }
+  EXPECT_GT(reseats, 0);
+}
+
+TEST(NasLaneTest, BlockedCellAtSiteZeroOnClosedRing) {
+  NasParams params = default_params(30, 0.0);
+  params.boundary = Boundary::kClosed;
+  NasLane lane(params, 3, InitialPlacement::kEven, Rng(1));
+  lane.block_cell(0);
+  EXPECT_TRUE(lane.is_blocked(0));
+  for (int step = 0; step < 100; ++step) {
+    lane.step();
+    for (const Vehicle& v : lane.vehicles()) {
+      // Nobody may ever sit on the blocked site; the ring wrap of
+      // gap_to_block (blocked.front() + L - cell - 1) must stop the
+      // vehicle approaching site 0 from the high end of the ring.
+      ASSERT_NE(v.cell, 0) << "step " << step;
+    }
+  }
+  // Traffic piles up behind the obstacle: the lane ends jammed.
+  EXPECT_EQ(lane.average_velocity(), 0.0);
+  const auto& vehicles = lane.vehicles();
+  EXPECT_EQ(vehicles[vehicles.size() - 1].cell, params.lane_length - 1);
+}
+
+TEST(NasLaneTest, LoneVehicleWithBlockedCellBehindIt) {
+  NasParams params = default_params(40, 0.0);
+  params.boundary = Boundary::kClosed;
+  NasLane lane(params, 1, InitialPlacement::kJam, Rng(1));  // at site 0
+  lane.block_cell(39);  // behind the vehicle (ahead only across the wrap)
+  for (int step = 0; step < 60; ++step) {
+    lane.step();
+    const Vehicle& v = lane.vehicles()[0];
+    // The lone-vehicle gap (L - 1 on a ring) must still be capped by the
+    // circular gap_to_block: the obstacle is "ahead" across the wrap.
+    ASSERT_NE(v.cell, 39) << "step " << step;
+    ASSERT_GE(v.cell, 0);
+    ASSERT_LT(v.cell, params.lane_length);
+  }
+  // An obstacle is impassable for a lone vehicle: it drives up to the
+  // site before it and parks there — it never wraps.
+  EXPECT_EQ(lane.vehicles()[0].cell, 38);
+  EXPECT_EQ(lane.vehicles()[0].velocity, 0);
+  EXPECT_EQ(lane.vehicles()[0].wraps, 0);
+}
+
+TEST(NasLaneTest, VehicleByIdRejectsUnknownId) {
+  NasLane lane(default_params(), 4, InitialPlacement::kEven, Rng(1));
+  EXPECT_THROW(lane.vehicle_by_id(4), std::out_of_range);
+  EXPECT_EQ(lane.vehicle_by_id(3).id, 3u);
+}
+
+TEST(NasLaneTest, ExportCumulativePositionsMatchesScalarObserver) {
+  NasLane lane(default_params(120, 0.3), 45, InitialPlacement::kRandom,
+               Rng(77));
+  lane.run(50);
+  std::vector<double> out(static_cast<std::size_t>(lane.vehicle_count()));
+  lane.export_cumulative_positions_m({out.data(), out.size()});
+  for (const Vehicle& v : lane.vehicles()) {
+    EXPECT_EQ(out[v.id], lane.cumulative_position_m(v)) << "id " << v.id;
+  }
+}
+
+TEST(NasLaneTest, StatsCountersTrackStepping) {
+  obs::StatsRegistry registry;
+  NasLane lane(default_params(100, 0.5), 30, InitialPlacement::kRandom,
+               Rng(5));
+  lane.bind_stats(registry);
+  lane.run(20);
+  EXPECT_EQ(registry.counter("ca.step.steps").value(), 20u);
+  EXPECT_EQ(registry.counter("ca.step.vehicles").value(), 600u);
+  // With p in (0,1) every moving vehicle draws; 20 steps of 30 vehicles
+  // bounds the draw count, and a closed ring at this density certainly
+  // kept someone moving.
+  EXPECT_GT(registry.counter("ca.step.draws").value(), 0u);
+  EXPECT_LE(registry.counter("ca.step.draws").value(), 600u);
+}
+
 }  // namespace
 }  // namespace cavenet::ca

@@ -17,10 +17,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/nas_lane.h"
 #include "mac/wifi_mac.h"
 #include "netsim/packet.h"
 #include "netsim/scheduler.h"
 #include "routing/common.h"
+#include "util/rng.h"
 #include "util/sim_time.h"
 
 namespace {
@@ -211,6 +213,44 @@ TEST(AllocTest, DeliveryClosureThroughSchedulerIsAllocationFree) {
       << "per-receiver delivery (copy + schedule + dispatch) must be free "
          "of allocations";
   EXPECT_EQ(delivered, 100u * 2u);
+}
+
+TEST(AllocTest, NasLaneStepIsAllocationFreeSteadyState) {
+  // The SoA stepping kernel: gap/velocity/slowdown/motion passes work in
+  // the five pre-sized LaneState arrays and the closed-boundary wrap is
+  // an O(1) head rotation — after construction, step() must never touch
+  // the heap, at any density and with blocked cells present.
+  ca::NasParams params;
+  params.lane_length = 1000;
+  params.slowdown_p = 0.3;
+  params.boundary = ca::Boundary::kClosed;
+  ca::NasLane lane(params, 400, ca::InitialPlacement::kRandom, Rng(7));
+  lane.block_cell(500);
+  lane.step();  // warm-up (first step touches nothing, but be safe)
+
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 200; ++i) lane.step();
+  EXPECT_EQ(allocation_count() - before, 0u)
+      << "SoA step() must not allocate on a closed lane";
+  EXPECT_GT(lane.average_velocity(), 0.0);
+}
+
+TEST(AllocTest, NasLaneOpenBoundaryStepIsAllocationFreeAfterWarmup) {
+  // kOpenShift re-seats wrap vehicles through reusable scratch
+  // (occupied_ / reseat_perm_ / reseat_scratch_): the first wrap sizes
+  // them, every later step recycles them.
+  ca::NasParams params;
+  params.lane_length = 200;
+  params.slowdown_p = 0.2;
+  params.boundary = ca::Boundary::kOpenShift;
+  ca::NasLane lane(params, 60, ca::InitialPlacement::kRandom, Rng(11));
+  // Warm until several re-seat cycles have sized every scratch buffer.
+  for (int i = 0; i < 100; ++i) lane.step();
+
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 200; ++i) lane.step();
+  EXPECT_EQ(allocation_count() - before, 0u)
+      << "open-boundary step() must recycle its re-seat scratch";
 }
 
 TEST(AllocTest, MutatingASharedStackDetachesWithAllocations) {

@@ -11,6 +11,9 @@ Usage:
         [--tolerance FACTOR] [--shards N] [--threads T]
     bench_check.py --efficiency [--baseline BENCH_scale.json]
         [--label LABEL] [--threads T] [--min-speedup FACTOR]
+    bench_check.py --nas --bench-binary build/bench/bench_micro
+        [--baseline BENCH_micro.json] [--label pr3-seed]
+        [--min-speedup FACTOR] [--min-time SECS]
 
 Default mode runs the microbenchmark binary with --json into a temporary
 file, then compares each fresh ns/op figure against the baseline entry
@@ -45,6 +48,18 @@ pool, a debug build sneaking into CI), not a statistical benchmark —
 shared CI machines are far too noisy for tight bands. Speedups and
 benchmarks missing from either side never fail the gate (new benchmarks
 have no baseline yet; retired ones no longer matter).
+
+--nas mode is the SoA mobility-kernel speedup floor rather than a
+regression band: it runs BM_NasLaneStep/40000 fresh and compares it
+against the *scalar seed* baseline entry (--label defaults to pr3-seed
+here), failing when
+
+    baseline_ns / fresh_ns < min_speedup
+
+i.e. the vectorized kernel must hold at least the claimed multiple over
+the pre-SoA scalar kernel on the machine running the gate. The default
+floor (3x) sits below the PR's measured margin so machine-to-machine
+variance does not flake the gate.
 
 Exit codes: 0 ok, 1 regression(s), 2 usage/environment error.
 """
@@ -292,6 +307,32 @@ def check_efficiency(args):
     return 0
 
 
+def check_nas(args):
+    """SoA mobility-kernel floor: fresh BM_NasLaneStep/40000 must beat
+    the scalar seed baseline entry by at least --min-speedup."""
+    name = "BM_NasLaneStep/40000"
+    label, baseline = load_baseline(args.baseline, args.label)
+    base_ns = baseline.get(name)
+    if not isinstance(base_ns, (int, float)) or base_ns <= 0:
+        sys.exit(f"bench_check: baseline [{label}] has no usable {name}")
+    fresh = run_bench(args.bench_binary, name + "$", args.min_time)
+    fresh_ns = fresh.get(name)
+    if not isinstance(fresh_ns, (int, float)) or fresh_ns <= 0:
+        sys.exit(f"bench_check: bench run produced no {name}")
+    speedup = base_ns / fresh_ns
+    print(f"baseline: {args.baseline} [{label}]  "
+          f"min speedup x{args.min_speedup}")
+    flag = "  FAIL" if speedup < args.min_speedup else ""
+    print(f"  {name:36s} {base_ns:>14.1f} -> {fresh_ns:<14.1f} ns/op "
+          f"(x{speedup:.2f} faster){flag}")
+    if flag:
+        print(f"\nSoA kernel below the x{args.min_speedup} floor "
+              f"vs [{label}].")
+        return 1
+    print("\nSoA speedup floor met.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench-binary", default="",
@@ -324,18 +365,35 @@ def main():
                         help="audit the checked-in scale baseline for "
                              "threaded scaling efficiency; runs no "
                              "benchmark")
-    parser.add_argument("--min-speedup", type=float, default=2.0,
+    parser.add_argument("--min-speedup", type=float, default=None,
                         help="--efficiency mode: minimum threaded/serial "
-                             "events_per_s ratio (default 2.0)")
+                             "events_per_s ratio (default 2.0); --nas "
+                             "mode: minimum SoA-vs-seed ns/op ratio "
+                             "(default 3.0)")
+    parser.add_argument("--nas", action="store_true",
+                        help="gate the SoA mobility kernel's speedup over "
+                             "the scalar seed baseline entry")
     args = parser.parse_args()
 
     if args.tolerance <= 0:
         sys.exit("bench_check: --tolerance must be > 0")
+    if args.nas:
+        if not args.bench_binary:
+            sys.exit("bench_check: --nas needs --bench-binary")
+        if not args.label:
+            args.label = "pr3-seed"
+        if args.min_speedup is None:
+            args.min_speedup = 3.0
+        if args.min_speedup <= 0:
+            sys.exit("bench_check: --min-speedup must be > 0")
+        return check_nas(args)
     if args.efficiency:
         if args.baseline == "BENCH_micro.json":
             args.baseline = "BENCH_scale.json"
         if args.threads == 1:
             args.threads = 4
+        if args.min_speedup is None:
+            args.min_speedup = 2.0
         if args.min_speedup <= 0:
             sys.exit("bench_check: --min-speedup must be > 0")
         return check_efficiency(args)
