@@ -115,8 +115,9 @@ namespace {
 
 class Parser {
  public:
-  Parser(std::string_view text, std::string_view source_name)
-      : text_(text), source_name_(source_name) {}
+  Parser(std::string_view text, std::string_view source_name,
+         const JsonParseLimits& limits)
+      : text_(text), source_name_(source_name), limits_(limits) {}
 
   JsonValue parse_document() {
     JsonValue v = parse_value();
@@ -126,6 +127,10 @@ class Parser {
   }
 
  private:
+  [[noreturn]] void fail(const std::string& what) const {
+    fail(what.c_str());
+  }
+
   [[noreturn]] void fail(const char* what) const {
     // 1-based line/column of pos_, counting '\n' only (a '\r' before it
     // stays part of the preceding line's column count, which is what an
@@ -277,13 +282,24 @@ class Parser {
     return v;
   }
 
+  /// Bounds container recursion: every '{' / '[' is one parse_value
+  /// stack frame, so hostile deep nesting is a stack-overflow vector.
+  void enter_container() {
+    if (++depth_ > limits_.max_depth) {
+      fail("nesting exceeds the maximum depth of " +
+           std::to_string(limits_.max_depth) + " levels");
+    }
+  }
+
   JsonValue parse_object() {
+    enter_container();
     expect('{');
     JsonValue v;
     v.kind = JsonValue::Kind::kObject;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -298,16 +314,19 @@ class Parser {
       if (c == '}') break;
       if (c != ',') fail("expected ',' or '}'");
     }
+    --depth_;
     return v;
   }
 
   JsonValue parse_array() {
+    enter_container();
     expect('[');
     JsonValue v;
     v.kind = JsonValue::Kind::kArray;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -318,12 +337,15 @@ class Parser {
       if (c == ']') break;
       if (c != ',') fail("expected ',' or ']'");
     }
+    --depth_;
     return v;
   }
 
   std::string_view text_;
   std::string_view source_name_;
+  JsonParseLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
@@ -335,8 +357,16 @@ const JsonValue* JsonValue::find(std::string_view key) const noexcept {
   return nullptr;
 }
 
-JsonValue parse_json(std::string_view text, std::string_view source_name) {
-  return Parser(text, source_name).parse_document();
+JsonValue parse_json(std::string_view text, std::string_view source_name,
+                     const JsonParseLimits& limits) {
+  if (limits.max_bytes != 0 && text.size() > limits.max_bytes) {
+    throw JsonParseError(std::string(source_name) + ":1:1: input is " +
+                             std::to_string(text.size()) +
+                             " bytes, exceeds the maximum of " +
+                             std::to_string(limits.max_bytes) + " bytes",
+                         1, 1);
+  }
+  return Parser(text, source_name, limits).parse_document();
 }
 
 void write_json(const JsonValue& value, JsonWriter& w) {

@@ -95,11 +95,28 @@ class JsonParseError : public std::runtime_error {
   std::size_t column_;
 };
 
+/// Resource limits enforced by parse_json(). The HTTP job API feeds
+/// client-supplied JSON straight into the parser, so both knobs exist to
+/// bound what untrusted input can cost: recursion depth (a stack-overflow
+/// vector — every '[' or '{' is one recursive parse_value frame) and
+/// total input size. Violations throw JsonParseError with a diagnostic
+/// naming the limit, so API callers can relay a precise 4xx message.
+struct JsonParseLimits {
+  /// Maximum container nesting depth (arrays + objects). The default is
+  /// far above any machine-generated cavenet document (specs nest < 10)
+  /// while keeping hostile deep-nesting inputs from exhausting the stack.
+  std::size_t max_depth = 128;
+  /// Maximum input size in bytes; 0 means unlimited (trusted files).
+  std::size_t max_bytes = 0;
+};
+
 /// Parses a complete JSON document. Throws JsonParseError (a
-/// std::runtime_error) on syntax errors or trailing garbage, reporting
-/// the 1-based line and column of the fault. `source_name` prefixes the
-/// error message (a file name, or "json" by default).
-JsonValue parse_json(std::string_view text, std::string_view source_name = "json");
+/// std::runtime_error) on syntax errors, trailing garbage, or a limit
+/// violation, reporting the 1-based line and column of the fault.
+/// `source_name` prefixes the error message (a file name, or "json" by
+/// default).
+JsonValue parse_json(std::string_view text, std::string_view source_name = "json",
+                     const JsonParseLimits& limits = {});
 
 /// Serializes a parsed (or hand-built) JsonValue back to compact JSON.
 /// Object members keep their stored order; numbers are rendered with

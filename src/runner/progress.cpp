@@ -179,6 +179,41 @@ void ProgressStream::point_resumed(std::size_t point, const std::string& name) {
   emit_locked(w.str());
 }
 
+void ProgressStream::point_failed(std::size_t point, const std::string& name,
+                                  const std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = running_.begin(); it != running_.end(); ++it) {
+    if (it->first == point) {
+      running_.erase(it);
+      break;
+    }
+  }
+  ++failed_;
+  last_finish_ = now;  // the pool made progress; don't flag a stall
+  stall_flagged_ = false;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("event");
+  w.value("point_failed");
+  w.key("point");
+  w.value(static_cast<std::uint64_t>(point));
+  w.key("name");
+  w.value(name);
+  w.key("error");
+  w.value(error);
+  w.key("failed");
+  w.value(static_cast<std::uint64_t>(failed_));
+  w.key("finished");
+  w.value(static_cast<std::uint64_t>(finished_ + resumed_));
+  w.key("points");
+  w.value(static_cast<std::uint64_t>(total_points_));
+  w.key("wall_s");
+  w.raw(wall_json(wall_s_locked()));
+  w.end_object();
+  emit_locked(w.str());
+}
+
 void ProgressStream::campaign_finished() {
   std::lock_guard<std::mutex> lock(mutex_);
   obs::JsonWriter w;

@@ -59,8 +59,14 @@ class ProgressStream {
   /// derived here from wall time.
   void point_finished(std::size_t point, const std::string& name,
                       std::uint64_t events);
-  /// A point satisfied from checkpoints during --resume (no simulation).
+  /// A point satisfied from checkpoints during --resume — or from the
+  /// job server's result cache (no simulation either way).
   void point_resumed(std::size_t point, const std::string& name);
+  /// A point whose body threw; `error` is the exception message. Failed
+  /// points count toward completion so ETAs stay meaningful, and the
+  /// campaign reports them (and exits non-zero) after the sweep drains.
+  void point_failed(std::size_t point, const std::string& name,
+                    const std::string& error);
   void campaign_finished();
 
   /// Emits one heartbeat line now. The watchdog thread calls this on its
@@ -89,6 +95,7 @@ class ProgressStream {
   std::size_t started_ = 0;
   std::size_t finished_ = 0;
   std::size_t resumed_ = 0;
+  std::size_t failed_ = 0;
   std::uint64_t events_total_ = 0;
   double finished_wall_s_sum_ = 0.0;  ///< per-point wall times, for ETA
   std::chrono::steady_clock::time_point last_finish_;

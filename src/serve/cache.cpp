@@ -1,0 +1,140 @@
+#include "serve/cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace cavenet::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw std::runtime_error("cache: cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spill(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  if (!out.flush()) {
+    throw std::runtime_error("cache: cannot write " + path.string());
+  }
+}
+
+}  // namespace
+
+std::string unit_cache_key(const std::string& spec_fingerprint,
+                           bool whole_spec, std::size_t point_index) {
+  if (whole_spec) return spec_fingerprint + "-all";
+  return spec_fingerprint + "-p" + std::to_string(point_index);
+}
+
+ResultCache::ResultCache(std::string root) : root_(std::move(root)) {
+  fs::create_directories(fs::path(root_) / "tmp");
+}
+
+std::string ResultCache::entry_dir(const std::string& key) const {
+  return (fs::path(root_) / key).string();
+}
+
+bool ResultCache::contains(const std::string& key) const {
+  return fs::exists(fs::path(entry_dir(key)) / "entry.json");
+}
+
+bool ResultCache::materialize(const std::string& key,
+                              const std::string& dst_dir, Materialized* out) {
+  const fs::path dir = entry_dir(key);
+  Materialized result;
+  try {
+    const obs::JsonValue entry =
+        obs::parse_json(slurp(dir / "entry.json"), "cache-entry");
+    const obs::JsonValue* files = entry.find("files");
+    if (files == nullptr || !files->is_array()) return false;
+    for (const obs::JsonValue& file : files->array) {
+      const obs::JsonValue* name = file.find("name");
+      if (name == nullptr || !name->is_string()) return false;
+      const std::string bytes = slurp(dir / name->string);
+      spill(fs::path(dst_dir) / name->string, bytes);
+      result.files.push_back(name->string);
+      result.bytes += bytes.size();
+    }
+  } catch (const std::exception&) {
+    return false;  // unreadable entry == miss; the unit re-runs
+  }
+  if (out != nullptr) *out = std::move(result);
+  return true;
+}
+
+std::uint64_t ResultCache::store(const std::string& key,
+                                 const std::string& src_dir,
+                                 const std::vector<std::string>& files) {
+  const fs::path stage =
+      fs::path(root_) / "tmp" / (key + "." + std::to_string(stage_counter_++));
+  fs::create_directories(stage);
+  std::uint64_t total = 0;
+  obs::JsonWriter entry;
+  entry.begin_object();
+  entry.key("key");
+  entry.value(key);
+  entry.key("files");
+  entry.begin_array();
+  for (const std::string& name : files) {
+    const std::string bytes = slurp(fs::path(src_dir) / name);
+    spill(stage / name, bytes);
+    entry.begin_object();
+    entry.key("name");
+    entry.value(name);
+    entry.key("bytes");
+    entry.value(static_cast<std::uint64_t>(bytes.size()));
+    entry.end_object();
+    total += bytes.size();
+  }
+  entry.end_array();
+  entry.end_object();
+  // entry.json lands in the stage LAST, and the stage is renamed into
+  // place as one operation: a reader either sees a complete entry or no
+  // entry at all.
+  spill(stage / "entry.json", entry.str());
+
+  std::error_code ec;
+  fs::rename(stage, entry_dir(key), ec);
+  if (ec) {
+    // Lost a race (or the entry already exists): the stored bytes are
+    // identical by construction, so keep the winner and drop the stage.
+    fs::remove_all(stage, ec);
+  }
+  return total;
+}
+
+void ResultCache::evict(const std::string& key) {
+  std::error_code ec;
+  fs::remove_all(entry_dir(key), ec);
+}
+
+ResultCache::Totals ResultCache::totals() const {
+  Totals totals;
+  std::error_code ec;
+  for (const auto& dir : fs::directory_iterator(root_, ec)) {
+    if (!dir.is_directory() || dir.path().filename() == "tmp") continue;
+    if (!fs::exists(dir.path() / "entry.json")) continue;
+    ++totals.entries;
+    for (const auto& file : fs::directory_iterator(dir.path(), ec)) {
+      if (file.is_regular_file() && file.path().filename() != "entry.json") {
+        totals.bytes += file.file_size();
+      }
+    }
+  }
+  return totals;
+}
+
+}  // namespace cavenet::serve

@@ -1,0 +1,81 @@
+// Content-addressed result cache (docs/SERVING.md "Cache").
+//
+// Simulation is deterministic, so a result is fully determined by what
+// produced it: cavenet-serve keys every unit of work on the engine-
+// version-mixed FNV-1a spec fingerprint (plus the point index for
+// campaign points — exactly the pair `cavenet-run --resume` already
+// trusts) and stores the artifact FILES the unit wrote. A hit
+// materializes the stored bytes back into the job's output directory,
+// which makes cached results byte-identical to a fresh run by
+// construction — no re-serialization, no re-simulation. Identical sweep
+// points resubmitted by any tenant are therefore never simulated twice,
+// and because spec::fingerprint_hex mixes kEngineSchemaVersion, a cache
+// populated by an incompatible binary can never serve stale results.
+//
+// Layout: <root>/<key>/entry.json (file list + sizes) next to the
+// artifact files themselves. Stores are staged into <root>/tmp/ and
+// renamed into place, so readers never observe a half-written entry.
+#ifndef CAVENET_SERVE_CACHE_H
+#define CAVENET_SERVE_CACHE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cavenet::serve {
+
+/// Cache key of one unit of work: the whole spec for figure-style kinds
+/// ("<fingerprint>-all"), one campaign point ("<fingerprint>-p<index>").
+std::string unit_cache_key(const std::string& spec_fingerprint,
+                           bool whole_spec, std::size_t point_index);
+
+class ResultCache {
+ public:
+  /// Creates `root` (and its staging dir) if missing.
+  explicit ResultCache(std::string root);
+
+  bool contains(const std::string& key) const;
+
+  /// Copies the entry's files into `dst_dir`, returning their names and
+  /// total bytes. False when the key is absent (or the entry is
+  /// unreadable, which counts as a miss — the unit just re-runs).
+  struct Materialized {
+    std::vector<std::string> files;
+    std::uint64_t bytes = 0;
+  };
+  bool materialize(const std::string& key, const std::string& dst_dir,
+                   Materialized* out = nullptr);
+
+  /// Stores `files` (paths relative to `src_dir`) under `key`
+  /// atomically: staged copy, then rename. Returns the total bytes
+  /// stored. Losing a store race to a concurrent worker is fine — the
+  /// entries are byte-identical by construction — so the stage is
+  /// discarded and the winner's entry stands.
+  std::uint64_t store(const std::string& key, const std::string& src_dir,
+                      const std::vector<std::string>& files);
+
+  /// Deletes one entry (used by tests to force re-runs).
+  void evict(const std::string& key);
+
+  struct Totals {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  /// Walks the cache directory (entries + artifact bytes).
+  Totals totals() const;
+
+  const std::string& root() const noexcept { return root_; }
+
+ private:
+  std::string entry_dir(const std::string& key) const;
+
+  std::string root_;
+  /// Atomic: concurrent workers stage stores without coordination.
+  std::atomic<std::uint64_t> stage_counter_{0};
+};
+
+}  // namespace cavenet::serve
+
+#endif  // CAVENET_SERVE_CACHE_H

@@ -1,0 +1,76 @@
+#include "serve/journal.h"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+namespace cavenet::serve {
+
+JournalReplay replay_journal_text(std::string_view text) {
+  JournalReplay replay;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t newline = text.find('\n', pos);
+    if (newline == std::string_view::npos) {
+      // No terminating newline: the append was torn mid-line.
+      replay.truncated_tail = true;
+      break;
+    }
+    const std::string_view line = text.substr(pos, newline - pos);
+    try {
+      obs::JsonValue record = obs::parse_json(line, "journal");
+      if (!record.is_object()) throw std::runtime_error("not an object");
+      replay.records.push_back(std::move(record));
+    } catch (const std::exception&) {
+      // Torn mid-record (the '\n' belongs to a later, lost write) or
+      // external corruption: stop trusting the file here.
+      replay.truncated_tail = true;
+      break;
+    }
+    pos = newline + 1;
+    replay.valid_bytes = pos;
+  }
+  return replay;
+}
+
+JournalReplay replay_journal_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  return replay_journal_text(text);
+}
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  JournalReplay replay = replay_journal_file(path_);
+  replayed_ = std::move(replay.records);
+  truncated_tail_ = replay.truncated_tail;
+  if (replay.truncated_tail) {
+    // Drop the torn tail before appending: a new record concatenated
+    // onto a partial line would corrupt an otherwise-recoverable file.
+    std::error_code ec;
+    std::filesystem::resize_file(path_, replay.valid_bytes, ec);
+    if (ec) {
+      throw std::runtime_error("journal " + path_ +
+                               ": cannot truncate torn tail: " + ec.message());
+    }
+  }
+  file_.open(path_, std::ios::binary | std::ios::app);
+  if (!file_.is_open()) {
+    throw std::runtime_error("journal " + path_ + ": cannot open for append");
+  }
+}
+
+void Journal::append(const obs::JsonValue& record) {
+  file_ << obs::to_json(record) << '\n';
+  // One flush per transition: after append() returns, only *later*
+  // transitions can be lost to a kill. (An OS crash additionally needs
+  // fsync; see docs/SERVING.md "Durability".)
+  if (!file_.flush()) {
+    throw std::runtime_error("journal " + path_ + ": append failed");
+  }
+  ++appended_;
+}
+
+}  // namespace cavenet::serve

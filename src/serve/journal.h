@@ -1,0 +1,78 @@
+// Crash-safe append-only job journal (docs/SERVING.md "Journal").
+//
+// cavenet-serve records every job state transition as one JSON object
+// per line in <state-dir>/journal.jsonl, flushed at append time. The
+// journal is the queue's only durable state: a killed daemon replays it
+// on startup and resumes exactly where it stopped, the same way
+// `cavenet-run --resume` trusts point checkpoints. Because a crash can
+// only tear the final line (appends are sequential), replay accepts a
+// torn tail: it keeps every complete record, reports the byte offset
+// where the valid prefix ends, and recovery truncates the file there
+// before appending again. A malformed record *before* the tail means
+// external corruption and is reported the same way — replay never
+// throws on journal content, it just stops trusting the file at the
+// first unparseable line.
+#ifndef CAVENET_SERVE_JOURNAL_H
+#define CAVENET_SERVE_JOURNAL_H
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace cavenet::serve {
+
+/// Replay outcome: the complete records plus where the valid prefix of
+/// the file ends (== file size when the journal is clean).
+struct JournalReplay {
+  std::vector<obs::JsonValue> records;
+  std::size_t valid_bytes = 0;
+  /// True when trailing bytes after the last complete record were
+  /// discarded (torn tail or corruption).
+  bool truncated_tail = false;
+};
+
+/// Parses `path` line by line, tolerating a torn tail. A missing file
+/// replays as empty. Each kept record is a complete JSON object followed
+/// by '\n'.
+JournalReplay replay_journal_file(const std::string& path);
+
+/// Same, over in-memory journal bytes (the truncation property tests
+/// drive every byte boundary through this).
+JournalReplay replay_journal_text(std::string_view text);
+
+class Journal {
+ public:
+  /// Opens `path` for appending, first truncating it to the replayed
+  /// valid prefix so a torn tail can never corrupt later records.
+  explicit Journal(std::string path);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one record as a single line and flushes, so a kill after
+  /// append() returns can only lose *later* transitions. Throws
+  /// std::runtime_error when the write fails.
+  void append(const obs::JsonValue& record);
+
+  /// Records accepted from the on-disk file at open time.
+  const std::vector<obs::JsonValue>& replayed() const noexcept {
+    return replayed_;
+  }
+  bool truncated_tail() const noexcept { return truncated_tail_; }
+  std::size_t appended() const noexcept { return appended_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  std::vector<obs::JsonValue> replayed_;
+  bool truncated_tail_ = false;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace cavenet::serve
+
+#endif  // CAVENET_SERVE_JOURNAL_H

@@ -1,0 +1,72 @@
+#include "serve/queue.h"
+
+namespace cavenet::serve {
+
+void FairQueue::push(const std::string& job_id,
+                     const std::vector<std::size_t>& units) {
+  if (units.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    JobLane* lane = nullptr;
+    for (JobLane& candidate : lanes_) {
+      if (candidate.job_id == job_id) {
+        lane = &candidate;
+        break;
+      }
+    }
+    if (lane == nullptr) {
+      lanes_.push_back({job_id, {}});
+      lane = &lanes_.back();
+    }
+    lane->pending.insert(lane->pending.end(), units.begin(), units.end());
+    depth_ += units.size();
+  }
+  work_cv_.notify_all();
+}
+
+bool FairQueue::pop(WorkItem* item) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_cv_.wait(lock, [this] { return depth_ > 0 || shutdown_; });
+  // Shutdown wins over pending work: workers stop claiming immediately,
+  // and whatever stays pending is re-enqueued from the journal on the
+  // next startup (exactly the interrupted-job shape replay recovers).
+  if (shutdown_) return false;
+  // Serve the front lane and rotate it to the back: jobs with pending
+  // work alternate regardless of their sizes.
+  JobLane lane = std::move(lanes_.front());
+  lanes_.pop_front();
+  item->job_id = lane.job_id;
+  item->unit = lane.pending.front();
+  lane.pending.pop_front();
+  --depth_;
+  if (!lane.pending.empty()) lanes_.push_back(std::move(lane));
+  return true;
+}
+
+std::size_t FairQueue::cancel(const std::string& job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+    if (it->job_id == job_id) {
+      const std::size_t dropped = it->pending.size();
+      depth_ -= dropped;
+      lanes_.erase(it);
+      return dropped;
+    }
+  }
+  return 0;
+}
+
+void FairQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+std::size_t FairQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+}  // namespace cavenet::serve

@@ -1,0 +1,71 @@
+// Fair multi-tenant work queue (docs/SERVING.md "Queue").
+//
+// Workers pull individual POINTS, not whole jobs: each job contributes a
+// FIFO of pending units, and the queue round-robins across the jobs that
+// still have work. A 500-point campaign therefore cannot starve a
+// 2-point job that arrived later — after at most one in-flight unit per
+// worker, every active job makes progress. Cancellation drops a job's
+// pending units in O(pending); units already claimed by a worker finish
+// (their results still land in the cache, so nothing is wasted).
+//
+// This is in-memory state only: durability lives in the journal, which
+// re-enqueues unfinished units on replay.
+#ifndef CAVENET_SERVE_QUEUE_H
+#define CAVENET_SERVE_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cavenet::serve {
+
+/// One claimable unit of work: a campaign point (or a whole figure-style
+/// spec, which is a single unit).
+struct WorkItem {
+  std::string job_id;
+  std::size_t unit = 0;
+};
+
+class FairQueue {
+ public:
+  /// Appends `units` for `job_id` and wakes workers. A job may be pushed
+  /// more than once (journal replay enqueues the unfinished remainder).
+  void push(const std::string& job_id, const std::vector<std::size_t>& units);
+
+  /// Blocks for the next unit, round-robin across jobs with pending
+  /// work. Returns false once the queue is shut down — immediately,
+  /// without draining: pending units stay pending, and journal replay
+  /// re-enqueues them on the next startup.
+  bool pop(WorkItem* item);
+
+  /// Drops every pending unit of `job_id`; returns how many were
+  /// dropped. In-flight units are the caller's to handle.
+  std::size_t cancel(const std::string& job_id);
+
+  /// Wakes every blocked pop() with "no more work ever".
+  void shutdown();
+
+  /// Pending (unclaimed) units across all jobs.
+  std::size_t depth() const;
+
+ private:
+  struct JobLane {
+    std::string job_id;
+    std::deque<std::size_t> pending;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  /// Round-robin ring: pop serves lanes_.front() and rotates it to the
+  /// back while it still has pending units.
+  std::deque<JobLane> lanes_;
+  std::size_t depth_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace cavenet::serve
+
+#endif  // CAVENET_SERVE_QUEUE_H

@@ -141,6 +141,143 @@ std::string point_telemetry_path(const CampaignSpec& spec, std::size_t index) {
   return spec.name + suffix;
 }
 
+CampaignError::CampaignError(const std::string& message,
+                             std::vector<PointFailure> failures)
+    : SpecError(message), failures_(std::move(failures)) {}
+
+PointArtifacts run_campaign_point(const CampaignSpec& spec,
+                                  const CampaignPoint& point,
+                                  const std::string& output_dir) {
+  const std::string point_name =
+      spec.name + "[" + std::to_string(point.index) + "]";
+  obs::StatsRegistry stats;
+  const scenario::SenderRunResult result = run_point(point.scenario, &stats);
+
+  scenario::TableIConfig manifest_config = point.scenario.config;
+  manifest_config.obs.stats = point.scenario.collect_stats ? &stats : nullptr;
+  obs::RunManifest manifest =
+      make_run_manifest(point_name, manifest_config, {result});
+  manifest.set_param("spec_name", spec.name);
+  manifest.set_param("spec_fingerprint", spec.fingerprint);
+  manifest.set_param("point_index", static_cast<std::int64_t>(point.index));
+  manifest.set_param("cell", static_cast<std::int64_t>(point.cell));
+  manifest.set_param("replication",
+                     static_cast<std::int64_t>(point.replication));
+  for (const auto& [param, value] : point.axis_values) {
+    manifest.set_param("sweep." + param, value);
+  }
+  // Checkpoint as soon as the point completes (any order; the CSV is
+  // always rebuilt from the manifests in point order).
+  manifest.strip_volatile();
+  PointArtifacts artifacts;
+  artifacts.pdr = result.pdr;
+  artifacts.events_dispatched = result.events_dispatched;
+  const std::string manifest_name = point_manifest_path(spec, point.index);
+  const std::string path = join_output_path(output_dir, manifest_name);
+  if (!manifest.write_file(path)) {
+    throw std::runtime_error("cannot write point manifest " + path);
+  }
+  artifacts.files.push_back(manifest_name);
+  if (!result.telemetry_jsonl.empty()) {
+    const std::string telemetry_name = point_telemetry_path(spec, point.index);
+    const std::string telemetry_path =
+        join_output_path(output_dir, telemetry_name);
+    std::ofstream out(telemetry_path, std::ios::binary);
+    out << result.telemetry_jsonl;
+    if (!out.flush()) {
+      throw std::runtime_error("cannot write point telemetry " +
+                               telemetry_path);
+    }
+    artifacts.files.push_back(telemetry_name);
+  }
+  return artifacts;
+}
+
+// Same GCC 12 -Wmaybe-uninitialized false positive as figures.cpp: the
+// std::variant<std::string,...> TableCell rows below never have the
+// string alternative active at the flagged sites.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+void write_campaign_outputs(const CampaignSpec& spec,
+                            const std::vector<CampaignPoint>& points,
+                            const std::string& output_dir) {
+  // The CSV is always rebuilt from the on-disk manifests in point order,
+  // so resumed and uninterrupted campaigns serialize identically.
+  std::vector<std::string> columns{"point", "cell", "replication"};
+  for (const SweepAxis& axis : spec.sweep.axes) columns.push_back(axis.param);
+  for (const char* metric :
+       {"seed", "tx_packets", "rx_packets", "pdr", "mean_delay_s",
+        "mean_hop_count", "control_packets", "control_bytes",
+        "mac_collisions", "mac_retries", "channel_utilization"}) {
+    columns.emplace_back(metric);
+  }
+  TableWriter csv(columns);
+  double pdr_sum = 0.0, pdr_min = 1e308, pdr_max = 0.0;
+  for (const CampaignPoint& point : points) {
+    const std::string path =
+        join_output_path(output_dir, point_manifest_path(spec, point.index));
+    const obs::RunManifest manifest = obs::RunManifest::read_file(path);
+    std::vector<TableCell> row;
+    row.push_back(static_cast<std::int64_t>(point.index));
+    row.push_back(static_cast<std::int64_t>(point.cell));
+    row.push_back(static_cast<std::int64_t>(point.replication));
+    for (const auto& [param, value] : point.axis_values) {
+      row.push_back(std::string(manifest.param("sweep." + param, value)));
+    }
+    // The expansion's seed, not manifest.seed: the manifest read path
+    // goes through a JSON double, which cannot represent a full 64-bit
+    // substream seed exactly.
+    row.push_back(std::to_string(point.scenario.config.seed));
+    for (const char* metric :
+         {"tx_packets", "rx_packets", "pdr", "mean_delay_s",
+          "mean_hop_count", "control_packets", "control_bytes",
+          "mac_collisions", "mac_retries", "channel_utilization"}) {
+      row.push_back(manifest.metric(metric));
+    }
+    csv.add_row(std::move(row));
+    const double pdr = manifest.metric("pdr");
+    pdr_sum += pdr;
+    pdr_min = std::min(pdr_min, pdr);
+    pdr_max = std::max(pdr_max, pdr);
+  }
+  const std::string csv_path = join_output_path(output_dir, spec.outputs.csv);
+  if (!csv.write_csv_file(csv_path)) {
+    throw std::runtime_error("cannot write campaign csv " + csv_path);
+  }
+
+  obs::RunManifest summary;
+  summary.name = manifest_stem(spec.outputs.manifest);
+  summary.seed = spec.scenario.config.seed;
+  summary.sim_duration_s = spec.scenario.config.duration_s;
+  summary.set_param("spec_name", spec.name);
+  summary.set_param("spec_fingerprint", spec.fingerprint);
+  summary.set_param("points", static_cast<std::int64_t>(points.size()));
+  summary.set_param("replications", spec.sweep.replications);
+  for (const SweepAxis& axis : spec.sweep.axes) {
+    std::string values;
+    for (const obs::JsonValue& value : axis.values) {
+      if (!values.empty()) values += ",";
+      values += render_value(value);
+    }
+    summary.set_param("axis." + axis.param, values);
+  }
+  if (!points.empty()) {
+    summary.set_metric("mean_pdr",
+                       pdr_sum / static_cast<double>(points.size()));
+    summary.set_metric("min_pdr", pdr_min);
+    summary.set_metric("max_pdr", pdr_max);
+  }
+  summary.strip_volatile();
+  const std::string summary_path =
+      join_output_path(output_dir, spec.outputs.manifest);
+  if (!summary.write_file(summary_path)) {
+    throw std::runtime_error("cannot write campaign manifest " + summary_path);
+  }
+}
+
+#pragma GCC diagnostic pop
+
 CampaignOutcome run_campaign(const CampaignSpec& spec,
                              const CampaignOptions& options) {
   const std::vector<CampaignPoint> points = expand_points(spec);
@@ -201,6 +338,7 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   ensemble_options.master_seed = spec.scenario.config.seed;
   runner::EnsembleRunner pool(ensemble_options);
   std::mutex stdout_mutex;
+  std::vector<PointFailure> failures;
   pool.for_each(pending.size(), [&](runner::ReplicationContext& ctx) {
     const CampaignPoint& point = points[pending[ctx.index]];
     const std::string point_name =
@@ -208,127 +346,55 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
     if (options.progress != nullptr) {
       options.progress->point_started(point.index, point_name);
     }
-    obs::StatsRegistry stats;
-    const scenario::SenderRunResult result = run_point(point.scenario, &stats);
-
-    scenario::TableIConfig manifest_config = point.scenario.config;
-    manifest_config.obs.stats =
-        point.scenario.collect_stats ? &stats : nullptr;
-    obs::RunManifest manifest =
-        make_run_manifest(point_name, manifest_config, {result});
-    manifest.set_param("spec_name", spec.name);
-    manifest.set_param("spec_fingerprint", spec.fingerprint);
-    manifest.set_param("point_index",
-                       static_cast<std::int64_t>(point.index));
-    manifest.set_param("cell", static_cast<std::int64_t>(point.cell));
-    manifest.set_param("replication",
-                       static_cast<std::int64_t>(point.replication));
-    for (const auto& [param, value] : point.axis_values) {
-      manifest.set_param("sweep." + param, value);
-    }
-    // Checkpoint as soon as the point completes (any order; the CSV
-    // below re-reads them in point order).
-    manifest.strip_volatile();
-    const std::string path = join_output_path(
-        options.output_dir, point_manifest_path(spec, point.index));
-    if (!manifest.write_file(path)) {
-      throw std::runtime_error("cannot write point manifest " + path);
-    }
-    if (!result.telemetry_jsonl.empty()) {
-      const std::string telemetry_path = join_output_path(
-          options.output_dir, point_telemetry_path(spec, point.index));
-      std::ofstream out(telemetry_path, std::ios::binary);
-      out << result.telemetry_jsonl;
-      if (!out.flush()) {
-        throw std::runtime_error("cannot write point telemetry " +
-                                 telemetry_path);
+    PointArtifacts artifacts;
+    try {
+      artifacts = run_campaign_point(spec, point, options.output_dir);
+    } catch (const std::exception& e) {
+      // A failed point must not abort the sweep: the other points'
+      // checkpoints still land (so --resume re-runs only the failures),
+      // and every failure is reported — with its point id — after the
+      // pool drains.
+      if (options.progress != nullptr) {
+        options.progress->point_failed(point.index, point_name, e.what());
       }
+      const std::lock_guard<std::mutex> lock(stdout_mutex);
+      failures.push_back({point.index, e.what()});
+      std::fprintf(stderr, "  point %zu FAILED: %s\n", point.index, e.what());
+      return;
     }
     if (options.progress != nullptr) {
       options.progress->point_finished(point.index, point_name,
-                                       result.events_dispatched);
+                                       artifacts.events_dispatched);
     }
 
     const std::lock_guard<std::mutex> lock(stdout_mutex);
     std::printf("  point %zu/%zu cell %zu rep %zu seed %llu pdr %.3f\n",
                 point.index + 1, points.size(), point.cell, point.replication,
                 static_cast<unsigned long long>(point.scenario.config.seed),
-                result.pdr);
+                artifacts.pdr);
   });
 
-  // The CSV is always rebuilt from the on-disk manifests in point order,
-  // so resumed and uninterrupted campaigns serialize identically.
-  std::vector<std::string> columns{"point", "cell", "replication"};
-  for (const SweepAxis& axis : spec.sweep.axes) columns.push_back(axis.param);
-  for (const char* metric :
-       {"seed", "tx_packets", "rx_packets", "pdr", "mean_delay_s",
-        "mean_hop_count", "control_packets", "control_bytes",
-        "mac_collisions", "mac_retries", "channel_utilization"}) {
-    columns.emplace_back(metric);
-  }
-  TableWriter csv(columns);
-  double pdr_sum = 0.0, pdr_min = 1e308, pdr_max = 0.0;
-  for (const CampaignPoint& point : points) {
-    const std::string path = join_output_path(
-        options.output_dir, point_manifest_path(spec, point.index));
-    const obs::RunManifest manifest = obs::RunManifest::read_file(path);
-    std::vector<TableCell> row;
-    row.push_back(static_cast<std::int64_t>(point.index));
-    row.push_back(static_cast<std::int64_t>(point.cell));
-    row.push_back(static_cast<std::int64_t>(point.replication));
-    for (const auto& [param, value] : point.axis_values) {
-      row.push_back(std::string(manifest.param("sweep." + param, value)));
+  if (!failures.empty()) {
+    std::sort(failures.begin(), failures.end(),
+              [](const PointFailure& a, const PointFailure& b) {
+                return a.index < b.index;
+              });
+    std::string message =
+        "campaign \"" + spec.name + "\": " + std::to_string(failures.size()) +
+        " of " + std::to_string(points.size()) + " points failed:";
+    for (const PointFailure& failure : failures) {
+      message +=
+          " [point " + std::to_string(failure.index) + ": " + failure.error +
+          "]";
     }
-    // The expansion's seed, not manifest.seed: the manifest read path
-    // goes through a JSON double, which cannot represent a full 64-bit
-    // substream seed exactly.
-    row.push_back(std::to_string(point.scenario.config.seed));
-    for (const char* metric :
-         {"tx_packets", "rx_packets", "pdr", "mean_delay_s",
-          "mean_hop_count", "control_packets", "control_bytes",
-          "mac_collisions", "mac_retries", "channel_utilization"}) {
-      row.push_back(manifest.metric(metric));
-    }
-    csv.add_row(std::move(row));
-    const double pdr = manifest.metric("pdr");
-    pdr_sum += pdr;
-    pdr_min = std::min(pdr_min, pdr);
-    pdr_max = std::max(pdr_max, pdr);
-  }
-  const std::string csv_path =
-      join_output_path(options.output_dir, spec.outputs.csv);
-  if (!csv.write_csv_file(csv_path)) {
-    throw std::runtime_error("cannot write campaign csv " + csv_path);
+    throw CampaignError(message, std::move(failures));
   }
 
-  obs::RunManifest summary;
-  summary.name = manifest_stem(spec.outputs.manifest);
-  summary.seed = spec.scenario.config.seed;
-  summary.sim_duration_s = spec.scenario.config.duration_s;
-  summary.set_param("spec_name", spec.name);
-  summary.set_param("spec_fingerprint", spec.fingerprint);
-  summary.set_param("points", static_cast<std::int64_t>(points.size()));
-  summary.set_param("replications", spec.sweep.replications);
-  for (const SweepAxis& axis : spec.sweep.axes) {
-    std::string values;
-    for (const obs::JsonValue& value : axis.values) {
-      if (!values.empty()) values += ",";
-      values += render_value(value);
-    }
-    summary.set_param("axis." + axis.param, values);
-  }
-  if (!points.empty()) {
-    summary.set_metric("mean_pdr",
-                       pdr_sum / static_cast<double>(points.size()));
-    summary.set_metric("min_pdr", pdr_min);
-    summary.set_metric("max_pdr", pdr_max);
-  }
-  summary.strip_volatile();
+  write_campaign_outputs(spec, points, options.output_dir);
+  const std::string csv_path =
+      join_output_path(options.output_dir, spec.outputs.csv);
   const std::string summary_path =
       join_output_path(options.output_dir, spec.outputs.manifest);
-  if (!summary.write_file(summary_path)) {
-    throw std::runtime_error("cannot write campaign manifest " + summary_path);
-  }
 
   if (options.progress != nullptr) options.progress->campaign_finished();
   std::cout << "  " << outcome.points_run << " run, "

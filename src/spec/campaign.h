@@ -59,6 +59,57 @@ std::string point_manifest_path(const CampaignSpec& spec, std::size_t index);
 /// enables obs.telemetry).
 std::string point_telemetry_path(const CampaignSpec& spec, std::size_t index);
 
+/// One point's failure, collected while the rest of the sweep drains.
+struct PointFailure {
+  std::size_t index = 0;
+  std::string error;
+};
+
+/// Thrown by run_campaign after the worker pool drains when one or more
+/// points failed. The message names every offending point id (so
+/// cavenet-run's non-zero exit prints them), and the structured list is
+/// available for programmatic callers (the job server marks the job
+/// failed per point). Completed points keep their checkpoints, so a
+/// --resume re-runs only the failures; the campaign CSV/summary are NOT
+/// rebuilt from a partial sweep.
+class CampaignError : public SpecError {
+ public:
+  CampaignError(const std::string& message,
+                std::vector<PointFailure> failures);
+  const std::vector<PointFailure>& failures() const noexcept {
+    return failures_;
+  }
+
+ private:
+  std::vector<PointFailure> failures_;
+};
+
+/// Artifacts one executed point wrote, as paths relative to the output
+/// dir: the checkpoint manifest first, then the telemetry stream when
+/// the scenario enables obs.telemetry.
+struct PointArtifacts {
+  std::vector<std::string> files;
+  double pdr = 0.0;
+  std::uint64_t events_dispatched = 0;
+};
+
+/// Runs one expanded point and writes its checkpoint manifest (and
+/// telemetry stream) under `output_dir`. This is the single-point body
+/// both run_campaign and the cavenet-serve worker pool execute, so
+/// server-run points are byte-identical to cavenet-run's by
+/// construction. Throws on simulation or write failure.
+PointArtifacts run_campaign_point(const CampaignSpec& spec,
+                                  const CampaignPoint& point,
+                                  const std::string& output_dir);
+
+/// Rebuilds outputs.csv and the campaign summary manifest from the
+/// on-disk point manifests in point order (every point manifest must
+/// exist under `output_dir`). Resumed, interrupted, cached, and fresh
+/// campaigns all serialize identically because this is the only writer.
+void write_campaign_outputs(const CampaignSpec& spec,
+                            const std::vector<CampaignPoint>& points,
+                            const std::string& output_dir);
+
 struct CampaignOptions {
   int jobs = 1;
   bool resume = false;      ///< trust matching on-disk point manifests
@@ -77,7 +128,10 @@ struct CampaignOutcome {
 /// Runs (or resumes) the campaign: executes pending points across
 /// options.jobs workers, writes one point manifest per point, rebuilds
 /// outputs.csv from the manifests, and writes the campaign summary
-/// manifest to outputs.manifest.
+/// manifest to outputs.manifest. When points fail, the remaining points
+/// still run (their checkpoints land, so --resume only re-runs the
+/// failures), then a CampaignError naming every failed point id is
+/// thrown instead of rebuilding the outputs.
 CampaignOutcome run_campaign(const CampaignSpec& spec,
                              const CampaignOptions& options);
 

@@ -4,8 +4,11 @@
 
 namespace cavenet::spec {
 
-std::uint64_t fnv1a64(std::string_view bytes) noexcept {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
+namespace {
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t hash) noexcept {
   for (const char c : bytes) {
     hash ^= static_cast<unsigned char>(c);
     hash *= 0x100000001b3ULL;
@@ -13,8 +16,17 @@ std::uint64_t fnv1a64(std::string_view bytes) noexcept {
   return hash;
 }
 
-std::string fingerprint_hex(const obs::JsonValue& document) {
-  const std::uint64_t hash = fnv1a64(obs::to_json(document));
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  return fnv1a64(bytes, kFnvBasis);
+}
+
+std::string fingerprint_hex(const obs::JsonValue& document,
+                            std::uint32_t engine_version) {
+  // The version rides as a textual tag so the hash input is
+  // self-describing: "engine-v<N>\n" + canonical JSON.
+  char tag[32];
+  std::snprintf(tag, sizeof tag, "engine-v%u\n", engine_version);
+  const std::uint64_t hash = fnv1a64(obs::to_json(document), fnv1a64(tag));
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(hash));

@@ -170,5 +170,76 @@ TEST(InternTest, SameContentSamePointer) {
   EXPECT_NE(a.data(), c.data());
 }
 
+// Untrusted-input limits (JsonParseLimits): the HTTP job API feeds
+// client bytes straight into this parser, so nesting depth and input
+// size must be bounded with precise diagnostics.
+
+std::string nested_arrays(std::size_t depth) {
+  return std::string(depth, '[') + "1" + std::string(depth, ']');
+}
+
+TEST(JsonParseLimitsTest, DepthAtTheLimitParses) {
+  JsonParseLimits limits;
+  limits.max_depth = 4;
+  const JsonValue v = parse_json(nested_arrays(4), "json", limits);
+  EXPECT_TRUE(v.is_array());
+}
+
+TEST(JsonParseLimitsTest, DepthBeyondTheLimitIsRejectedPrecisely) {
+  JsonParseLimits limits;
+  limits.max_depth = 4;
+  try {
+    parse_json(nested_arrays(5), "deep.json", limits);
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& error) {
+    EXPECT_NE(std::string(error.what())
+                  .find("deep.json:1:5: nesting exceeds the maximum depth "
+                        "of 4 levels"),
+              std::string::npos)
+        << error.what();
+    EXPECT_EQ(error.line(), 1u);
+    EXPECT_EQ(error.column(), 5u);
+  }
+}
+
+TEST(JsonParseLimitsTest, ObjectsCountTowardDepthToo) {
+  JsonParseLimits limits;
+  limits.max_depth = 2;
+  EXPECT_NO_THROW(parse_json(R"({"a": [1]})", "json", limits));
+  EXPECT_THROW(parse_json(R"({"a": [[1]]})", "json", limits),
+               JsonParseError);
+}
+
+TEST(JsonParseLimitsTest, DefaultDepthGuardsAgainstHostileNesting) {
+  // The default must accept realistic spec nesting and reject a
+  // stack-overflow-depth bomb.
+  EXPECT_NO_THROW(parse_json(nested_arrays(64)));
+  EXPECT_THROW(parse_json(nested_arrays(100000)), JsonParseError);
+}
+
+TEST(JsonParseLimitsTest, InputSizeBeyondTheLimitIsRejected) {
+  JsonParseLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_NO_THROW(parse_json(R"({"ok": 123456})", "json", limits));
+  const std::string big = R"({"padding": "0123456789"})";
+  try {
+    parse_json(big, "big.json", limits);
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& error) {
+    EXPECT_NE(std::string(error.what())
+                  .find("big.json:1:1: input is " + std::to_string(big.size()) +
+                        " bytes, exceeds the maximum of 16 bytes"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(JsonParseLimitsTest, ZeroMaxBytesMeansUnlimited) {
+  JsonParseLimits limits;
+  limits.max_bytes = 0;
+  const std::string big(64 * 1024, ' ');
+  EXPECT_NO_THROW(parse_json(big + "true", "json", limits));
+}
+
 }  // namespace
 }  // namespace cavenet::obs

@@ -1,0 +1,136 @@
+// Result cache: content-addressed keys, byte-exact materialization, and
+// the engine-version staleness story (a version bump changes the spec
+// fingerprint, so every old entry simply stops being addressable).
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "serve/cache.h"
+#include "spec/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void spill(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+  ASSERT_TRUE(out.flush()) << path;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(UnitCacheKeyTest, WholeSpecAndPointKeys) {
+  EXPECT_EQ(unit_cache_key("5c3b2be6b64bfbe9", true, 0),
+            "5c3b2be6b64bfbe9-all");
+  EXPECT_EQ(unit_cache_key("5c3b2be6b64bfbe9", false, 7),
+            "5c3b2be6b64bfbe9-p7");
+  EXPECT_NE(unit_cache_key("f", false, 1), unit_cache_key("f", false, 2));
+}
+
+TEST(ResultCacheTest, StoreThenMaterializeIsByteExact) {
+  const fs::path root = fresh_dir("cache_roundtrip");
+  const fs::path src = fresh_dir("cache_roundtrip_src");
+  const fs::path dst = fresh_dir("cache_roundtrip_dst");
+  spill(src / "a.manifest.json", "{\"pdr\": 0.75}\n");
+  spill(src / "a.telemetry.jsonl", "{\"t\": 1}\n{\"t\": 2}\n");
+
+  ResultCache cache(root.string());
+  EXPECT_FALSE(cache.contains("fp-p0"));
+  const std::uint64_t stored = cache.store(
+      "fp-p0", src.string(), {"a.manifest.json", "a.telemetry.jsonl"});
+  EXPECT_EQ(stored, slurp(src / "a.manifest.json").size() +
+                        slurp(src / "a.telemetry.jsonl").size());
+  EXPECT_TRUE(cache.contains("fp-p0"));
+
+  ResultCache::Materialized out;
+  ASSERT_TRUE(cache.materialize("fp-p0", dst.string(), &out));
+  ASSERT_EQ(out.files.size(), 2u);
+  EXPECT_EQ(out.bytes, stored);
+  EXPECT_EQ(slurp(dst / "a.manifest.json"), slurp(src / "a.manifest.json"));
+  EXPECT_EQ(slurp(dst / "a.telemetry.jsonl"),
+            slurp(src / "a.telemetry.jsonl"));
+}
+
+TEST(ResultCacheTest, AbsentKeyIsAMiss) {
+  const fs::path root = fresh_dir("cache_miss");
+  ResultCache cache(root.string());
+  EXPECT_FALSE(cache.materialize("nope", root.string(), nullptr));
+}
+
+TEST(ResultCacheTest, DoubleStoreKeepsOneEntry) {
+  // Two workers racing the same key: the loser's stage is dropped and
+  // the entry stays intact (the bytes are identical by construction).
+  const fs::path root = fresh_dir("cache_race");
+  const fs::path src = fresh_dir("cache_race_src");
+  spill(src / "r.json", "{\"seed\": 42}\n");
+  ResultCache cache(root.string());
+  cache.store("fp-p1", src.string(), {"r.json"});
+  cache.store("fp-p1", src.string(), {"r.json"});
+  EXPECT_EQ(cache.totals().entries, 1u);
+  const fs::path dst = fresh_dir("cache_race_dst");
+  ASSERT_TRUE(cache.materialize("fp-p1", dst.string(), nullptr));
+  EXPECT_EQ(slurp(dst / "r.json"), slurp(src / "r.json"));
+  // No leftover staging directories.
+  EXPECT_TRUE(fs::is_empty(root / "tmp"));
+}
+
+TEST(ResultCacheTest, EvictAndTotals) {
+  const fs::path root = fresh_dir("cache_evict");
+  const fs::path src = fresh_dir("cache_evict_src");
+  spill(src / "one.json", "11\n");
+  spill(src / "two.json", "2222\n");
+  ResultCache cache(root.string());
+  cache.store("k1", src.string(), {"one.json"});
+  cache.store("k2", src.string(), {"two.json"});
+  EXPECT_EQ(cache.totals().entries, 2u);
+  EXPECT_EQ(cache.totals().bytes, 8u);
+  cache.evict("k1");
+  EXPECT_FALSE(cache.contains("k1"));
+  EXPECT_TRUE(cache.contains("k2"));
+  EXPECT_EQ(cache.totals().entries, 1u);
+}
+
+TEST(ResultCacheTest, EngineVersionBumpInvalidatesCachedPoints) {
+  // The serve cache keys on the engine-version-mixed spec fingerprint:
+  // results cached by engine version N are unreachable under version
+  // N+1 even for a byte-identical spec document.
+  const obs::JsonValue doc = obs::parse_json(R"({"name": "t", "seed": 1})");
+  const std::string fp_now =
+      spec::fingerprint_hex(doc, spec::kEngineSchemaVersion);
+  const std::string fp_next =
+      spec::fingerprint_hex(doc, spec::kEngineSchemaVersion + 1);
+  ASSERT_NE(fp_now, fp_next);
+
+  const fs::path root = fresh_dir("cache_version");
+  const fs::path src = fresh_dir("cache_version_src");
+  spill(src / "p.json", "{\"stale\": true}\n");
+  ResultCache cache(root.string());
+  cache.store(unit_cache_key(fp_now, false, 0), src.string(), {"p.json"});
+
+  EXPECT_TRUE(cache.contains(unit_cache_key(fp_now, false, 0)));
+  EXPECT_FALSE(cache.contains(unit_cache_key(fp_next, false, 0)));
+  EXPECT_FALSE(cache.materialize(unit_cache_key(fp_next, false, 0),
+                                 root.string(), nullptr));
+}
+
+}  // namespace
+}  // namespace cavenet::serve

@@ -1,0 +1,150 @@
+// Journal crash-safety: replay keeps every complete record, tolerates a
+// torn tail at ANY byte boundary, and recovery truncates before
+// appending so a torn tail can never corrupt later records.
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "serve/journal.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+obs::JsonValue record(const std::string& kind, double unit) {
+  obs::JsonWriter writer;
+  writer.begin_object();
+  writer.key("record");
+  writer.value(kind);
+  writer.key("unit");
+  writer.value(unit);
+  writer.end_object();
+  return obs::parse_json(writer.str());
+}
+
+fs::path fresh_path(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(path);
+  return path;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(JournalReplayTest, MissingFileReplaysEmpty) {
+  const JournalReplay replay =
+      replay_journal_file((fresh_path("journal_missing") / "x.jsonl").string());
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.valid_bytes, 0u);
+  EXPECT_FALSE(replay.truncated_tail);
+}
+
+TEST(JournalReplayTest, CleanJournalKeepsEveryRecord) {
+  const std::string text =
+      "{\"record\":\"a\"}\n{\"record\":\"b\"}\n{\"record\":\"c\"}\n";
+  const JournalReplay replay = replay_journal_text(text);
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_EQ(replay.records[1].find("record")->string, "b");
+  EXPECT_EQ(replay.valid_bytes, text.size());
+  EXPECT_FALSE(replay.truncated_tail);
+}
+
+TEST(JournalReplayTest, EveryByteBoundaryTruncationIsRecoverable) {
+  // The crash model: appends are sequential and flushed per line, so a
+  // kill can tear only the tail. Replay of EVERY prefix must keep
+  // exactly the complete lines, never throw, and report a valid_bytes
+  // that lands on a line boundary.
+  const std::string lines[] = {
+      "{\"record\":\"job_submitted\",\"job\":\"j1\",\"units\":3}\n",
+      "{\"record\":\"point_done\",\"job\":\"j1\",\"unit\":0}\n",
+      "{\"record\":\"point_done\",\"job\":\"j1\",\"unit\":2}\n",
+      "{\"record\":\"job_done\",\"job\":\"j1\"}\n",
+  };
+  std::string text;
+  for (const std::string& line : lines) text += line;
+
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    const std::string prefix = text.substr(0, cut);
+    const JournalReplay replay = replay_journal_text(prefix);
+
+    // Expected: all lines wholly inside the prefix.
+    std::size_t expected_records = 0;
+    std::size_t expected_bytes = 0;
+    for (const std::string& line : lines) {
+      if (expected_bytes + line.size() > cut) break;
+      ++expected_records;
+      expected_bytes += line.size();
+    }
+    EXPECT_EQ(replay.records.size(), expected_records) << "cut=" << cut;
+    EXPECT_EQ(replay.valid_bytes, expected_bytes) << "cut=" << cut;
+    EXPECT_EQ(replay.truncated_tail, cut > expected_bytes) << "cut=" << cut;
+    // No half-parsed garbage: every kept record is a complete object.
+    for (const obs::JsonValue& kept : replay.records) {
+      EXPECT_TRUE(kept.is_object());
+      EXPECT_NE(kept.find("record"), nullptr);
+    }
+  }
+}
+
+TEST(JournalReplayTest, CorruptionMidFileStopsTrustThere) {
+  const std::string text =
+      "{\"record\":\"a\"}\nnot json at all\n{\"record\":\"c\"}\n";
+  const JournalReplay replay = replay_journal_text(text);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].find("record")->string, "a");
+  EXPECT_TRUE(replay.truncated_tail);
+  EXPECT_EQ(replay.valid_bytes, std::string("{\"record\":\"a\"}\n").size());
+}
+
+TEST(JournalTest, AppendThenReopenRoundTrips) {
+  const fs::path dir = fresh_path("journal_roundtrip");
+  fs::create_directories(dir);
+  const std::string path = (dir / "journal.jsonl").string();
+  {
+    Journal journal(path);
+    EXPECT_TRUE(journal.replayed().empty());
+    journal.append(record("job_submitted", 0));
+    journal.append(record("point_done", 1));
+  }
+  Journal reopened(path);
+  ASSERT_EQ(reopened.replayed().size(), 2u);
+  EXPECT_EQ(reopened.replayed()[1].find("record")->string, "point_done");
+  EXPECT_FALSE(reopened.truncated_tail());
+}
+
+TEST(JournalTest, TornTailIsTruncatedBeforeAppending) {
+  const fs::path dir = fresh_path("journal_torn");
+  fs::create_directories(dir);
+  const std::string path = (dir / "journal.jsonl").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"record\":\"a\"}\n{\"record\":\"b\"}\n{\"record\":\"to";  // torn
+  }
+  {
+    Journal journal(path);
+    ASSERT_EQ(journal.replayed().size(), 2u);
+    EXPECT_TRUE(journal.truncated_tail());
+    journal.append(record("point_done", 7));
+  }
+  // The torn bytes are gone; the appended record follows the valid
+  // prefix exactly, and a second replay is clean.
+  const std::string bytes = slurp(path);
+  EXPECT_EQ(bytes.find("\"to"), std::string::npos);
+  const JournalReplay replay = replay_journal_text(bytes);
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_FALSE(replay.truncated_tail);
+  EXPECT_EQ(replay.records[2].find("unit")->number, 7.0);
+}
+
+}  // namespace
+}  // namespace cavenet::serve

@@ -1,0 +1,119 @@
+// FairQueue: per-job FIFO, round-robin across jobs (no starvation),
+// cancellation drops pending work, shutdown wins immediately.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::serve {
+namespace {
+
+TEST(FairQueueTest, SingleJobIsFifo) {
+  FairQueue queue;
+  queue.push("j1", {3, 1, 4});
+  WorkItem item;
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item.unit, 3u);
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item.unit, 1u);
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item.unit, 4u);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(FairQueueTest, RoundRobinAcrossJobs) {
+  // A big job must not starve a small one: pops alternate between jobs
+  // with pending work.
+  FairQueue queue;
+  queue.push("big", {0, 1, 2, 3});
+  queue.push("small", {0});
+  std::vector<std::string> order;
+  WorkItem item;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.pop(&item));
+    order.push_back(item.job_id + ":" + std::to_string(item.unit));
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"big:0", "small:0", "big:1",
+                                             "big:2", "big:3"}));
+}
+
+TEST(FairQueueTest, PushingAgainExtendsTheJobsLane) {
+  FairQueue queue;
+  queue.push("j1", {0});
+  queue.push("j1", {1});
+  EXPECT_EQ(queue.depth(), 2u);
+  WorkItem item;
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item.unit, 0u);
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item.unit, 1u);
+}
+
+TEST(FairQueueTest, CancelDropsOnlyThatJob) {
+  FairQueue queue;
+  queue.push("keep", {0, 1});
+  queue.push("drop", {0, 1, 2});
+  EXPECT_EQ(queue.cancel("drop"), 3u);
+  EXPECT_EQ(queue.cancel("drop"), 0u);  // idempotent
+  EXPECT_EQ(queue.depth(), 2u);
+  WorkItem item;
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item.job_id, "keep");
+}
+
+TEST(FairQueueTest, ShutdownWinsOverPendingWork) {
+  // Workers must stop claiming immediately on shutdown; whatever is
+  // still pending is the journal's to re-enqueue on the next start.
+  FairQueue queue;
+  queue.push("j1", {0, 1});
+  queue.shutdown();
+  WorkItem item;
+  EXPECT_FALSE(queue.pop(&item));
+  EXPECT_EQ(queue.depth(), 2u);  // pending units were not drained
+}
+
+TEST(FairQueueTest, ShutdownWakesABlockedPop) {
+  FairQueue queue;
+  std::thread popper([&queue] {
+    WorkItem item;
+    EXPECT_FALSE(queue.pop(&item));
+  });
+  // Give the popper a moment to block, then release it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.shutdown();
+  popper.join();
+}
+
+TEST(FairQueueTest, ConcurrentConsumersDrainEverythingOnce) {
+  FairQueue queue;
+  const std::size_t kUnits = 200;
+  std::vector<std::size_t> units(kUnits);
+  for (std::size_t i = 0; i < kUnits; ++i) units[i] = i;
+  queue.push("a", units);
+  queue.push("b", units);
+
+  std::vector<std::size_t> seen_a(kUnits, 0), seen_b(kUnits, 0);
+  std::mutex seen_mutex;
+  auto consume = [&] {
+    WorkItem item;
+    while (queue.pop(&item)) {
+      std::lock_guard<std::mutex> lock(seen_mutex);
+      (item.job_id == "a" ? seen_a : seen_b)[item.unit] += 1;
+      if (queue.depth() == 0) queue.shutdown();
+    }
+  };
+  std::thread t1(consume), t2(consume), t3(consume);
+  t1.join();
+  t2.join();
+  t3.join();
+  for (std::size_t i = 0; i < kUnits; ++i) {
+    EXPECT_EQ(seen_a[i], 1u) << i;
+    EXPECT_EQ(seen_b[i], 1u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace cavenet::serve

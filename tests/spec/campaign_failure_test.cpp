@@ -1,0 +1,121 @@
+// Mid-sweep point failure semantics: the rest of the sweep still runs
+// (checkpoints land), then run_campaign throws a CampaignError naming
+// every offending point id — which is exactly what cavenet-run prints
+// before exiting non-zero — and a --resume re-runs only the failures.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/progress.h"
+#include "spec/campaign.h"
+#include "spec/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace cavenet::spec {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Same cheap 3x2 sweep as the resume test (6 points, 20 s scenario).
+const char kCampaignJson[] = R"({
+  "name": "failure_probe", "kind": "campaign",
+  "scenario": {
+    "seed": 11, "duration_s": 20,
+    "mobility": {"lane_cells": 150, "vehicles": 12},
+    "traffic": {"start_s": 5, "stop_s": 15, "sender": 3}
+  },
+  "sweep": {
+    "replications": 2,
+    "axes": [{"param": "mobility.slowdown_p", "values": [0.3, 0.5, 0.7]}]
+  }
+})";
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing artifact " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CampaignFailureTest, FailedPointIsNamedAndTheRestStillRuns) {
+  const CampaignSpec spec = parse_campaign(kCampaignJson, "failure.json");
+  const std::size_t total = expand_points(spec).size();
+  ASSERT_EQ(total, 6u);
+
+  // Force exactly point 1 to fail at checkpoint time: plant a DIRECTORY
+  // where its manifest file must be written.
+  const fs::path dir = fresh_dir("campaign_failure");
+  fs::create_directories(dir / point_manifest_path(spec, 1));
+
+  CampaignOptions options;
+  options.jobs = 2;
+  options.output_dir = dir.string();
+  runner::ProgressOptions progress_options;
+  progress_options.heartbeat_period_s = 0;
+  progress_options.stall_after_s = 0;
+  runner::ProgressStream progress(total, options.jobs, progress_options);
+  options.progress = &progress;
+
+  try {
+    run_campaign(spec, options);
+    FAIL() << "expected CampaignError";
+  } catch (const CampaignError& error) {
+    // The message (what cavenet-run prints on stderr before exiting
+    // non-zero) names the campaign and the offending point id.
+    const std::string what = error.what();
+    EXPECT_NE(what.find("failure_probe"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 of 6 points failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("point 1:"), std::string::npos) << what;
+    ASSERT_EQ(error.failures().size(), 1u);
+    EXPECT_EQ(error.failures()[0].index, 1u);
+    EXPECT_FALSE(error.failures()[0].error.empty());
+  }
+
+  // Every other point still checkpointed; the campaign outputs were NOT
+  // rebuilt from the partial sweep.
+  for (std::size_t i = 0; i < total; ++i) {
+    if (i == 1) continue;
+    EXPECT_TRUE(fs::is_regular_file(dir / point_manifest_path(spec, i)))
+        << "point " << i << " checkpoint missing";
+  }
+  EXPECT_FALSE(fs::exists(dir / spec.outputs.csv));
+
+  // The failure is visible on the progress stream.
+  const std::string events = progress.jsonl();
+  EXPECT_NE(events.find("\"event\":\"point_failed\",\"point\":1"),
+            std::string::npos)
+      << events;
+
+  // Unblock the path and resume: only the failed point re-runs, and the
+  // result is byte-identical to an uninterrupted campaign.
+  fs::remove_all(dir / point_manifest_path(spec, 1));
+  CampaignOptions resume_options;
+  resume_options.jobs = 2;
+  resume_options.resume = true;
+  resume_options.output_dir = dir.string();
+  const CampaignOutcome resumed = run_campaign(spec, resume_options);
+  EXPECT_EQ(resumed.points_run, 1u);
+  EXPECT_EQ(resumed.points_resumed, total - 1);
+
+  const fs::path clean_dir = fresh_dir("campaign_failure_clean");
+  CampaignOptions clean_options;
+  clean_options.jobs = 1;
+  clean_options.output_dir = clean_dir.string();
+  run_campaign(spec, clean_options);
+  EXPECT_EQ(slurp(dir / spec.outputs.csv), slurp(clean_dir / spec.outputs.csv));
+  EXPECT_EQ(slurp(dir / spec.outputs.manifest),
+            slurp(clean_dir / spec.outputs.manifest));
+}
+
+}  // namespace
+}  // namespace cavenet::spec

@@ -65,5 +65,23 @@ TEST(FingerprintTest, ParseCampaignStampsTheDocumentFingerprint) {
   EXPECT_NE(spec.fingerprint, edited.fingerprint);
 }
 
+TEST(FingerprintTest, EngineSchemaVersionIsMixedIn) {
+  // The default fingerprint is the current-version fingerprint...
+  const auto doc = obs::parse_json(R"({"seed": 3})");
+  EXPECT_EQ(fingerprint_hex(doc), fingerprint_hex(doc, kEngineSchemaVersion));
+  // ...and a version bump changes every document's fingerprint, which is
+  // what invalidates old checkpoints and cached results wholesale when
+  // the engine's semantics change.
+  EXPECT_NE(fingerprint_hex(doc, kEngineSchemaVersion),
+            fingerprint_hex(doc, kEngineSchemaVersion + 1));
+  EXPECT_NE(fingerprint_hex(doc, 1), fingerprint_hex(doc, 2));
+}
+
+TEST(FingerprintTest, ChainedFnvMatchesConcatenation) {
+  // fnv1a64(b, fnv1a64(a)) must equal hashing a+b in one pass — the
+  // version tag prefix relies on this.
+  EXPECT_EQ(fnv1a64("bar", fnv1a64("foo")), fnv1a64("foobar"));
+}
+
 }  // namespace
 }  // namespace cavenet::spec
